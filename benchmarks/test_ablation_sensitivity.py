@@ -1,0 +1,59 @@
+"""Ablations for the two load-bearing design choices (DESIGN.md §5).
+
+* Sealed-bid overbidding causes the Figure-8 profit inversion: sweeping
+  the tip mean from modest to aggressive must monotonically raise the
+  miner uplift.
+* The private-transaction inference depends on observation coverage:
+  degrading the pending-tx collector must erode inference precision.
+"""
+
+from repro.analysis.sensitivity import (
+    observation_rate_sweep,
+    tip_fraction_sweep,
+)
+from repro.analysis import render_table
+
+from benchmarks.conftest import emit
+
+
+def test_ablation_tip_auction(benchmark):
+    points = benchmark.pedantic(
+        tip_fraction_sweep, args=([0.35, 0.60, 0.85],),
+        kwargs={"blocks_per_month": 20}, iterations=1, rounds=1)
+
+    emit("ablation_tip_auction", render_table(
+        ["Sealed-bid tip mean", "Miner uplift", "Searcher drop",
+         "Searcher FB mean (ETH)"],
+        [(f"{p.tip_mean:.2f}", f"{p.miner_uplift:.2f}x",
+          f"{100 * p.searcher_drop:.1f}%",
+          f"{p.searcher_fb_mean_eth:.4f}") for p in points]))
+
+    # Overbidding is the inversion's cause: uplift rises with the tip.
+    uplifts = [p.miner_uplift for p in points]
+    assert uplifts[0] < uplifts[-1]
+    # Searchers keep less as they bid more.
+    assert points[0].searcher_fb_mean_eth > \
+        points[-1].searcher_fb_mean_eth
+
+
+def test_ablation_observation_rate(benchmark):
+    points = benchmark.pedantic(
+        observation_rate_sweep, args=([0.995, 0.7, 0.3],),
+        kwargs={"blocks_per_month": 20}, iterations=1, rounds=1)
+
+    emit("ablation_observation_rate", render_table(
+        ["Observation rate", "Pending seen", "Labelled sandwiches",
+         "Inferred private", "Precision", "Recall"],
+        [(f"{p.observation_rate:.3f}", p.observed_pending,
+          p.labelled_sandwiches, p.inferred_private,
+          f"{p.private_precision:.2f}", f"{p.private_recall:.2f}")
+         for p in points]))
+
+    # Fewer observations reach the trace as coverage degrades.
+    assert points[0].observed_pending > points[-1].observed_pending
+    # Near-perfect coverage → near-perfect inference (the paper's
+    # operating point).
+    assert points[0].private_precision > 0.9
+    assert points[0].private_recall > 0.9
+    # Degraded coverage erodes the inference.
+    assert points[-1].private_precision <= points[0].private_precision

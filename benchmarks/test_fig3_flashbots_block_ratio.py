@@ -1,0 +1,27 @@
+"""Figure 3 — proportion of Flashbots blocks among all Ethereum blocks.
+
+Paper shape: zero before February 2021, rapid ramp, 60.6 % peak in July
+2021, hovering above 50 %, dipping to 48.2 % by February 2022.
+"""
+
+from repro.analysis import fig3_flashbots_block_ratio, render_series
+
+from benchmarks.conftest import emit
+
+
+def test_fig3_flashbots_block_ratio(benchmark, sim_result):
+    series = benchmark(fig3_flashbots_block_ratio, sim_result.node,
+                       sim_result.flashbots_api, sim_result.calendar)
+
+    emit("fig3_flashbots_block_ratio",
+         render_series("Flashbots block ratio per month", series))
+
+    values = dict(series)
+    assert all(values[m] == 0.0 for m in sim_result.calendar.months[:9])
+    assert values["2021-03"] > 0.15      # fast adoption
+    peak_month, peak = max(series, key=lambda kv: kv[1])
+    assert peak > 0.5                    # paper: 60.6 % peak
+    assert "2021-04" <= peak_month <= "2021-12"
+    tail = (values["2022-01"] + values["2022-02"]
+            + values["2022-03"]) / 3
+    assert tail < peak                   # decline into 2022

@@ -1,0 +1,30 @@
+"""Figure 5 — number of miners with ≥n Flashbots blocks per month.
+
+Paper shape: a long tail — one or two miners above the top threshold,
+never more than 55 Flashbots miners in any month.
+"""
+
+from repro.analysis import fig5_miner_distribution, render_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig5_miner_distribution(benchmark, sim_result):
+    series = benchmark(fig5_miner_distribution,
+                       sim_result.flashbots_api, sim_result.calendar)
+
+    thresholds = sorted(series)
+    months = sim_result.calendar.months
+    table = render_table(
+        ["Month"] + [f">={t} blocks" for t in thresholds],
+        [(month,) + tuple(dict(series[t])[month] for t in thresholds)
+         for month in months if month >= "2021-02"])
+    emit("fig5_miner_distribution", table)
+
+    # Monotone in the threshold, bounded by the population, long-tailed.
+    for low, high in zip(thresholds, thresholds[1:]):
+        for (_, n_low), (_, n_high) in zip(series[low], series[high]):
+            assert n_high <= n_low
+    assert max(n for _, n in series[1]) <= 55
+    assert max(n for _, n in series[thresholds[-1]]) <= 3
+    assert max(n for _, n in series[1]) > 5  # more than a handful joined

@@ -1,0 +1,65 @@
+"""Figure 6 — daily sandwich counts vs average gas price.
+
+Paper shape: the public gas price collapses in April 2021, coinciding
+with Flashbots adoption, *not* with the Berlin or London forks; both
+sandwich series dip after September 2021; an uptick appears roughly
+seven months after the collapse.
+"""
+
+from repro.analysis import (
+    fig6_gas_and_sandwiches,
+    monthly_average_gas_gwei,
+    pearson_correlation,
+    render_series,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_fig6_gas_vs_sandwiches(benchmark, sim_result, dataset):
+    points = benchmark(fig6_gas_and_sandwiches, sim_result.node,
+                       dataset, sim_result.calendar)
+
+    monthly_gas = monthly_average_gas_gwei(points)
+    fb_by_month = {}
+    nonfb_by_month = {}
+    for point in points:
+        fb_by_month[point.month] = fb_by_month.get(point.month, 0) \
+            + point.flashbots_sandwiches
+        nonfb_by_month[point.month] = \
+            nonfb_by_month.get(point.month, 0) \
+            + point.non_flashbots_sandwiches
+    # The paper's headline: gas price tracks *public* sandwich activity
+    # (both collapse when searchers move into Flashbots).
+    months = [m for m, _ in monthly_gas]
+    gas_series = [g for _, g in monthly_gas]
+    nonfb_series = [nonfb_by_month.get(m, 0) for m in months]
+    correlation = pearson_correlation(gas_series, nonfb_series)
+    text = "\n\n".join([
+        render_series("Avg gas price (gwei) per month", monthly_gas,
+                      unit=" gwei"),
+        render_series("Flashbots sandwiches per month",
+                      sorted(fb_by_month.items())),
+        render_series("Non-Flashbots sandwiches per month",
+                      sorted(nonfb_by_month.items())),
+        f"fork markers: Berlin=block {sim_result.forks.berlin_block}, "
+        f"London=block {sim_result.forks.london_block}",
+        f"Pearson corr(gas, non-FB sandwiches) = {correlation:.2f} "
+        f"(the paper's correlation claim)",
+    ])
+    emit("fig6_gas_vs_sandwiches", text)
+
+    # Gas moves *with* public sandwich activity.
+    assert correlation > 0.3
+
+    gas = dict(monthly_gas)
+    pre = (gas["2020-11"] + gas["2020-12"] + gas["2021-01"]) / 3
+    trough = min(gas[m] for m in ("2021-05", "2021-06", "2021-07"))
+    assert trough < 0.6 * pre            # the collapse
+    # The collapse happens before London (Aug 2021): fork not the cause.
+    assert gas["2021-07"] < 0.7 * pre
+    # Flashbots sandwiches appear only after the launch.
+    assert all(fb_by_month[m] == 0
+               for m in sim_result.calendar.months[:9])
+    assert sum(fb_by_month.values()) > 0
+    assert sum(nonfb_by_month.values()) > 0

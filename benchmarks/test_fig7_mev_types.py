@@ -1,0 +1,49 @@
+"""Figure 7 — Flashbots searchers (7a) and transactions (7b) by type.
+
+Paper shape: "other" exceeds every MEV type (by orders of magnitude in
+searcher count); MEV searcher counts rise through August 2021 then
+decline; sandwich and arbitrage transaction counts track each other with
+liquidations far rarer.
+"""
+
+from repro.analysis import fig7_mev_types, render_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig7_mev_types(benchmark, sim_result, dataset):
+    series = benchmark(fig7_mev_types, dataset,
+                       sim_result.flashbots_api, sim_result.node,
+                       sim_result.calendar)
+
+    months = [m for m in sim_result.calendar.months if m >= "2021-02"]
+    kinds = ("sandwich", "arbitrage", "liquidation", "other")
+
+    def table_for(split):
+        data = getattr(series, split)
+        return render_table(
+            ["Month"] + list(kinds),
+            [(month,) + tuple(dict(data[k])[month] for k in kinds)
+             for month in months])
+
+    emit("fig7_mev_types",
+         "7a — searchers per type per month\n" + table_for("searchers")
+         + "\n\n7b — transactions per type per month\n"
+         + table_for("transactions"))
+
+    mid = "2021-08"
+    searchers = {k: dict(series.searchers[k]) for k in kinds}
+    txs = {k: dict(series.transactions[k]) for k in kinds}
+    # "other" dominates both panels.
+    assert searchers["other"][mid] > searchers["sandwich"][mid]
+    assert searchers["other"][mid] > searchers["arbitrage"][mid]
+    assert txs["other"][mid] > txs["liquidation"][mid]
+    # Liquidation is the rarest MEV type overall.
+    assert sum(txs["liquidation"].values()) < \
+        sum(txs["arbitrage"].values())
+    # MEV searcher participation declines from its 2021 ramp.
+    ramp = max(searchers["sandwich"][m]
+               for m in ("2021-06", "2021-07", "2021-08"))
+    tail = max(searchers["sandwich"][m]
+               for m in ("2022-02", "2022-03"))
+    assert tail <= ramp

@@ -1,0 +1,45 @@
+"""Figure 8 — sandwich profits for miners (8a) and searchers (8b).
+
+Paper values: miners average 0.125 ETH per sandwich with Flashbots vs
+0.048 ETH without (≈2.6×, higher variance); searchers average 0.02 ETH
+with Flashbots vs 0.13 ETH without (−84.4 %), with visible losses.
+"""
+
+from repro.analysis import fig8_profit_distribution, render_table
+from repro.analysis.goals import profit_distribution
+
+from benchmarks.conftest import emit
+
+
+def test_fig8_profit_distribution(benchmark, dataset):
+    stats = benchmark(fig8_profit_distribution, dataset)
+
+    report = profit_distribution(dataset)
+    table = render_table(
+        ["Population", "N", "Mean (ETH)", "Median", "Std"],
+        [(name, s.count, f"{s.mean:.4f}", f"{s.median:.4f}",
+          f"{s.std:.4f}")
+         for name, s in (
+             ("miners / Flashbots", stats.miners_flashbots),
+             ("miners / non-Flashbots", stats.miners_non_flashbots),
+             ("searchers / Flashbots", stats.searchers_flashbots),
+             ("searchers / non-Flashbots",
+              stats.searchers_non_flashbots))])
+    emit("fig8_profit_distribution",
+         table + f"\n  miner uplift (paper ~2.6x): "
+                 f"{report.miner_uplift:.2f}x"
+                 f"\n  searcher drop (paper ~84.4%): "
+                 f"{100 * report.searcher_drop:.1f}%")
+
+    # The inversion: Flashbots pays miners more and searchers less.
+    assert stats.miners_flashbots.mean > stats.miners_non_flashbots.mean
+    assert stats.searchers_flashbots.mean < \
+        stats.searchers_non_flashbots.mean
+    assert report.miner_uplift > 1.5
+    assert report.searcher_drop > 0.5
+    # Higher miner variance with Flashbots (paper: 0.415 vs 0.127).
+    assert stats.miners_flashbots.std > stats.miners_non_flashbots.std
+    # Searchers can lose money in Flashbots (Figure 8b's tail).
+    losses = [r for r in dataset.sandwiches
+              if r.via_flashbots and r.profit_wei < 0]
+    assert losses

@@ -1,0 +1,48 @@
+"""Section 4.1 — Flashbots bundle statistics.
+
+Paper values: 3,249,003 bundles in 1,196,218 blocks; 2.71 bundles/block
+(median 2, max 42); 2.15 txs/bundle (median 1, max 700 — an F2Pool
+payout); 61.37 % single-transaction bundles; type split 1.9 % miner
+payout, 7.6 % rogue, 90.5 % flashbots.
+"""
+
+from repro.analysis import bundle_stats, percent, render_kv
+
+from benchmarks.conftest import emit
+
+
+def test_s41_bundle_stats(benchmark, sim_result):
+    stats = benchmark(bundle_stats, sim_result.flashbots_api)
+
+    emit("s41_bundle_stats", render_kv(
+        "Flashbots bundle statistics",
+        [("blocks", stats.total_blocks),
+         ("bundles", stats.total_bundles),
+         ("bundles/block mean (paper 2.71)",
+          f"{stats.bundles_per_block_mean:.2f}"),
+         ("bundles/block median (paper 2)",
+          f"{stats.bundles_per_block_median:.1f}"),
+         ("bundles/block max (paper 42)",
+          stats.bundles_per_block_max),
+         ("txs/bundle mean (paper 2.15)",
+          f"{stats.txs_per_bundle_mean:.2f}"),
+         ("txs/bundle median (paper 1)",
+          f"{stats.txs_per_bundle_median:.1f}"),
+         ("largest bundle (paper 700)", stats.largest_bundle_txs),
+         ("single-tx bundles (paper 61.4%)",
+          percent(stats.single_tx_bundle_share)),
+         ("type: flashbots (paper 90.5%)",
+          percent(stats.type_shares.get("flashbots", 0))),
+         ("type: rogue (paper 7.6%)",
+          percent(stats.type_shares.get("rogue", 0))),
+         ("type: miner_payout (paper 1.9%)",
+          percent(stats.type_shares.get("miner_payout", 0)))]))
+
+    assert 1.0 < stats.bundles_per_block_mean < 4.5
+    assert stats.txs_per_bundle_median == 1
+    assert 1.2 < stats.txs_per_bundle_mean < 4.0
+    assert 0.5 < stats.single_tx_bundle_share < 0.95
+    assert stats.largest_bundle_txs == 700
+    assert stats.type_shares["flashbots"] > 0.8
+    assert 0 < stats.type_shares.get("rogue", 0) < 0.2
+    assert 0 < stats.type_shares.get("miner_payout", 0) < 0.1

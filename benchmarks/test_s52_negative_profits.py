@@ -1,0 +1,28 @@
+"""Section 5.2 — unprofitable Flashbots sandwiches.
+
+Paper values: 7,666 unprofitable MEVs out of 485,680 Flashbots
+sandwiches (≈1.58 %), totalling 113.67 ETH in losses, attributed to
+faulty searcher contracts.
+"""
+
+from repro.analysis import negative_profits, percent, render_kv
+
+from benchmarks.conftest import emit
+
+
+def test_s52_negative_profits(benchmark, dataset):
+    report = benchmark(negative_profits, dataset)
+
+    emit("s52_negative_profits", render_kv(
+        "Unprofitable Flashbots sandwiches",
+        [("flashbots sandwiches", report.flashbots_sandwiches),
+         ("unprofitable", report.unprofitable),
+         ("share (paper 1.58%)",
+          percent(report.unprofitable_share)),
+         ("total losses (ETH)", f"{report.loss_total_eth:.3f}")]))
+
+    assert report.flashbots_sandwiches > 30
+    # Losses exist (faulty contracts) but stay a small minority.
+    assert report.unprofitable > 0
+    assert 0.0 < report.unprofitable_share < 0.12
+    assert report.loss_total_eth > 0

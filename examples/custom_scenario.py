@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Building a custom world from the substrate APIs directly.
+
+The calibrated paper scenario is one configuration of the library, not
+the library itself.  This example assembles a *different* world — two
+venues, three miners, a single sandwich searcher that joins Flashbots
+halfway through — runs it, and measures it with the same pipeline, the
+workflow a downstream user would follow to study their own what-if.
+"""
+
+import random
+
+from repro.agents.fees import FeeModel  # noqa: F401 (shown for users)
+from repro.agents.miner import MinerProfile, MinerSet
+from repro.agents.searcher import ChannelPolicy, SandwichSearcher
+from repro.agents.trader import BorrowerPopulation, OracleKeeper, \
+    TraderPopulation
+from repro.chain.fork import ForkSchedule
+from repro.chain.state import WorldState
+from repro.chain.types import ether
+from repro.core import MevInspector, PriceService
+from repro.dex.registry import SUSHISWAP, UNISWAP_V2, ExchangeRegistry
+from repro.flashbots.relay import Relay
+from repro.lending.flashloan import FlashLoanProvider
+from repro.lending.oracle import PRICE_SCALE, PriceOracle
+from repro.lending.pool import LendingPool
+from repro.privatepools.pool import PrivatePoolDirectory
+from repro.sim.calendar import StudyCalendar
+from repro.sim.config import ScenarioConfig
+from repro.sim.prices import PriceUniverse
+from repro.sim.world import World
+
+
+def main() -> None:
+    config = ScenarioConfig(blocks_per_month=40, seed=99,
+                            swaps_per_block=2.0,
+                            transfers_per_block=1.0)
+    calendar = StudyCalendar(config.blocks_per_month)
+    launch = calendar.first_block_of("2021-02")
+
+    state = WorldState()
+    registry = ExchangeRegistry()
+    uni = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+    sushi = registry.create_pool(SUSHISWAP, "WETH", "DAI")
+    uni.add_liquidity(state, WETH=ether(2_000), DAI=ether(6_000_000))
+    sushi.add_liquidity(state, WETH=ether(1_500),
+                        DAI=ether(4_530_000))
+
+    oracle = PriceOracle()
+    oracle.set_price("DAI", PRICE_SCALE // 3_000)
+    universe = PriceUniverse(seed=99)
+    universe.add_token("DAI", oracle.price("DAI"), volatility=0.02)
+
+    lending = LendingPool("AaveV2", oracle)
+    lending.provision(state, "DAI", ether(5_000_000))
+    flash = FlashLoanProvider("Aave")
+    flash.provision(state, "WETH", ether(100_000))
+
+    miners = MinerSet([
+        MinerProfile("alpha", hashpower=6.0,
+                     flashbots_join_block=launch),
+        MinerProfile("beta", hashpower=3.0,
+                     flashbots_join_block=launch + 80),
+        MinerProfile("gamma", hashpower=1.0),  # never joins
+    ])
+
+    searcher = SandwichSearcher(
+        "lone-wolf",
+        ChannelPolicy(flashbots_from=launch + 40),
+        min_profit_wei=ether(0.01), visibility=1.0)
+    state.credit_eth(searcher.address, ether(2_000))
+    state.mint_token("WETH", searcher.address, ether(2_000))
+    state.mint_token("DAI", searcher.address, ether(6_000_000))
+
+    relay = Relay()
+    relay.register_searcher(searcher.address)
+    for miner in miners.miners:
+        relay.register_miner(miner.address)
+
+    world = World(
+        config=config, calendar=calendar,
+        forks=ForkSchedule(
+            berlin_block=calendar.first_block_of("2021-04"),
+            london_block=calendar.first_block_of("2021-08")),
+        state=state, registry=registry, oracle=oracle,
+        universe=universe, lending_pools=[lending],
+        flash_provider=flash, miners=miners, relay=relay,
+        private_pools=PrivatePoolDirectory(),
+        traders=TraderPopulation(random.Random(1), accounts=40),
+        borrowers=BorrowerPopulation(random.Random(2), accounts=10),
+        keeper=OracleKeeper(random.Random(3), oracle, universe),
+        searchers=[searcher], flashbots_launch_block=launch)
+
+    result = world.run()
+    dataset = MevInspector(result.node, PriceService(oracle),
+                           result.flashbots_api,
+                           result.observer).run()
+
+    print(f"Custom world: {result.blockchain.height} blocks, "
+          f"{result.flashbots_api.block_count()} Flashbots blocks")
+    pre = [r for r in dataset.sandwiches if not r.via_flashbots]
+    post = [r for r in dataset.sandwiches if r.via_flashbots]
+    print(f"Lone searcher's sandwiches: {len(pre)} public (pre/para-"
+          f"Flashbots), {len(post)} via Flashbots")
+    if pre and post:
+        avg = lambda rs: sum(r.profit_wei for r in rs) / len(rs) / 1e18
+        print(f"Average profit: {avg(pre):.4f} ETH public vs "
+              f"{avg(post):.4f} ETH via Flashbots — the Figure 8b "
+              f"effect holds even with zero competition, because the "
+              f"sealed-bid tip is paid regardless.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP-660 editable installs (which need ``bdist_wheel``) are unavailable.
+Keeping a ``setup.py`` and omitting ``[build-system]`` from pyproject.toml
+lets ``pip install -e .`` use the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

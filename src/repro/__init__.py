@@ -1,0 +1,67 @@
+"""repro — reproduction of "A Flash(bot) in the Pan: Measuring Maximal
+Extractable Value in Private Pools" (IMC 2022).
+
+The package is organized as:
+
+* :mod:`repro.chain` — Ethereum-like substrate (state, blocks, mempool,
+  gossip, archive node);
+* :mod:`repro.dex`, :mod:`repro.lending` — the DeFi substrates MEV preys
+  on (AMMs, stableswap, lending pools, flash loans);
+* :mod:`repro.flashbots`, :mod:`repro.privatepools` — the private
+  transaction channels under study;
+* :mod:`repro.agents`, :mod:`repro.sim` — the agent-based market
+  simulation and the calibrated study-window scenario;
+* :mod:`repro.core` — the paper's measurement pipeline (detection
+  heuristics, joins, privacy inference, pool attribution);
+* :mod:`repro.analysis` — table/figure builders and the goal audits.
+
+Quickstart::
+
+    from repro import quick_study
+
+    study = quick_study(blocks_per_month=60)
+    print(study.table1)
+"""
+
+from dataclasses import dataclass
+
+from repro.analysis import build_table1
+from repro.core import MevDataset, MevInspector, PriceService
+from repro.sim import ScenarioConfig, SimulationResult, World, \
+    build_paper_scenario
+
+__version__ = "1.0.0"
+
+
+@dataclass
+class Study:
+    """A simulated study window plus its measured MEV dataset."""
+
+    result: SimulationResult
+    dataset: MevDataset
+
+    @property
+    def table1(self):
+        return build_table1(self.dataset)
+
+
+def run_inspector(result: SimulationResult) -> MevDataset:
+    """Run the full measurement pipeline over a simulation result."""
+    inspector = MevInspector(result.node, PriceService(result.oracle),
+                             result.flashbots_api, result.observer)
+    return inspector.run()
+
+
+def quick_study(blocks_per_month: int = 60, seed: int = 7,
+                **config_overrides) -> Study:
+    """Simulate the study window and measure it, in one call."""
+    config = ScenarioConfig(blocks_per_month=blocks_per_month, seed=seed,
+                            **config_overrides)
+    world = build_paper_scenario(config)
+    result = world.run()
+    return Study(result=result, dataset=run_inspector(result))
+
+
+__all__ = ["ScenarioConfig", "SimulationResult", "Study", "World",
+           "__version__", "build_paper_scenario", "quick_study",
+           "run_inspector"]

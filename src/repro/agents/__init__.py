@@ -1,0 +1,52 @@
+"""Agent populations: miners, searchers, traders, borrowers, keepers."""
+
+from repro.agents.fees import FeeModel
+from repro.agents.miner import (
+    MinerProfile,
+    MinerSet,
+    PayoutSchedule,
+    zipf_hashpowers,
+)
+from repro.agents.searcher import (
+    CHANNEL_FLASHBOTS,
+    CHANNEL_PRIVATE,
+    CHANNEL_PUBLIC,
+    STRATEGY_ARBITRAGE,
+    STRATEGY_LIQUIDATION,
+    STRATEGY_OTHER,
+    STRATEGY_SANDWICH,
+    ArbitrageSearcher,
+    ChannelPolicy,
+    GroundTruth,
+    LiquidationSearcher,
+    MarketView,
+    OtherBundleUser,
+    SandwichSearcher,
+    Searcher,
+    Submission,
+)
+from repro.agents.pga import (
+    AuctionOutcome,
+    MechanismComparison,
+    PgaBidder,
+    compare_mechanisms,
+    run_open_pga,
+    run_sealed_bid,
+)
+from repro.agents.trader import (
+    BorrowerPopulation,
+    OracleKeeper,
+    TraderPopulation,
+)
+
+__all__ = [
+    "AuctionOutcome", "MechanismComparison", "PgaBidder",
+    "compare_mechanisms", "run_open_pga", "run_sealed_bid",
+    "ArbitrageSearcher", "BorrowerPopulation", "CHANNEL_FLASHBOTS",
+    "CHANNEL_PRIVATE", "CHANNEL_PUBLIC", "ChannelPolicy", "FeeModel",
+    "GroundTruth", "LiquidationSearcher", "MarketView", "MinerProfile",
+    "MinerSet", "OracleKeeper", "OtherBundleUser", "PayoutSchedule",
+    "STRATEGY_ARBITRAGE", "STRATEGY_LIQUIDATION", "STRATEGY_OTHER",
+    "STRATEGY_SANDWICH", "SandwichSearcher", "Searcher", "Submission",
+    "TraderPopulation", "zipf_hashpowers",
+]

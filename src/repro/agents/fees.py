@@ -1,0 +1,74 @@
+"""Fee-field construction for both fee-market epochs.
+
+Agents decide a per-gas *price*; this module turns it into the right
+transaction fields for the current epoch — a legacy ``gas_price`` before
+the London fork, an EIP-1559 (max fee, priority fee) pair after it — so
+agent strategy code never branches on the fork.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.chain.transaction import EIP1559, LEGACY
+from repro.chain.types import GWEI
+from repro.flashbots.auction import pga_gas_price
+
+
+@dataclass(frozen=True)
+class FeeModel:
+    """Per-block fee context handed to agents.
+
+    ``prevailing`` is the gas price an ordinary user currently bids (from
+    the demand model); ``base_fee`` is the protocol base fee (0 before
+    London).
+    """
+
+    base_fee: int
+    london_active: bool
+    prevailing: int
+
+    def fields_for_price(self, price_per_gas: int) -> Dict[str, Any]:
+        """Transaction kwargs paying ``price_per_gas`` in this epoch."""
+        price = max(1, price_per_gas)
+        if not self.london_active:
+            return {"tx_type": LEGACY, "gas_price": price}
+        max_fee = max(price, self.base_fee + 1)
+        priority = max(1, max_fee - self.base_fee)
+        return {"tx_type": EIP1559, "max_fee_per_gas": max_fee,
+                "max_priority_fee_per_gas": priority}
+
+    def user_fields(self, rng: random.Random,
+                    urgency: float = 1.0) -> Dict[str, Any]:
+        """An ordinary user's bid around the prevailing level."""
+        jitter = rng.uniform(0.85, 1.25) * urgency
+        price = max(self.base_fee + GWEI, int(self.prevailing * jitter))
+        return self.fields_for_price(price)
+
+    def bundle_fields(self) -> Dict[str, Any]:
+        """Minimal-fee fields for Flashbots bundle legs.
+
+        Bundle transactions pay the miner via coinbase transfer, not gas,
+        so they bid just above the floor (the real-world pattern).
+        """
+        return self.fields_for_price(self.base_fee + GWEI)
+
+    def frontrun_fields(self, rng: random.Random, victim_price: int,
+                        expected_profit: int, gas_limit: int,
+                        competition: int = 3) -> Dict[str, Any]:
+        """A public PGA frontrun bid: above the victim, scaled to profit."""
+        bid = pga_gas_price(rng, victim_price + GWEI, expected_profit,
+                            gas_limit, competition)
+        return self.fields_for_price(bid)
+
+    def backrun_fields(self, victim_price: int) -> Dict[str, Any]:
+        """A public backrun bid: just below the victim's price."""
+        floor = self.base_fee + 1 if self.london_active else 1
+        return self.fields_for_price(max(floor, victim_price - 1))
+
+    def effective_price(self, tx) -> int:
+        """The per-gas price a transaction pays under this block's fee."""
+        return tx.effective_gas_price(self.base_fee
+                                      if self.london_active else 0)

@@ -1,0 +1,185 @@
+"""Priority gas auctions: the pre-Flashbots bidding game, playable.
+
+Daian et al. (whom the paper builds on) observed MEV competition as
+*priority gas auctions* — open, iterative gas-price escalation in the
+public mempool.  Flashbots replaced this with a sealed-bid, one-shot
+auction.  Section 8.2 of the paper argues the switch is what moved the
+surplus from searchers to miners:
+
+* an **open ascending auction** ends near the *second-highest*
+  valuation (the winner stops bidding once rivals drop out), so the
+  strongest searcher keeps the gap between the top two valuations;
+* a **sealed-bid auction** with no feedback pushes every searcher to
+  bid close to its *own* valuation, handing nearly all surplus to the
+  miner.
+
+This module implements both mechanisms over the same bidder population
+so the difference can be measured rather than asserted (see
+``benchmarks/test_ablation_auction_mechanisms.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.flashbots.auction import sealed_bid_tip_fraction
+
+
+@dataclass(frozen=True)
+class PgaBidder:
+    """One searcher competing for a single MEV opportunity.
+
+    ``valuation_wei`` is the gross profit the opportunity is worth to
+    this bidder; ``margin`` is the fraction of that valuation it insists
+    on keeping (its drop-out threshold).
+    """
+
+    name: str
+    valuation_wei: int
+    margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.valuation_wei <= 0:
+            raise ValueError("valuation must be positive")
+        if not 0.0 <= self.margin < 1.0:
+            raise ValueError("margin must be within [0, 1)")
+
+    @property
+    def max_fee_wei(self) -> int:
+        """The largest total fee this bidder will ever pay."""
+        return int(self.valuation_wei * (1.0 - self.margin))
+
+
+@dataclass
+class AuctionOutcome:
+    """Result of one auction over one opportunity."""
+
+    mechanism: str
+    winner: Optional[str]
+    fee_paid_wei: int
+    winner_profit_wei: int
+    rounds: int
+    bid_history: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def miner_share(self) -> float:
+        """Fraction of the opportunity's value captured by the miner."""
+        total = self.fee_paid_wei + self.winner_profit_wei
+        return self.fee_paid_wei / total if total else 0.0
+
+
+def run_open_pga(bidders: Sequence[PgaBidder], gas_limit: int = 150_000,
+                 start_fee_wei: int = 10**15, bump_percent: int = 12,
+                 max_rounds: int = 200) -> AuctionOutcome:
+    """An open ascending (English) priority gas auction.
+
+    Bidders take turns topping the standing bid by the mempool's minimum
+    replacement bump until only one can still profit.  The winner pays
+    its final standing bid — roughly the runner-up's drop-out point plus
+    one bump, as observed in real PGAs.
+    """
+    if not bidders:
+        raise ValueError("an auction needs at least one bidder")
+    if bump_percent <= 0:
+        raise ValueError("bump must be positive")
+    active = sorted(bidders, key=lambda b: -b.max_fee_wei)
+    standing_fee = min(start_fee_wei, active[0].max_fee_wei)
+    leader = active[0]
+    history: List[Tuple[str, int]] = [(leader.name, standing_fee)]
+    rounds = 1
+    while rounds < max_rounds:
+        next_fee = standing_fee * (100 + bump_percent) // 100 + 1
+        challenger = next((b for b in active
+                           if b is not leader
+                           and b.max_fee_wei >= next_fee), None)
+        if challenger is None:
+            break
+        leader, standing_fee = challenger, next_fee
+        history.append((leader.name, standing_fee))
+        rounds += 1
+        # The displaced leader may re-raise if it still profits.
+        re_raise = standing_fee * (100 + bump_percent) // 100 + 1
+        rebidder = next((b for b in active
+                         if b is not leader
+                         and b.max_fee_wei >= re_raise), None)
+        if rebidder is None:
+            break
+        leader, standing_fee = rebidder, re_raise
+        history.append((leader.name, standing_fee))
+        rounds += 1
+    return AuctionOutcome(
+        mechanism="open-pga", winner=leader.name,
+        fee_paid_wei=standing_fee,
+        winner_profit_wei=leader.valuation_wei - standing_fee,
+        rounds=rounds, bid_history=history)
+
+
+def run_sealed_bid(bidders: Sequence[PgaBidder], rng: random.Random,
+                   ) -> AuctionOutcome:
+    """The Flashbots sealed-bid auction over the same opportunity.
+
+    Each bidder independently commits a coinbase tip — a large fraction
+    of its own valuation, scaled up by perceived competition — and the
+    highest tip wins.  No feedback, no price discovery: the winner pays
+    its own bid.
+    """
+    if not bidders:
+        raise ValueError("an auction needs at least one bidder")
+    competition = len(bidders) - 1
+    bids: List[Tuple[PgaBidder, int]] = []
+    for bidder in bidders:
+        fraction = sealed_bid_tip_fraction(rng, competition)
+        tip = min(int(bidder.valuation_wei * fraction),
+                  bidder.max_fee_wei)
+        bids.append((bidder, tip))
+    winner, tip = max(bids, key=lambda item: item[1])
+    return AuctionOutcome(
+        mechanism="sealed-bid", winner=winner.name, fee_paid_wei=tip,
+        winner_profit_wei=winner.valuation_wei - tip, rounds=1,
+        bid_history=[(b.name, t) for b, t in bids])
+
+
+@dataclass
+class MechanismComparison:
+    """Averages over many opportunities, one row per mechanism."""
+
+    opportunities: int
+    pga_miner_share: float
+    sealed_miner_share: float
+    pga_searcher_profit_wei: int
+    sealed_searcher_profit_wei: int
+
+
+def compare_mechanisms(rng: random.Random, opportunities: int = 200,
+                       bidders_per_opportunity: int = 4,
+                       mean_valuation_eth: float = 0.3,
+                       ) -> MechanismComparison:
+    """Run both auctions over the same sampled opportunity stream."""
+    if opportunities <= 0:
+        raise ValueError("need at least one opportunity")
+    pga_fees = sealed_fees = 0
+    pga_profits = sealed_profits = 0
+    for index in range(opportunities):
+        bidders = [
+            PgaBidder(
+                name=f"bidder-{i}",
+                valuation_wei=max(10**15, int(
+                    rng.lognormvariate(0, 0.6) * mean_valuation_eth
+                    * 10**18)),
+                margin=rng.uniform(0.02, 0.10))
+            for i in range(bidders_per_opportunity)]
+        pga = run_open_pga(bidders)
+        sealed = run_sealed_bid(bidders, rng)
+        pga_fees += pga.fee_paid_wei
+        pga_profits += pga.winner_profit_wei
+        sealed_fees += sealed.fee_paid_wei
+        sealed_profits += sealed.winner_profit_wei
+    return MechanismComparison(
+        opportunities=opportunities,
+        pga_miner_share=pga_fees / (pga_fees + pga_profits),
+        sealed_miner_share=sealed_fees / (sealed_fees
+                                          + sealed_profits),
+        pga_searcher_profit_wei=pga_profits // opportunities,
+        sealed_searcher_profit_wei=sealed_profits // opportunities)

@@ -1,0 +1,68 @@
+"""Analysis layer: tables, figure series, goal audits, rendering."""
+
+from repro.analysis.ablation import (
+    RandomOrderingReport,
+    random_ordering_ablation,
+)
+from repro.analysis.figures import (
+    BundleStats,
+    Fig6Point,
+    Fig7Series,
+    Fig8Stats,
+    Fig9Distribution,
+    ProfitStats,
+    bundle_stats,
+    fig3_flashbots_block_ratio,
+    fig4_hashrate_share,
+    fig5_miner_distribution,
+    fig6_gas_and_sandwiches,
+    fig7_mev_types,
+    fig8_profit_distribution,
+    fig9_private_distribution,
+    monthly_average_gas_gwei,
+)
+from repro.analysis.goals import (
+    DemocratizationReport,
+    NegativeProfitReport,
+    ProfitDistributionReport,
+    democratization,
+    negative_profits,
+    profit_distribution,
+)
+from repro.analysis.report import percent, render_kv, render_series, \
+    render_table
+from repro.analysis.sensitivity import (
+    ObservationSweepPoint,
+    TipSweepPoint,
+    observation_rate_sweep,
+    tip_fraction_sweep,
+)
+from repro.analysis.stats import (
+    estimate_hashrate_share,
+    infer_miner_accounts,
+    mean_median_std,
+    monthly_block_miners,
+    monthly_flashbots_miners,
+    pearson_correlation,
+    profits_eth,
+)
+from repro.analysis.tables import Table1Row, build_table1
+
+__all__ = [
+    "BundleStats", "DemocratizationReport", "Fig6Point", "Fig7Series",
+    "ObservationSweepPoint", "RandomOrderingReport", "TipSweepPoint",
+    "observation_rate_sweep", "random_ordering_ablation",
+    "tip_fraction_sweep",
+    "Fig8Stats", "Fig9Distribution", "NegativeProfitReport",
+    "ProfitDistributionReport", "ProfitStats", "Table1Row",
+    "build_table1", "bundle_stats", "democratization",
+    "estimate_hashrate_share", "fig3_flashbots_block_ratio",
+    "fig4_hashrate_share", "fig5_miner_distribution",
+    "fig6_gas_and_sandwiches", "fig7_mev_types",
+    "fig8_profit_distribution", "fig9_private_distribution",
+    "infer_miner_accounts", "mean_median_std", "monthly_average_gas_gwei",
+    "monthly_block_miners", "monthly_flashbots_miners",
+    "negative_profits", "pearson_correlation", "percent",
+    "profit_distribution", "profits_eth",
+    "render_kv", "render_series", "render_table",
+]

@@ -1,0 +1,349 @@
+"""Data-series builders for every figure in the paper's evaluation.
+
+Each ``figN_*`` function returns plain Python data (lists of tuples or
+dataclasses) that the benchmark harness renders; nothing here reads
+simulator ground truth — only the archive node, the Flashbots API, the
+pending-transaction observer and the detected-MEV dataset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.chain.node import ArchiveNode
+from repro.chain.types import Address, to_gwei
+from repro.core.datasets import (
+    MevDataset,
+    PRIVACY_FLASHBOTS,
+    PRIVACY_PRIVATE,
+    PRIVACY_PUBLIC,
+)
+from repro.analysis.stats import (
+    estimate_hashrate_share,
+    mean_median_std,
+    monthly_flashbots_miners,
+    profits_eth,
+)
+from repro.flashbots.api import FlashbotsBlocksApi
+from repro.sim.calendar import StudyCalendar
+
+MEV_TYPES = ("sandwich", "arbitrage", "liquidation", "other")
+
+
+# Figure 3 ---------------------------------------------------------------
+
+
+def fig3_flashbots_block_ratio(node: ArchiveNode,
+                               api: FlashbotsBlocksApi,
+                               calendar: StudyCalendar,
+                               ) -> List[Tuple[str, float]]:
+    """Monthly fraction of all blocks that are Flashbots blocks."""
+    totals: Counter = Counter()
+    flashbots: Counter = Counter()
+    for block in node.iter_blocks():
+        month = calendar.month_of(block.number)
+        totals[month] += 1
+        if api.is_flashbots_block(block.number):
+            flashbots[month] += 1
+    return [(month, (flashbots[month] / totals[month])
+             if totals[month] else 0.0)
+            for month in calendar.months]
+
+
+# Figure 4 ---------------------------------------------------------------
+
+
+def fig4_hashrate_share(node: ArchiveNode, api: FlashbotsBlocksApi,
+                        calendar: StudyCalendar,
+                        ) -> List[Tuple[str, float]]:
+    """Estimated Flashbots hashrate share per month (paper estimator)."""
+    return estimate_hashrate_share(node, api, calendar)
+
+
+# Figure 5 ---------------------------------------------------------------
+
+
+def fig5_miner_distribution(api: FlashbotsBlocksApi,
+                            calendar: StudyCalendar,
+                            thresholds: Optional[Sequence[int]] = None,
+                            ) -> Dict[int, List[Tuple[str, int]]]:
+    """#miners with ≥n Flashbots blocks per month, for log-spaced n.
+
+    Thresholds default to a log ladder scaled to the compressed month
+    length (the paper uses 10^0..10^4 against ~190k blocks/month).
+    """
+    if thresholds is None:
+        bpm = calendar.blocks_per_month
+        thresholds = sorted({1, max(2, bpm // 100), max(3, bpm // 30),
+                             max(4, bpm // 10), max(5, bpm // 3)})
+    per_month = monthly_flashbots_miners(api, calendar)
+    series: Dict[int, List[Tuple[str, int]]] = {}
+    for threshold in thresholds:
+        series[threshold] = [
+            (month,
+             sum(1 for count in per_month.get(month, Counter()).values()
+                 if count >= threshold))
+            for month in calendar.months]
+    return series
+
+
+# Figure 6 ---------------------------------------------------------------
+
+
+@dataclass
+class Fig6Point:
+    """One synthetic day of Figure 6's two panels."""
+
+    day: int
+    month: str
+    avg_gas_price_gwei: float
+    flashbots_sandwiches: int
+    non_flashbots_sandwiches: int
+
+
+def fig6_gas_and_sandwiches(node: ArchiveNode, dataset: MevDataset,
+                            calendar: StudyCalendar,
+                            days_per_month: int = 30,
+                            ) -> List[Fig6Point]:
+    """Daily average gas price vs sandwich counts (both panels)."""
+    gas_sum: Dict[int, int] = defaultdict(int)
+    gas_n: Dict[int, int] = defaultdict(int)
+    day_month: Dict[int, str] = {}
+    for block in node.iter_blocks():
+        day = calendar.day_of(block.number, days_per_month)
+        day_month[day] = calendar.month_of(block.number)
+        for receipt in block.receipts:
+            gas_sum[day] += receipt.effective_gas_price
+            gas_n[day] += 1
+    fb_counts: Dict[int, int] = defaultdict(int)
+    non_fb_counts: Dict[int, int] = defaultdict(int)
+    for record in dataset.sandwiches:
+        day = calendar.day_of(record.block_number, days_per_month)
+        if record.via_flashbots:
+            fb_counts[day] += 1
+        else:
+            non_fb_counts[day] += 1
+    points: List[Fig6Point] = []
+    for day in sorted(day_month):
+        average = (gas_sum[day] / gas_n[day]) if gas_n[day] else 0.0
+        points.append(Fig6Point(
+            day=day, month=day_month[day],
+            avg_gas_price_gwei=to_gwei(int(average)),
+            flashbots_sandwiches=fb_counts.get(day, 0),
+            non_flashbots_sandwiches=non_fb_counts.get(day, 0)))
+    return points
+
+
+def monthly_average_gas_gwei(points: Sequence[Fig6Point],
+                             ) -> List[Tuple[str, float]]:
+    """Collapse Fig6 daily points to monthly averages (shape checks)."""
+    sums: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    order: List[str] = []
+    for point in points:
+        if point.month not in sums:
+            order.append(point.month)
+        sums[point.month] += point.avg_gas_price_gwei
+        counts[point.month] += 1
+    return [(month, sums[month] / counts[month]) for month in order]
+
+
+# Figure 7 ---------------------------------------------------------------
+
+
+@dataclass
+class Fig7Series:
+    """Monthly Flashbots usage split by MEV type (both subfigures)."""
+
+    searchers: Dict[str, List[Tuple[str, int]]] = field(
+        default_factory=dict)
+    transactions: Dict[str, List[Tuple[str, int]]] = field(
+        default_factory=dict)
+
+
+def fig7_mev_types(dataset: MevDataset, api: FlashbotsBlocksApi,
+                   node: ArchiveNode, calendar: StudyCalendar,
+                   ) -> Fig7Series:
+    """Searcher and transaction counts per MEV type per month, Flashbots
+    only.  ``other`` = Flashbots transactions that are no detected MEV."""
+    mev_tx_hashes: Set[str] = set()
+    month_type_accounts: Dict[Tuple[str, str], Set[Address]] = \
+        defaultdict(set)
+    month_type_txs: Counter = Counter()
+
+    def note(kind: str, block_number: int, account: Address,
+             tx_hashes: Sequence[str]) -> None:
+        month = calendar.month_of(block_number)
+        month_type_accounts[(month, kind)].add(account)
+        month_type_txs[(month, kind)] += len(tx_hashes)
+        mev_tx_hashes.update(tx_hashes)
+
+    for record in dataset.sandwiches:
+        if record.via_flashbots:
+            note("sandwich", record.block_number, record.extractor,
+                 [record.front_tx, record.back_tx])
+    for record in dataset.arbitrages:
+        if record.via_flashbots:
+            note("arbitrage", record.block_number, record.extractor,
+                 [record.tx_hash])
+    for record in dataset.liquidations:
+        if record.via_flashbots:
+            note("liquidation", record.block_number, record.liquidator,
+                 [record.tx_hash])
+
+    # "other": Flashbots-labelled transactions not tied to detected MEV.
+    for api_block in api.all_blocks():
+        month = calendar.month_of(api_block.block_number)
+        for row in api_block.transactions:
+            if row.tx_hash in mev_tx_hashes:
+                continue
+            tx = node.get_transaction(row.tx_hash)
+            sender = tx.sender if tx is not None else "unknown"
+            month_type_accounts[(month, "other")].add(sender)
+            month_type_txs[(month, "other")] += 1
+
+    series = Fig7Series()
+    for kind in MEV_TYPES:
+        series.searchers[kind] = [
+            (month, len(month_type_accounts.get((month, kind), ())))
+            for month in calendar.months]
+        series.transactions[kind] = [
+            (month, month_type_txs.get((month, kind), 0))
+            for month in calendar.months]
+    return series
+
+
+# Figure 8 ---------------------------------------------------------------
+
+
+@dataclass
+class ProfitStats:
+    """Summary of one subpopulation's sandwich profits (ETH)."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+
+
+@dataclass
+class Fig8Stats:
+    """Per-sandwich income for each subpopulation × channel.
+
+    Figure 8a measures the *miner's* take from each sandwich — the gas
+    fees and coinbase tips the attacker's two transactions paid into the
+    block — with vs without Flashbots.  Figure 8b measures the
+    *extractor's* (searcher's) net profit.  The paper's headline follows:
+    sealed-bid tipping hands miners ≈2.6× their PGA-era income while
+    searchers keep far less than they did pre-Flashbots.
+    """
+
+    miners_flashbots: ProfitStats
+    miners_non_flashbots: ProfitStats
+    searchers_flashbots: ProfitStats
+    searchers_non_flashbots: ProfitStats
+
+
+def _profit_stats(values: List[float]) -> ProfitStats:
+    mean, median, std = mean_median_std(values)
+    return ProfitStats(count=len(values), mean=mean, median=median,
+                       std=std)
+
+
+def fig8_profit_distribution(dataset: MevDataset) -> Fig8Stats:
+    """Miner-side and searcher-side sandwich income, by channel."""
+    flashbots = [r for r in dataset.sandwiches if r.via_flashbots]
+    non_flashbots = [r for r in dataset.sandwiches
+                     if not r.via_flashbots]
+
+    def miner_take(records: List) -> List[float]:
+        return [r.miner_revenue_wei / 10**18 for r in records]
+
+    return Fig8Stats(
+        miners_flashbots=_profit_stats(miner_take(flashbots)),
+        miners_non_flashbots=_profit_stats(miner_take(non_flashbots)),
+        searchers_flashbots=_profit_stats(
+            profits_eth(dataset.sandwiches, via_flashbots=True)),
+        searchers_non_flashbots=_profit_stats(
+            profits_eth(dataset.sandwiches, via_flashbots=False)))
+
+
+# Figure 9 ---------------------------------------------------------------
+
+
+@dataclass
+class Fig9Distribution:
+    """Three-way split of in-window sandwiches (counts and shares)."""
+
+    flashbots: int
+    private: int
+    public: int
+
+    @property
+    def total(self) -> int:
+        return self.flashbots + self.private + self.public
+
+    def share(self, label: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return getattr(self, label) / self.total
+
+
+def fig9_private_distribution(dataset: MevDataset) -> Fig9Distribution:
+    """Distribution of sandwich privacy inside the observation window."""
+    counter = Counter(record.privacy for record in dataset.sandwiches
+                      if record.privacy is not None)
+    return Fig9Distribution(
+        flashbots=counter.get(PRIVACY_FLASHBOTS, 0),
+        private=counter.get(PRIVACY_PRIVATE, 0),
+        public=counter.get(PRIVACY_PUBLIC, 0))
+
+
+# Section 4.1 bundle statistics ------------------------------------------
+
+
+@dataclass
+class BundleStats:
+    """The §4.1 numbers: bundle and transaction shape of the FB dataset."""
+
+    total_blocks: int
+    total_bundles: int
+    bundles_per_block_mean: float
+    bundles_per_block_median: float
+    bundles_per_block_max: int
+    txs_per_bundle_mean: float
+    txs_per_bundle_median: float
+    largest_bundle_txs: int
+    single_tx_bundle_share: float
+    type_shares: Dict[str, float] = field(default_factory=dict)
+
+
+def bundle_stats(api: FlashbotsBlocksApi) -> BundleStats:
+    """Compute §4.1's dataset-shape statistics from the public API."""
+    per_block: List[int] = []
+    bundle_sizes: Counter = Counter()  # bundle_id → tx count
+    bundle_types: Dict[str, str] = {}
+    for api_block in api.all_blocks():
+        per_block.append(api_block.bundle_count)
+        for row in api_block.transactions:
+            bundle_sizes[row.bundle_id] += 1
+            bundle_types[row.bundle_id] = row.bundle_type
+    sizes = list(bundle_sizes.values())
+    type_counter = Counter(bundle_types.values())
+    total_bundles = len(sizes)
+    mean_b, median_b, _ = mean_median_std(per_block)
+    mean_t, median_t, _ = mean_median_std(sizes)
+    return BundleStats(
+        total_blocks=len(per_block), total_bundles=total_bundles,
+        bundles_per_block_mean=mean_b,
+        bundles_per_block_median=median_b,
+        bundles_per_block_max=max(per_block) if per_block else 0,
+        txs_per_bundle_mean=mean_t, txs_per_bundle_median=median_t,
+        largest_bundle_txs=max(sizes) if sizes else 0,
+        single_tx_bundle_share=(sizes.count(1) / total_bundles
+                                if total_bundles else 0.0),
+        type_shares={kind: count / total_bundles
+                     for kind, count in type_counter.items()}
+        if total_bundles else {})

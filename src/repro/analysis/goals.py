@@ -1,0 +1,107 @@
+"""The three-goal audit (paper Section 5): profit split, losses, reach."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.figures import Fig8Stats, fig8_profit_distribution
+from repro.chain.types import Address, to_eth
+from repro.core.datasets import MevDataset
+from repro.flashbots.api import FlashbotsBlocksApi
+from repro.sim.calendar import StudyCalendar
+
+
+@dataclass
+class ProfitDistributionReport:
+    """Goal 3 audit: who captures MEV profit, with vs without Flashbots."""
+
+    stats: Fig8Stats
+    miner_uplift: float      # miner FB mean / miner non-FB mean
+    searcher_drop: float     # 1 − searcher FB mean / searcher non-FB mean
+
+    @property
+    def miners_gain_with_flashbots(self) -> bool:
+        return self.miner_uplift > 1.0
+
+    @property
+    def searchers_lose_with_flashbots(self) -> bool:
+        return self.searcher_drop > 0.0
+
+
+def profit_distribution(dataset: MevDataset,
+                        ) -> ProfitDistributionReport:
+    """Compute the Figure-8 statistics and the headline ratios."""
+    stats = fig8_profit_distribution(dataset)
+    miner_uplift = (stats.miners_flashbots.mean
+                    / stats.miners_non_flashbots.mean
+                    if stats.miners_non_flashbots.mean > 0 else 0.0)
+    searcher_drop = (1.0 - stats.searchers_flashbots.mean
+                     / stats.searchers_non_flashbots.mean
+                     if stats.searchers_non_flashbots.mean > 0 else 0.0)
+    return ProfitDistributionReport(stats=stats,
+                                    miner_uplift=miner_uplift,
+                                    searcher_drop=searcher_drop)
+
+
+@dataclass
+class NegativeProfitReport:
+    """Section 5.2: unprofitable Flashbots extractions."""
+
+    flashbots_sandwiches: int
+    unprofitable: int
+    loss_total_eth: float
+
+    @property
+    def unprofitable_share(self) -> float:
+        if self.flashbots_sandwiches == 0:
+            return 0.0
+        return self.unprofitable / self.flashbots_sandwiches
+
+
+def negative_profits(dataset: MevDataset) -> NegativeProfitReport:
+    """Count Flashbots sandwiches that lost money (faulty contracts)."""
+    flashbots = [r for r in dataset.sandwiches if r.via_flashbots]
+    losers = [r for r in flashbots if r.profit_wei < 0]
+    loss_total = -sum(r.profit_wei for r in losers)
+    return NegativeProfitReport(
+        flashbots_sandwiches=len(flashbots), unprofitable=len(losers),
+        loss_total_eth=to_eth(loss_total))
+
+
+@dataclass
+class DemocratizationReport:
+    """Goal 2 audit: how concentrated is Flashbots participation."""
+
+    max_miners_in_a_month: int
+    monthly_miner_counts: List[Tuple[str, int]] = field(
+        default_factory=list)
+    top2_block_share: float = 0.0
+    distinct_fb_searcher_accounts: int = 0
+
+
+def democratization(api: FlashbotsBlocksApi, calendar: StudyCalendar,
+                    node=None) -> DemocratizationReport:
+    """Miner concentration within the Flashbots block dataset."""
+    per_month: Dict[str, Set[Address]] = {}
+    miner_blocks: Counter = Counter()
+    searcher_accounts: Set[Address] = set()
+    for api_block in api.all_blocks():
+        month = calendar.month_of(api_block.block_number)
+        per_month.setdefault(month, set()).add(api_block.miner)
+        miner_blocks[api_block.miner] += 1
+        if node is not None:
+            for row in api_block.transactions:
+                tx = node.get_transaction(row.tx_hash)
+                if tx is not None:
+                    searcher_accounts.add(tx.sender)
+    monthly = [(month, len(per_month.get(month, ())))
+               for month in calendar.months]
+    total_blocks = sum(miner_blocks.values())
+    top2 = sum(count for _, count in miner_blocks.most_common(2))
+    return DemocratizationReport(
+        max_miners_in_a_month=max((n for _, n in monthly), default=0),
+        monthly_miner_counts=monthly,
+        top2_block_share=top2 / total_blocks if total_blocks else 0.0,
+        distinct_fb_searcher_accounts=len(searcher_accounts))

@@ -1,0 +1,52 @@
+"""ASCII rendering for benchmark output: tables and bar series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """A fixed-width ASCII table with right-aligned numeric columns."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) if i else
+                          cell.ljust(widths[i])
+                          for i, cell in enumerate(cells))
+
+    lines = [fmt(list(headers)),
+             "-+-".join("-" * width for width in widths)]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: Sequence[Tuple[str, float]],
+                  width: int = 40, unit: str = "") -> str:
+    """A horizontal bar chart over labelled points (monthly series)."""
+    lines = [title]
+    if not series:
+        return title + "\n  (empty)"
+    peak = max(value for _, value in series) or 1.0
+    for label, value in series:
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"  {label:>9} |{bar:<{width}}| "
+                     f"{value:,.3f}{unit}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+def render_kv(title: str, pairs: Sequence[Tuple[str, object]]) -> str:
+    """A labelled key/value block."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title]
+    lines.extend(f"  {key.ljust(width)} : {value}" for key, value in
+                 pairs)
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Statistical building blocks shared by the figure/table builders."""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.chain.node import ArchiveNode
+from repro.chain.types import Address
+from repro.core.datasets import MevDataset
+from repro.flashbots.api import FlashbotsBlocksApi
+from repro.sim.calendar import StudyCalendar
+
+
+def monthly_block_miners(node: ArchiveNode, calendar: StudyCalendar,
+                         ) -> Dict[str, Counter]:
+    """month → Counter(miner → blocks mined that month)."""
+    per_month: Dict[str, Counter] = defaultdict(Counter)
+    for block in node.iter_blocks():
+        per_month[calendar.month_of(block.number)][block.miner] += 1
+    return dict(per_month)
+
+
+def monthly_flashbots_miners(api: FlashbotsBlocksApi,
+                             calendar: StudyCalendar,
+                             ) -> Dict[str, Counter]:
+    """month → Counter(miner → Flashbots blocks mined that month)."""
+    per_month: Dict[str, Counter] = defaultdict(Counter)
+    for api_block in api.all_blocks():
+        month = calendar.month_of(api_block.block_number)
+        per_month[month][api_block.miner] += 1
+    return dict(per_month)
+
+
+def estimate_hashrate_share(node: ArchiveNode, api: FlashbotsBlocksApi,
+                            calendar: StudyCalendar,
+                            ) -> List[Tuple[str, float]]:
+    """The paper's Figure-4 estimator, month by month.
+
+    A miner counts as a Flashbots miner in a month iff it mined at least
+    one Flashbots block that month; its hashpower is estimated as its
+    share of *all* blocks mined that month.  The Flashbots hashrate share
+    is the summed share of Flashbots miners.
+    """
+    all_miners = monthly_block_miners(node, calendar)
+    fb_miners = monthly_flashbots_miners(api, calendar)
+    series: List[Tuple[str, float]] = []
+    for month in calendar.months:
+        blocks = all_miners.get(month)
+        if not blocks:
+            series.append((month, 0.0))
+            continue
+        members = set(fb_miners.get(month, ()))
+        total = sum(blocks.values())
+        enrolled = sum(count for miner, count in blocks.items()
+                       if miner in members)
+        series.append((month, enrolled / total))
+    return series
+
+
+def miners_with_at_least(counter: Counter, threshold: int) -> int:
+    return sum(1 for count in counter.values() if count >= threshold)
+
+
+def mean_median_std(values: Sequence[float],
+                    ) -> Tuple[float, float, float]:
+    """(mean, median, population-std); zeros for empty input."""
+    if not values:
+        return 0.0, 0.0, 0.0
+    mean = statistics.fmean(values)
+    median = statistics.median(values)
+    std = statistics.pstdev(values) if len(values) > 1 else 0.0
+    return mean, median, std
+
+
+def infer_miner_accounts(dataset: MevDataset, min_count: int = 5,
+                         dominance: float = 0.8) -> Set[Address]:
+    """Extractor accounts that are miner-affiliated, inferred from chain
+    data alone: an account whose sandwiches land overwhelmingly in one
+    miner's blocks is extracting through (or as) that miner.
+
+    This is the reproduction's analogue of the paper's Etherscan labels
+    (which tie accounts to Flexpool/F2Pool): no ground truth involved.
+    """
+    per_account: Dict[Address, Counter] = defaultdict(Counter)
+    for record in dataset.sandwiches:
+        per_account[record.extractor][record.miner] += 1
+    miners: Set[Address] = set()
+    for account, counter in per_account.items():
+        total = sum(counter.values())
+        if total < min_count:
+            continue
+        top_share = counter.most_common(1)[0][1] / total
+        if top_share >= dominance:
+            miners.add(account)
+    return miners
+
+
+def pearson_correlation(xs: Sequence[float],
+                        ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate inputs).
+
+    Figure 6's claim is a *correlation*: the gas-price collapse lines up
+    with sandwich activity moving into Flashbots, not with the forks.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("series must have equal length")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5
+
+
+def profits_eth(records: Iterable, via_flashbots: Optional[bool] = None,
+                ) -> List[float]:
+    """Profit series in ETH with an optional Flashbots filter."""
+    out: List[float] = []
+    for record in records:
+        if via_flashbots is not None and \
+                record.via_flashbots != via_flashbots:
+            continue
+        out.append(record.profit_wei / 10**18)
+    return out

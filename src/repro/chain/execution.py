@@ -1,0 +1,108 @@
+"""Transaction execution: context, outcomes, and revert semantics.
+
+The block builder creates one :class:`ExecutionContext` per transaction and
+hands it to the transaction's intent.  The context exposes world state, the
+contract registry, the price oracle view, and sinks for event logs and
+coinbase payments.  Raising :class:`Revert` anywhere inside an intent rolls
+back all state changes made by that transaction (the miner still collects
+gas, as on mainnet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.chain.events import EventLog
+from repro.chain.state import InsufficientBalance, WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import Address
+
+
+class Revert(Exception):
+    """EVM-style revert: undo the transaction's state changes."""
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or "execution reverted")
+        self.reason = reason
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of running one transaction's intent."""
+
+    success: bool
+    gas_used: int
+    logs: List[EventLog] = field(default_factory=list)
+    error: Optional[str] = None
+    coinbase_transfer: int = 0
+    return_data: Any = None
+
+
+class ExecutionContext:
+    """Per-transaction execution environment handed to intents."""
+
+    def __init__(self, state: WorldState, tx: Transaction,
+                 block_number: int, coinbase: Address,
+                 contracts: Optional[Dict[Address, Any]] = None) -> None:
+        self.state = state
+        self.tx = tx
+        self.block_number = block_number
+        self.coinbase = coinbase
+        self.contracts: Dict[Address, Any] = contracts or {}
+        self.logs: List[EventLog] = []
+        self.coinbase_transfer = 0
+
+    # Log and payment sinks --------------------------------------------------
+
+    def emit(self, log: EventLog) -> None:
+        """Record an event log (stamped with coordinates at inclusion)."""
+        self.logs.append(log)
+
+    def pay_coinbase(self, amount: int) -> None:
+        """Direct payment from the tx sender to the block's miner.
+
+        This is the mechanism Flashbots searchers use to tip miners; the
+        paper's profit model counts these transfers as MEV-extraction cost.
+        """
+        if amount < 0:
+            raise ValueError("coinbase payment cannot be negative")
+        self.state.transfer_eth(self.tx.sender, self.coinbase, amount)
+        self.coinbase_transfer += amount
+
+    def contract(self, address: Address) -> Any:
+        """Look up a deployed contract object; revert if absent."""
+        try:
+            return self.contracts[address]
+        except KeyError:
+            raise Revert(f"no contract at {address}")
+
+
+def execute_transaction(state: WorldState, tx: Transaction,
+                        block_number: int, coinbase: Address,
+                        contracts: Optional[Dict[Address, Any]] = None,
+                        ) -> ExecutionOutcome:
+    """Run a transaction against ``state`` with full revert semantics.
+
+    The caller (block builder) is responsible for fee accounting; this
+    function only runs value transfer plus the intent.
+    """
+    snapshot = state.snapshot()
+    ctx = ExecutionContext(state, tx, block_number, coinbase, contracts)
+    try:
+        if tx.value:
+            state.transfer_eth(tx.sender, tx.to or tx.sender, tx.value)
+        if tx.intent is not None:
+            tx.intent.execute(ctx)
+            gas_used = min(tx.intent.gas_estimate(), tx.gas_limit)
+        else:
+            gas_used = 21_000
+        return ExecutionOutcome(success=True, gas_used=gas_used,
+                                logs=ctx.logs,
+                                coinbase_transfer=ctx.coinbase_transfer)
+    except (Revert, InsufficientBalance) as exc:
+        state.revert_to(snapshot)
+        reason = exc.reason if isinstance(exc, Revert) else str(exc)
+        gas_used = tx.gas_limit  # failed txs burn their gas limit
+        return ExecutionOutcome(success=False, gas_used=gas_used,
+                                logs=[], error=reason)

@@ -1,0 +1,31 @@
+"""Hard-fork schedule for the simulated chain.
+
+The paper's Figure 6 explicitly rules out the Berlin and London forks as the
+cause of the April-2021 gas-price collapse, so the simulation needs fork
+markers at realistic positions inside the studied window.  EIP-1559 fee
+mechanics (base fee, burning) activate at the London fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ForkSchedule:
+    """Block heights at which each fork activates."""
+
+    berlin_block: int
+    london_block: int
+
+    def is_london(self, block_number: int) -> bool:
+        """True if EIP-1559 fee mechanics are active at ``block_number``."""
+        return block_number >= self.london_block
+
+    def is_berlin(self, block_number: int) -> bool:
+        return block_number >= self.berlin_block
+
+
+#: Mainnet fork heights, used when simulating with real block numbers.
+MAINNET_FORKS = ForkSchedule(berlin_block=12_244_000,
+                             london_block=12_965_000)

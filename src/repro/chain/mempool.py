@@ -1,0 +1,140 @@
+"""The public mempool: pending transactions ordered by miner revenue.
+
+Implements the default miner strategy the paper describes — sort pending
+transactions in descending order of effective per-gas payment — plus the
+replacement rule real clients enforce (a same-sender/same-nonce replacement
+must bump the bid by at least 10 %) and per-sender nonce sequencing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.chain.types import Address, Hash32
+
+#: Minimum price bump (percent) for replacing a pending transaction.
+REPLACEMENT_BUMP_PERCENT = 10
+
+
+class Mempool:
+    """A single node's view of pending public transactions."""
+
+    def __init__(self, ttl_blocks: int = 1_000) -> None:
+        self._by_hash: Dict[Hash32, Transaction] = {}
+        self._by_account: Dict[Tuple[Address, int], Hash32] = {}
+        self._seen_at: Dict[Hash32, int] = {}
+        self.ttl_blocks = ttl_blocks
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __contains__(self, tx_hash: Hash32) -> bool:
+        return tx_hash in self._by_hash
+
+    def get(self, tx_hash: Hash32) -> Optional[Transaction]:
+        return self._by_hash.get(tx_hash)
+
+    @property
+    def transactions(self) -> List[Transaction]:
+        return list(self._by_hash.values())
+
+    # Admission ------------------------------------------------------------
+
+    def add(self, tx: Transaction, current_block: int) -> bool:
+        """Admit a pending transaction; returns False if rejected.
+
+        Rejection happens when a transaction with the same (sender, nonce)
+        is already pending and the newcomer's bid is not at least 10 %
+        higher (the replacement rule).
+        """
+        if tx.hash in self._by_hash:
+            return False
+        key = (tx.sender, tx.nonce)
+        incumbent_hash = self._by_account.get(key)
+        if incumbent_hash is not None:
+            incumbent = self._by_hash[incumbent_hash]
+            threshold = (incumbent.max_bid_per_gas()
+                         * (100 + REPLACEMENT_BUMP_PERCENT)) // 100
+            if tx.max_bid_per_gas() < threshold:
+                return False
+            self._drop(incumbent_hash)
+        self._by_hash[tx.hash] = tx
+        self._by_account[key] = tx.hash
+        self._seen_at[tx.hash] = current_block
+        if tx.first_seen_block is None:
+            tx.first_seen_block = current_block
+        return True
+
+    def _drop(self, tx_hash: Hash32) -> None:
+        tx = self._by_hash.pop(tx_hash, None)
+        if tx is None:
+            return
+        self._seen_at.pop(tx_hash, None)
+        key = (tx.sender, tx.nonce)
+        if self._by_account.get(key) == tx_hash:
+            del self._by_account[key]
+
+    def remove(self, tx_hashes: Iterable[Hash32]) -> None:
+        """Drop transactions (e.g. because they were included in a block)."""
+        for tx_hash in tx_hashes:
+            self._drop(tx_hash)
+
+    def evict_stale(self, current_block: int) -> int:
+        """Drop transactions pending longer than ``ttl_blocks``; returns
+        the number evicted."""
+        stale = [h for h, seen in self._seen_at.items()
+                 if current_block - seen > self.ttl_blocks]
+        for tx_hash in stale:
+            self._drop(tx_hash)
+        return len(stale)
+
+    # Selection --------------------------------------------------------------
+
+    def ordered(self, base_fee: int) -> List[Transaction]:
+        """All includable pending txs, highest miner payment per gas first.
+
+        Ties break by arrival block (earlier first) for determinism.
+        """
+        candidates = [tx for tx in self._by_hash.values()
+                      if tx.is_includable(base_fee)]
+        candidates.sort(key=lambda tx: (-tx.miner_tip_per_gas(base_fee),
+                                        self._seen_at[tx.hash], tx.hash))
+        return candidates
+
+    def select(self, base_fee: int, gas_budget: int,
+               account_nonces: Optional[Dict[Address, int]] = None,
+               ) -> List[Transaction]:
+        """Greedy fee-descending selection honoring per-sender nonce order.
+
+        ``account_nonces`` maps sender → next expected nonce (from world
+        state); transactions whose earlier nonces are absent are deferred
+        until the gap is filled, matching real miner behaviour.
+        """
+        nonces: Dict[Address, int] = dict(account_nonces or {})
+        selected: List[Transaction] = []
+        gas_left = gas_budget
+        deferred: List[Transaction] = []
+        queue = self.ordered(base_fee)
+        progress = True
+        while progress:
+            progress = False
+            next_round: List[Transaction] = []
+            for tx in queue:
+                if tx.gas_limit > gas_left:
+                    continue
+                expected = nonces.get(tx.sender, 0)
+                if tx.nonce < expected:
+                    continue  # already mined; stale entry
+                if tx.nonce > expected:
+                    next_round.append(tx)
+                    continue
+                selected.append(tx)
+                nonces[tx.sender] = expected + 1
+                gas_left -= tx.gas_limit
+                progress = True
+            queue = next_round
+            if not queue:
+                break
+        deferred.extend(queue)
+        return selected

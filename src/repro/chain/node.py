@@ -1,0 +1,121 @@
+"""The blockchain store and the archive-node query API.
+
+:class:`Blockchain` is canonical block storage; :class:`ArchiveNode` is the
+query surface the measurement pipeline uses — the stand-in for the paper's
+go-ethereum archive node.  Everything ``repro.core`` learns about the chain
+goes through this API (blocks, transactions, receipts, event logs); nothing
+reaches into simulator internals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Type, TypeVar
+
+from repro.chain.block import Block
+from repro.chain.events import EventLog
+from repro.chain.receipt import Receipt
+from repro.chain.transaction import Transaction
+from repro.chain.types import Hash32
+
+E = TypeVar("E", bound=EventLog)
+
+
+class Blockchain:
+    """Append-only canonical chain with hash indexes."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self._tx_index: Dict[Hash32, Tuple[int, int]] = {}
+
+    def append(self, block: Block) -> None:
+        if self.blocks and block.number != self.blocks[-1].number + 1:
+            raise ValueError(
+                f"non-contiguous block: got {block.number}, "
+                f"expected {self.blocks[-1].number + 1}")
+        position = len(self.blocks)
+        self.blocks.append(block)
+        for tx_index, tx in enumerate(block.transactions):
+            self._tx_index[tx.hash] = (position, tx_index)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def height(self) -> Optional[int]:
+        return self.blocks[-1].number if self.blocks else None
+
+    def block_by_number(self, number: int) -> Optional[Block]:
+        if not self.blocks:
+            return None
+        offset = number - self.blocks[0].number
+        if 0 <= offset < len(self.blocks):
+            return self.blocks[offset]
+        return None
+
+    def locate_transaction(self, tx_hash: Hash32,
+                           ) -> Optional[Tuple[Block, int]]:
+        entry = self._tx_index.get(tx_hash)
+        if entry is None:
+            return None
+        position, tx_index = entry
+        return self.blocks[position], tx_index
+
+
+class ArchiveNode:
+    """Query API over a :class:`Blockchain` (the paper's data source)."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self.chain = chain
+
+    # Block-level queries -----------------------------------------------------
+
+    def latest_block_number(self) -> Optional[int]:
+        return self.chain.height
+
+    def get_block(self, number: int) -> Optional[Block]:
+        return self.chain.block_by_number(number)
+
+    def iter_blocks(self, from_block: Optional[int] = None,
+                    to_block: Optional[int] = None) -> Iterator[Block]:
+        """Yield blocks in ``[from_block, to_block]`` (inclusive bounds)."""
+        for block in self.chain.blocks:
+            if from_block is not None and block.number < from_block:
+                continue
+            if to_block is not None and block.number > to_block:
+                break
+            yield block
+
+    # Transaction-level queries -----------------------------------------------
+
+    def get_transaction(self, tx_hash: Hash32) -> Optional[Transaction]:
+        located = self.chain.locate_transaction(tx_hash)
+        if located is None:
+            return None
+        block, tx_index = located
+        return block.transactions[tx_index]
+
+    def get_receipt(self, tx_hash: Hash32) -> Optional[Receipt]:
+        located = self.chain.locate_transaction(tx_hash)
+        if located is None:
+            return None
+        block, tx_index = located
+        return block.receipts[tx_index]
+
+    # Log queries ---------------------------------------------------------
+
+    def get_logs(self, event_type: Type[E],
+                 from_block: Optional[int] = None,
+                 to_block: Optional[int] = None) -> List[E]:
+        """All logs of ``event_type`` in the block range, chain order."""
+        found: List[E] = []
+        for block in self.iter_blocks(from_block, to_block):
+            for receipt in block.receipts:
+                for log in receipt.logs:
+                    if isinstance(log, event_type):
+                        found.append(log)
+        return found
+
+    def iter_receipts(self, from_block: Optional[int] = None,
+                      to_block: Optional[int] = None) -> Iterator[Receipt]:
+        for block in self.iter_blocks(from_block, to_block):
+            yield from block.receipts

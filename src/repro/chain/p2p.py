@@ -1,0 +1,92 @@
+"""Gossip network model and the pending-transaction observer.
+
+The paper collected 125.6 M pending transactions by subscribing to
+``pendingTransactions`` on its own node for five months, and Section 6.1's
+private-transaction inference is a set difference between that trace and the
+chain.  :class:`GossipNetwork` models public propagation with an imperfect
+per-transaction observation probability (the paper assumes its node saw "the
+vast majority" of gossip), and :class:`MempoolObserver` is the measurement
+node: it only ever sees *publicly* gossiped transactions — submissions to
+Flashbots or other private pools never reach it, by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Set
+
+from repro.chain.transaction import Transaction
+from repro.chain.types import Hash32
+
+
+class MempoolObserver:
+    """The measurement node's pending-transaction trace.
+
+    ``start_block``/``end_block`` bound the observation window (the paper
+    observed Nov 8 2021 – Apr 9 2022); transactions gossiped outside the
+    window are not recorded, mirroring the real collection.
+    """
+
+    def __init__(self, start_block: int = 0,
+                 end_block: Optional[int] = None) -> None:
+        self.start_block = start_block
+        self.end_block = end_block
+        self._first_seen: Dict[Hash32, int] = {}
+
+    def in_window(self, block_number: int) -> bool:
+        if block_number < self.start_block:
+            return False
+        if self.end_block is not None and block_number > self.end_block:
+            return False
+        return True
+
+    def record(self, tx: Transaction, block_number: int) -> None:
+        """Record a pending-transaction event if inside the window."""
+        if not self.in_window(block_number):
+            return
+        self._first_seen.setdefault(tx.hash, block_number)
+
+    def was_observed(self, tx_hash: Hash32) -> bool:
+        return tx_hash in self._first_seen
+
+    def first_seen(self, tx_hash: Hash32) -> Optional[int]:
+        return self._first_seen.get(tx_hash)
+
+    @property
+    def observed_hashes(self) -> Set[Hash32]:
+        return set(self._first_seen)
+
+    def __len__(self) -> int:
+        return len(self._first_seen)
+
+
+class GossipNetwork:
+    """Public transaction propagation with imperfect observation.
+
+    ``observation_rate`` is the probability that the measurement node sees
+    any given publicly gossiped transaction.  The network also feeds every
+    public transaction to the shared mempool used by miners and searchers —
+    miners are assumed to be well connected and never miss transactions.
+    """
+
+    def __init__(self, rng: random.Random,
+                 observation_rate: float = 0.995) -> None:
+        if not 0.0 <= observation_rate <= 1.0:
+            raise ValueError("observation_rate must be within [0, 1]")
+        self.rng = rng
+        self.observation_rate = observation_rate
+        self.observers: list[MempoolObserver] = []
+        self.missed_count = 0
+
+    def attach_observer(self, observer: MempoolObserver) -> None:
+        self.observers.append(observer)
+
+    def broadcast(self, tx: Transaction, block_number: int) -> None:
+        """Gossip a public transaction; observers may each miss it."""
+        if tx.first_seen_block is None:
+            tx.first_seen_block = block_number
+        for observer in self.observers:
+            if self.rng.random() <= self.observation_rate:
+                observer.record(tx, block_number)
+            elif observer.in_window(block_number):
+                self.missed_count += 1

@@ -1,0 +1,136 @@
+"""World state: ETH balances, token ledgers, nonces — with journaling.
+
+Reverts (failed intents, unpaid flash loans) must roll back *all* state
+mutations made inside a transaction, exactly like the EVM.  Every mutation
+goes through a method here that records an undo entry in a journal; a
+snapshot is just a journal length, and reverting replays undos back to it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.chain.types import Address
+
+
+class InsufficientBalance(Exception):
+    """Raised when a transfer or debit exceeds the holder's balance."""
+
+
+class WorldState:
+    """Mutable account/token state with snapshot-revert support."""
+
+    def __init__(self) -> None:
+        self._eth: Dict[Address, int] = {}
+        self._tokens: Dict[str, Dict[Address, int]] = {}
+        self._nonces: Dict[Address, int] = {}
+        self._journal: List[Callable[[], None]] = []
+
+    # ETH ----------------------------------------------------------------
+
+    def eth_balance(self, addr: Address) -> int:
+        return self._eth.get(addr, 0)
+
+    def set_eth_balance(self, addr: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("balance cannot be negative")
+        previous = self._eth.get(addr, 0)
+        self._eth[addr] = amount
+        self._journal.append(lambda: self._eth.__setitem__(addr, previous))
+
+    def credit_eth(self, addr: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("credit amount cannot be negative")
+        self.set_eth_balance(addr, self.eth_balance(addr) + amount)
+
+    def debit_eth(self, addr: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("debit amount cannot be negative")
+        balance = self.eth_balance(addr)
+        if balance < amount:
+            raise InsufficientBalance(
+                f"{addr} holds {balance} wei, cannot debit {amount}")
+        self.set_eth_balance(addr, balance - amount)
+
+    def transfer_eth(self, sender: Address, recipient: Address,
+                     amount: int) -> None:
+        self.debit_eth(sender, amount)
+        self.credit_eth(recipient, amount)
+
+    # Tokens ---------------------------------------------------------------
+
+    def token_balance(self, token: str, addr: Address) -> int:
+        return self._tokens.get(token, {}).get(addr, 0)
+
+    def _set_token_balance(self, token: str, addr: Address,
+                           amount: int) -> None:
+        if amount < 0:
+            raise ValueError("token balance cannot be negative")
+        ledger = self._tokens.setdefault(token, {})
+        previous = ledger.get(addr, 0)
+        ledger[addr] = amount
+        self._journal.append(lambda: ledger.__setitem__(addr, previous))
+
+    def mint_token(self, token: str, addr: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("mint amount cannot be negative")
+        self._set_token_balance(token, addr,
+                                self.token_balance(token, addr) + amount)
+
+    def burn_token(self, token: str, addr: Address, amount: int) -> None:
+        balance = self.token_balance(token, addr)
+        if balance < amount:
+            raise InsufficientBalance(
+                f"{addr} holds {balance} {token}, cannot burn {amount}")
+        self._set_token_balance(token, addr, balance - amount)
+
+    def transfer_token(self, token: str, sender: Address,
+                       recipient: Address, amount: int) -> None:
+        if amount < 0:
+            raise ValueError("transfer amount cannot be negative")
+        self.burn_token(token, sender, amount)
+        self.mint_token(token, recipient, amount)
+
+    def token_supply(self, token: str) -> int:
+        """Total of all balances of ``token`` (conservation checks)."""
+        return sum(self._tokens.get(token, {}).values())
+
+    # Nonces ---------------------------------------------------------------
+
+    def nonce(self, addr: Address) -> int:
+        return self._nonces.get(addr, 0)
+
+    def bump_nonce(self, addr: Address) -> int:
+        """Increment and return the previous nonce (the one just consumed)."""
+        previous = self._nonces.get(addr, 0)
+        self._nonces[addr] = previous + 1
+        self._journal.append(
+            lambda: self._nonces.__setitem__(addr, previous))
+        return previous
+
+    # Journaling -----------------------------------------------------------
+
+    def record_undo(self, undo: Callable[[], None]) -> None:
+        """Register external bookkeeping to roll back on revert.
+
+        Contracts that keep state outside the ledgers (e.g. a lending
+        pool's loan book) must register undo callbacks here so transaction
+        and bundle rollbacks restore them too.
+        """
+        self._journal.append(undo)
+
+    def snapshot(self) -> int:
+        """Capture a revert point; cheap (journal length)."""
+        return len(self._journal)
+
+    def revert_to(self, snapshot_id: int) -> None:
+        """Undo every mutation made after ``snapshot_id`` was captured."""
+        if snapshot_id < 0 or snapshot_id > len(self._journal):
+            raise ValueError(f"invalid snapshot id: {snapshot_id}")
+        while len(self._journal) > snapshot_id:
+            undo = self._journal.pop()
+            undo()
+
+    def commit(self) -> None:
+        """Discard undo history (end of block); snapshots become invalid."""
+        self._journal.clear()

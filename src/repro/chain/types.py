@@ -1,0 +1,100 @@
+"""Primitive chain types: addresses, hashes, and denominations.
+
+Everything that touches money in this codebase is an ``int`` denominated in
+wei, mirroring how Ethereum itself represents value.  Floating point is only
+used at the analysis layer, never inside the simulated EVM state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+# Denominations ---------------------------------------------------------------
+
+WEI = 1
+GWEI = 10**9
+ETHER = 10**18
+
+
+def ether(amount: float) -> int:
+    """Convert a human-readable ETH amount to wei.
+
+    Convenience for tests and scenario configuration; the simulation core only
+    passes integers around.
+
+    >>> ether(1.5)
+    1500000000000000000
+    """
+    return int(round(amount * ETHER))
+
+
+def gwei(amount: float) -> int:
+    """Convert a human-readable gwei amount to wei."""
+    return int(round(amount * GWEI))
+
+
+def to_eth(amount_wei: int) -> float:
+    """Convert wei to a float ETH value (analysis layer only)."""
+    return amount_wei / ETHER
+
+
+def to_gwei(amount_wei: int) -> float:
+    """Convert wei to a float gwei value (analysis layer only)."""
+    return amount_wei / GWEI
+
+
+# Addresses and hashes --------------------------------------------------------
+
+Address = str
+Hash32 = str
+
+ZERO_ADDRESS: Address = "0x" + "00" * 20
+
+
+def address_from_label(label: str) -> Address:
+    """Derive a deterministic, unique-looking address from a string label.
+
+    The simulator has no key pairs; identities are labels.  Hashing the label
+    gives stable 20-byte addresses so datasets serialize like real Ethereum
+    data and set/dict semantics match mainnet analyses.
+    """
+    digest = hashlib.sha256(("addr:" + label).encode("utf-8")).hexdigest()
+    return "0x" + digest[:40]
+
+
+def hash_of(parts: Iterable[object]) -> Hash32:
+    """Deterministic 32-byte hash over a sequence of printable parts."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(repr(part).encode("utf-8"))
+        hasher.update(b"|")
+    return "0x" + hasher.hexdigest()
+
+
+def is_address(value: object) -> bool:
+    """Return True if ``value`` looks like a simulator address."""
+    if not isinstance(value, str) or not value.startswith("0x"):
+        return False
+    body = value[2:]
+    if len(body) != 40:
+        return False
+    try:
+        int(body, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def is_hash32(value: object) -> bool:
+    """Return True if ``value`` looks like a 32-byte hash string."""
+    if not isinstance(value, str) or not value.startswith("0x"):
+        return False
+    body = value[2:]
+    if len(body) != 64:
+        return False
+    try:
+        int(body, 16)
+    except ValueError:
+        return False
+    return True

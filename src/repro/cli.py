@@ -1,0 +1,207 @@
+"""Command-line interface: simulate, measure, report, export.
+
+Usage::
+
+    python -m repro run [--bpm N] [--seed S]        # full report
+    python -m repro table1 [--bpm N] [--seed S]     # just Table 1
+    python -m repro figures [--bpm N] [--seed S]    # figure series
+    python -m repro export PATH [--bpm N] [--seed S]  # JSONL dataset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import Study, quick_study
+from repro.analysis import (
+    bundle_stats,
+    democratization,
+    fig3_flashbots_block_ratio,
+    fig4_hashrate_share,
+    fig9_private_distribution,
+    negative_profits,
+    percent,
+    profit_distribution,
+    render_kv,
+    render_series,
+    render_table,
+)
+from repro.core.pool_attribution import attribute_private_pools
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bpm", type=int, default=60,
+                        help="simulated blocks per month (default 60)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="scenario seed (default 7)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Flash(bot) in the Pan' "
+                    "(IMC 2022): simulate the study window and run the "
+                    "measurement pipeline.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+            ("run", "simulate, measure, and print the full report"),
+            ("table1", "print Table 1 only"),
+            ("figures", "print the figure series"),
+            ("ablations", "run the design-choice sensitivity sweeps")):
+        _add_common(sub.add_parser(name, help=help_text))
+    export = sub.add_parser("export",
+                            help="write the detected MEV dataset as "
+                                 "JSONL")
+    export.add_argument("path", help="output file path")
+    _add_common(export)
+    return parser
+
+
+def _study(args: argparse.Namespace) -> Study:
+    print(f"Simulating 23 months at {args.bpm} blocks/month "
+          f"(seed {args.seed}) …", file=sys.stderr)
+    return quick_study(blocks_per_month=args.bpm, seed=args.seed)
+
+
+def print_table1(study: Study) -> None:
+    print(render_table(
+        ["MEV Strategy", "Extractions", "Via Flashbots",
+         "Via Flash Loans", "Via Both"],
+        [(r.strategy, r.extractions,
+          f"{r.via_flashbots} ({percent(r.share_flashbots())})",
+          f"{r.via_flash_loans} ({percent(r.share_flash_loans())})",
+          f"{r.via_both} ({percent(r.share_both())})")
+         for r in study.table1]))
+
+
+def print_figures(study: Study) -> None:
+    result = study.result
+    print(render_series(
+        "Figure 3 — Flashbots block ratio",
+        fig3_flashbots_block_ratio(result.node, result.flashbots_api,
+                                   result.calendar)))
+    print()
+    print(render_series(
+        "Figure 4 — estimated Flashbots hashrate share",
+        fig4_hashrate_share(result.node, result.flashbots_api,
+                            result.calendar)))
+    dist = fig9_private_distribution(study.dataset)
+    print("\n" + render_kv(
+        "Figure 9 — sandwich privacy in the observation window",
+        [("flashbots", f"{dist.flashbots} "
+                       f"({percent(dist.share('flashbots'))})"),
+         ("other private", f"{dist.private} "
+                           f"({percent(dist.share('private'))})"),
+         ("public", f"{dist.public} "
+                    f"({percent(dist.share('public'))})")]))
+
+
+def print_full_report(study: Study) -> None:
+    result, dataset = study.result, study.dataset
+    print_table1(study)
+    print()
+    print_figures(study)
+
+    stats = bundle_stats(result.flashbots_api)
+    print("\n" + render_kv("Section 4.1 — bundle statistics", [
+        ("flashbots blocks", stats.total_blocks),
+        ("bundles", stats.total_bundles),
+        ("bundles/block mean", f"{stats.bundles_per_block_mean:.2f}"),
+        ("txs/bundle mean", f"{stats.txs_per_bundle_mean:.2f}"),
+        ("largest bundle", stats.largest_bundle_txs)]))
+
+    report = profit_distribution(dataset)
+    print("\n" + render_kv("Figure 8 — the profit inversion", [
+        ("miner take via FB (ETH/sandwich)",
+         f"{report.stats.miners_flashbots.mean:.4f}"),
+        ("miner take without FB",
+         f"{report.stats.miners_non_flashbots.mean:.4f}"),
+        ("miner uplift (paper ~2.6x)",
+         f"{report.miner_uplift:.2f}x"),
+        ("searcher profit via FB",
+         f"{report.stats.searchers_flashbots.mean:.4f}"),
+        ("searcher profit without FB",
+         f"{report.stats.searchers_non_flashbots.mean:.4f}"),
+        ("searcher drop (paper ~84.4%)",
+         percent(report.searcher_drop))]))
+
+    losses = negative_profits(dataset)
+    print("\n" + render_kv("Section 5.2 — negative profits", [
+        ("unprofitable FB sandwiches", losses.unprofitable),
+        ("share (paper 1.58%)", percent(losses.unprofitable_share)),
+        ("losses (ETH)", f"{losses.loss_total_eth:.3f}")]))
+
+    attribution = attribute_private_pools(dataset)
+    print("\n" + render_kv("Section 6.3 — pool attribution", [
+        ("miners with private sandwiches", attribution.n_miners),
+        ("extractor accounts", attribution.n_accounts),
+        ("single-miner extractors",
+         len(attribution.single_miner_extractors))]))
+
+    concentration = democratization(result.flashbots_api,
+                                    result.calendar)
+    print("\n" + render_kv("Goal 2 — (de)centralization", [
+        ("max FB miners in a month",
+         concentration.max_miners_in_a_month),
+        ("top-2 miner share of FB blocks",
+         percent(concentration.top2_block_share))]))
+
+
+def print_ablations(bpm: int, seed: int) -> None:
+    import random
+
+    from repro.agents.pga import compare_mechanisms
+    from repro.analysis.sensitivity import (
+        observation_rate_sweep,
+        tip_fraction_sweep,
+    )
+    sweep_bpm = max(10, bpm // 3)
+    print(render_table(
+        ["Sealed-bid tip mean", "Miner uplift", "Searcher FB mean"],
+        [(f"{p.tip_mean:.2f}", f"{p.miner_uplift:.2f}x",
+          f"{p.searcher_fb_mean_eth:.4f} ETH")
+         for p in tip_fraction_sweep([0.4, 0.8],
+                                     blocks_per_month=sweep_bpm,
+                                     seed=seed)]))
+    print()
+    print(render_table(
+        ["Observation rate", "Private precision", "Private recall"],
+        [(f"{p.observation_rate:.3f}", f"{p.private_precision:.2f}",
+          f"{p.private_recall:.2f}")
+         for p in observation_rate_sweep([0.995, 0.5],
+                                         blocks_per_month=sweep_bpm,
+                                         seed=seed)]))
+    result = compare_mechanisms(random.Random(seed), opportunities=300)
+    print("\n" + render_kv("Auction mechanisms (§8.2)", [
+        ("miner share, open PGA", percent(result.pga_miner_share)),
+        ("miner share, sealed bid",
+         percent(result.sealed_miner_share))]))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "ablations":
+        print_ablations(args.bpm, args.seed)
+        return 0
+    study = _study(args)
+    if args.command == "table1":
+        print_table1(study)
+    elif args.command == "figures":
+        print_figures(study)
+    elif args.command == "export":
+        with open(args.path, "w", encoding="utf-8") as stream:
+            study.dataset.dump_jsonl(stream)
+        totals = study.dataset.totals()
+        print(f"wrote {totals['total']} records "
+              f"({totals['sandwich']} sandwiches, "
+              f"{totals['arbitrage']} arbitrages, "
+              f"{totals['liquidation']} liquidations) to {args.path}")
+    else:
+        print_full_report(study)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Core measurement pipeline: the paper's primary contribution."""
+
+from repro.core.datasets import (
+    ArbitrageRecord,
+    LiquidationRecord,
+    MevDataset,
+    PRIVACY_FLASHBOTS,
+    PRIVACY_PRIVATE,
+    PRIVACY_PUBLIC,
+    SandwichRecord,
+)
+from repro.core.flashbots_join import annotate_flashbots
+from repro.core.heuristics import (
+    detect_arbitrages,
+    detect_flash_loan_txs,
+    detect_liquidations,
+    detect_sandwiches,
+)
+from repro.core.pipeline import MevInspector
+from repro.core.pool_attribution import (
+    AttributionReport,
+    attribute_private_pools,
+)
+from repro.core.private_inference import (
+    annotate_privacy,
+    classify_tx,
+    sandwich_privacy,
+    single_tx_privacy,
+)
+from repro.core.profit import PriceService, transaction_cost
+
+__all__ = [
+    "ArbitrageRecord", "AttributionReport", "LiquidationRecord",
+    "MevDataset", "MevInspector", "PRIVACY_FLASHBOTS", "PRIVACY_PRIVATE",
+    "PRIVACY_PUBLIC", "PriceService", "SandwichRecord",
+    "annotate_flashbots", "annotate_privacy",
+    "attribute_private_pools", "classify_tx", "detect_arbitrages",
+    "detect_flash_loan_txs", "detect_liquidations", "detect_sandwiches",
+    "sandwich_privacy", "single_tx_privacy", "transaction_cost",
+]

@@ -1,0 +1,170 @@
+"""Typed MEV records and the dataset container (the paper's MongoDB).
+
+Each record mirrors what the paper's crawling scripts store: the
+transactions involved, the extractor and miner, the gains/costs in ETH,
+and the labels added by the joins (Flashbots, flash loans, privacy).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import IO, Dict, Iterable, List, Optional, Tuple
+
+from repro.chain.types import Address, Hash32
+
+PRIVACY_PUBLIC = "public"
+PRIVACY_PRIVATE = "private"
+PRIVACY_FLASHBOTS = "flashbots"
+
+
+@dataclass
+class SandwichRecord:
+    """A detected insertion attack (Definition 1 / Torres heuristic)."""
+
+    block_number: int
+    pool_address: Address
+    venue: str
+    extractor: Address
+    victim: Address
+    front_tx: Hash32
+    victim_tx: Hash32
+    back_tx: Hash32
+    token_in: str
+    token_out: str
+    frontrun_amount_in: int
+    backrun_amount_out: int
+    gain_wei: int
+    cost_wei: int
+    #: what the block's miner earned from the two attacker transactions
+    #: (gas fees kept + coinbase tips) — the quantity behind Figure 8a
+    miner_revenue_wei: int = 0
+    miner: Address = ""
+    via_flashbots: bool = False
+    via_flashloan: bool = False
+    privacy: Optional[str] = None
+
+    @property
+    def profit_wei(self) -> int:
+        return self.gain_wei - self.cost_wei
+
+    @property
+    def mev_txs(self) -> Tuple[Hash32, Hash32]:
+        return (self.front_tx, self.back_tx)
+
+
+@dataclass
+class ArbitrageRecord:
+    """A detected closed-cycle arbitrage (Qin heuristic)."""
+
+    block_number: int
+    tx_hash: Hash32
+    extractor: Address
+    venues: Tuple[str, ...]
+    token_cycle: Tuple[str, ...]
+    amount_in: int
+    amount_out: int
+    gain_wei: int
+    cost_wei: int
+    miner: Address = ""
+    via_flashbots: bool = False
+    via_flashloan: bool = False
+    privacy: Optional[str] = None
+
+    @property
+    def profit_wei(self) -> int:
+        return self.gain_wei - self.cost_wei
+
+
+@dataclass
+class LiquidationRecord:
+    """A detected fixed-spread liquidation."""
+
+    block_number: int
+    tx_hash: Hash32
+    platform: str
+    liquidator: Address
+    borrower: Address
+    debt_token: str
+    debt_repaid: int
+    collateral_token: str
+    collateral_seized: int
+    gain_wei: int
+    cost_wei: int
+    miner: Address = ""
+    via_flashbots: bool = False
+    via_flashloan: bool = False
+    privacy: Optional[str] = None
+
+    @property
+    def profit_wei(self) -> int:
+        return self.gain_wei - self.cost_wei
+
+
+@dataclass
+class MevDataset:
+    """All detected MEV over a block range, with join labels applied."""
+
+    sandwiches: List[SandwichRecord] = field(default_factory=list)
+    arbitrages: List[ArbitrageRecord] = field(default_factory=list)
+    liquidations: List[LiquidationRecord] = field(default_factory=list)
+
+    def all_records(self) -> List[object]:
+        return [*self.sandwiches, *self.arbitrages, *self.liquidations]
+
+    def totals(self) -> Dict[str, int]:
+        return {"sandwich": len(self.sandwiches),
+                "arbitrage": len(self.arbitrages),
+                "liquidation": len(self.liquidations),
+                "total": len(self.sandwiches) + len(self.arbitrages)
+                + len(self.liquidations)}
+
+    def count(self, strategy: str, via_flashbots: Optional[bool] = None,
+              via_flashloan: Optional[bool] = None) -> int:
+        """Count records of one strategy with optional label filters."""
+        records: Iterable = {"sandwich": self.sandwiches,
+                             "arbitrage": self.arbitrages,
+                             "liquidation": self.liquidations}[strategy]
+        total = 0
+        for record in records:
+            if via_flashbots is not None and \
+                    record.via_flashbots != via_flashbots:
+                continue
+            if via_flashloan is not None and \
+                    record.via_flashloan != via_flashloan:
+                continue
+            total += 1
+        return total
+
+    # Persistence ---------------------------------------------------------
+
+    def dump_jsonl(self, stream: IO[str]) -> None:
+        """Write one JSON object per record, tagged with its kind."""
+        for kind, records in (("sandwich", self.sandwiches),
+                              ("arbitrage", self.arbitrages),
+                              ("liquidation", self.liquidations)):
+            for record in records:
+                row = asdict(record)
+                row["kind"] = kind
+                stream.write(json.dumps(row) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, stream: IO[str]) -> "MevDataset":
+        dataset = cls()
+        constructors = {"sandwich": SandwichRecord,
+                        "arbitrage": ArbitrageRecord,
+                        "liquidation": LiquidationRecord}
+        buckets = {"sandwich": dataset.sandwiches,
+                   "arbitrage": dataset.arbitrages,
+                   "liquidation": dataset.liquidations}
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.pop("kind")
+            for key in ("venues", "token_cycle"):
+                if key in row and isinstance(row[key], list):
+                    row[key] = tuple(row[key])
+            buckets[kind].append(constructors[kind](**row))
+        return dataset

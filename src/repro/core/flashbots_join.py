@@ -1,0 +1,26 @@
+"""Join MEV records against the public Flashbots blocks dataset.
+
+The paper downloads every Flashbots block from the public API and labels
+an extraction as "via Flashbots" when its MEV transactions appear in that
+dataset (Section 3.3).  For sandwiches, *both* attacker legs must be
+Flashbots transactions; single-transaction strategies need only their one
+transaction labelled.
+"""
+
+from __future__ import annotations
+
+from repro.core.datasets import MevDataset
+from repro.flashbots.api import FlashbotsBlocksApi
+
+
+def annotate_flashbots(dataset: MevDataset,
+                       api: FlashbotsBlocksApi) -> MevDataset:
+    """Set ``via_flashbots`` on every record, in place; returns dataset."""
+    for record in dataset.sandwiches:
+        record.via_flashbots = (api.is_flashbots_tx(record.front_tx)
+                                and api.is_flashbots_tx(record.back_tx))
+    for record in dataset.arbitrages:
+        record.via_flashbots = api.is_flashbots_tx(record.tx_hash)
+    for record in dataset.liquidations:
+        record.via_flashbots = api.is_flashbots_tx(record.tx_hash)
+    return dataset

@@ -1,0 +1,9 @@
+"""Detection heuristics: sandwich, arbitrage, liquidation, flash loans."""
+
+from repro.core.heuristics.arbitrage import detect_arbitrages
+from repro.core.heuristics.flashloan import detect_flash_loan_txs
+from repro.core.heuristics.liquidation import detect_liquidations
+from repro.core.heuristics.sandwich import detect_sandwiches
+
+__all__ = ["detect_arbitrages", "detect_flash_loan_txs",
+           "detect_liquidations", "detect_sandwiches"]

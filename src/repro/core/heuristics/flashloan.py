@@ -1,0 +1,31 @@
+"""Flash-loan detection — Wang et al. technique.
+
+Flash loans leave an unambiguous trace: lending platforms emit a
+``FlashLoan`` event only when a loan was issued *and repaid* within the
+transaction.  Detection is therefore a crawl of those events; the result
+is the set of transaction hashes that used a flash loan, which the
+pipeline joins against the MEV records (``via_flashloan``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+from repro.chain.events import FlashLoanEvent
+from repro.chain.node import ArchiveNode
+from repro.chain.types import Hash32
+
+DEFAULT_PLATFORMS = ("Aave", "dYdX")
+
+
+def detect_flash_loan_txs(node: ArchiveNode,
+                          from_block: Optional[int] = None,
+                          to_block: Optional[int] = None,
+                          platforms: Sequence[str] = DEFAULT_PLATFORMS,
+                          ) -> Set[Hash32]:
+    """Hashes of all transactions that completed a flash loan."""
+    hashes: Set[Hash32] = set()
+    for event in node.get_logs(FlashLoanEvent, from_block, to_block):
+        if event.platform in platforms and event.tx_hash is not None:
+            hashes.add(event.tx_hash)
+    return hashes

@@ -1,0 +1,68 @@
+"""Liquidation-MEV detection: crawl lending-platform liquidation events.
+
+The paper's script extracts ``Liquidation`` events from Aave V1/V2 and
+Compound and computes, per event::
+
+    gain  = value of the received collateral (in ETH, at the block)
+    costs = transaction fees + value of the liquidated debt + tips
+
+Our lending pools emit the same event shape, so the extraction is a
+direct crawl.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.chain.events import LiquidationEvent
+from repro.chain.node import ArchiveNode
+from repro.core.datasets import LiquidationRecord
+from repro.core.profit import PriceService, transaction_cost
+
+DEFAULT_PLATFORMS = ("AaveV1", "AaveV2", "Compound")
+
+
+def detect_liquidations(node: ArchiveNode, prices: PriceService,
+                        from_block: Optional[int] = None,
+                        to_block: Optional[int] = None,
+                        platforms: Sequence[str] = DEFAULT_PLATFORMS,
+                        ) -> List[LiquidationRecord]:
+    """Scan a block range and return every detected liquidation."""
+    records: List[LiquidationRecord] = []
+    for block in node.iter_blocks(from_block, to_block):
+        for receipt in block.receipts:
+            if not receipt.status:
+                continue
+            for log in receipt.logs:
+                if not isinstance(log, LiquidationEvent):
+                    continue
+                if log.platform not in platforms:
+                    continue
+                record = _build_record(node, prices, block.miner, log)
+                if record is not None:
+                    records.append(record)
+    return records
+
+
+def _build_record(node: ArchiveNode, prices: PriceService, miner: str,
+                  event: LiquidationEvent,
+                  ) -> Optional[LiquidationRecord]:
+    gain_wei = prices.value_in_eth(event.collateral_token,
+                                   event.collateral_seized,
+                                   event.block_number)
+    debt_wei = prices.value_in_eth(event.debt_token, event.debt_repaid,
+                                   event.block_number)
+    if gain_wei is None or debt_wei is None:
+        return None
+    receipt = node.get_receipt(event.tx_hash)
+    if receipt is None:
+        return None
+    cost_wei = transaction_cost([receipt]) + debt_wei
+    return LiquidationRecord(
+        block_number=event.block_number, tx_hash=event.tx_hash,
+        platform=event.platform, liquidator=event.liquidator,
+        borrower=event.borrower, debt_token=event.debt_token,
+        debt_repaid=event.debt_repaid,
+        collateral_token=event.collateral_token,
+        collateral_seized=event.collateral_seized, gain_wei=gain_wei,
+        cost_wei=cost_wei, miner=miner)

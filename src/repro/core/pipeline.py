@@ -1,0 +1,71 @@
+"""The end-to-end measurement pipeline (paper Figure 2).
+
+``MevInspector`` consumes exactly the three data sources the paper
+collects — an archive node, the pending-transaction trace, and the public
+Flashbots blocks dataset — runs every detection heuristic over a block
+range, and applies the joins (flash loans, Flashbots labels, privacy
+inference).  It never touches simulator ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.node import ArchiveNode
+from repro.chain.p2p import MempoolObserver
+from repro.core.datasets import MevDataset
+from repro.core.flashbots_join import annotate_flashbots
+from repro.core.heuristics.arbitrage import detect_arbitrages
+from repro.core.heuristics.flashloan import detect_flash_loan_txs
+from repro.core.heuristics.liquidation import detect_liquidations
+from repro.core.heuristics.sandwich import detect_sandwiches
+from repro.core.private_inference import annotate_privacy
+from repro.core.profit import PriceService
+from repro.flashbots.api import FlashbotsBlocksApi
+
+
+class MevInspector:
+    """Runs the full detection + labelling pipeline over a chain."""
+
+    def __init__(self, node: ArchiveNode, prices: PriceService,
+                 flashbots_api: Optional[FlashbotsBlocksApi] = None,
+                 observer: Optional[MempoolObserver] = None) -> None:
+        self.node = node
+        self.prices = prices
+        self.flashbots_api = flashbots_api
+        self.observer = observer
+
+    def run(self, from_block: Optional[int] = None,
+            to_block: Optional[int] = None) -> MevDataset:
+        """Detect all MEV in the range and apply every join."""
+        dataset = MevDataset(
+            sandwiches=detect_sandwiches(self.node, self.prices,
+                                         from_block, to_block),
+            arbitrages=detect_arbitrages(self.node, self.prices,
+                                         from_block, to_block),
+            liquidations=detect_liquidations(self.node, self.prices,
+                                             from_block, to_block),
+        )
+        self._join_flash_loans(dataset, from_block, to_block)
+        if self.flashbots_api is not None:
+            annotate_flashbots(dataset, self.flashbots_api)
+        if self.observer is not None:
+            annotate_privacy(dataset, self.observer)
+        return dataset
+
+    def _join_flash_loans(self, dataset: MevDataset,
+                          from_block: Optional[int],
+                          to_block: Optional[int]) -> None:
+        flash_txs = detect_flash_loan_txs(self.node, from_block,
+                                          to_block)
+        if not flash_txs:
+            return
+        for record in dataset.arbitrages:
+            record.via_flashloan = record.tx_hash in flash_txs
+        for record in dataset.liquidations:
+            record.via_flashloan = record.tx_hash in flash_txs
+        # Sandwiches structurally cannot use flash loans (two separate
+        # transactions); the join still runs as a sanity check.
+        for record in dataset.sandwiches:
+            record.via_flashloan = (record.front_tx in flash_txs
+                                    or record.back_tx in flash_txs)

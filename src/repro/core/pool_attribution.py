@@ -1,0 +1,81 @@
+"""Private-pool attribution — paper Section 6.3.
+
+Given the private non-Flashbots sandwiches, the paper asks *who mined
+them*: it builds the bipartite map of extractor accounts to the miners
+that included their attacks.  An account whose private sandwiches were
+only ever mined by a single miner is evidence of that miner extracting
+MEV itself (it would be very unlikely for a multi-miner pool to route one
+account's every attack to the same member).  Miners that additionally
+mined private sandwiches of *other*, multi-miner accounts are flagged as
+participating in broader private pools too.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.chain.types import Address
+from repro.core.datasets import MevDataset, PRIVACY_PRIVATE
+
+
+@dataclass
+class AttributionReport:
+    """Section 6.3's findings over the observed private sandwiches."""
+
+    #: distinct miner addresses that mined private non-FB sandwiches
+    miner_addresses: Set[Address] = field(default_factory=set)
+    #: distinct accounts that performed private non-FB sandwiches
+    extractor_accounts: Set[Address] = field(default_factory=set)
+    #: account → set of miners that mined its private sandwiches
+    account_to_miners: Dict[Address, Set[Address]] = \
+        field(default_factory=dict)
+    #: (account, miner, count): accounts served by exactly one miner —
+    #: the self-extraction signal
+    single_miner_extractors: List[Tuple[Address, Address, int]] = \
+        field(default_factory=list)
+    #: miners that both self-extract and serve multi-miner accounts
+    multi_pool_miners: Set[Address] = field(default_factory=set)
+
+    @property
+    def n_miners(self) -> int:
+        return len(self.miner_addresses)
+
+    @property
+    def n_accounts(self) -> int:
+        return len(self.extractor_accounts)
+
+
+def attribute_private_pools(dataset: MevDataset) -> AttributionReport:
+    """Run the Section 6.3 analysis over a privacy-annotated dataset."""
+    report = AttributionReport()
+    pair_counts: Dict[Tuple[Address, Address], int] = defaultdict(int)
+    miner_accounts: Dict[Address, Set[Address]] = defaultdict(set)
+
+    for record in dataset.sandwiches:
+        if record.privacy != PRIVACY_PRIVATE:
+            continue
+        account, miner = record.extractor, record.miner
+        report.miner_addresses.add(miner)
+        report.extractor_accounts.add(account)
+        report.account_to_miners.setdefault(account, set()).add(miner)
+        pair_counts[(account, miner)] += 1
+        miner_accounts[miner].add(account)
+
+    for account, miners in sorted(report.account_to_miners.items()):
+        if len(miners) == 1:
+            miner = next(iter(miners))
+            count = pair_counts[(account, miner)]
+            report.single_miner_extractors.append((account, miner,
+                                                   count))
+
+    # A self-extracting miner that also mined private sandwiches from
+    # accounts engaging with other miners participates in broader pools.
+    exclusive_accounts = {account for account, _, _ in
+                          report.single_miner_extractors}
+    for _, miner, _ in report.single_miner_extractors:
+        others = miner_accounts[miner] - exclusive_accounts
+        if others:
+            report.multi_pool_miners.add(miner)
+    return report

@@ -1,0 +1,83 @@
+"""Private-transaction inference — paper Section 6.1.
+
+The chain does not say whether a transaction was public or private.  The
+paper infers it by set difference: a mined transaction that the
+measurement node *never saw pending* is private.  The sandwich-specific
+rule follows directly: the two attacker legs must be absent from the
+pending trace while the victim's transaction must be present (frontrunning
+other private-pool transactions is impossible, and frontrunning Flashbots
+transactions is disallowed).
+
+Classification is only meaningful inside the observation window — outside
+it, absence from the trace means "not collected", not "private".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.p2p import MempoolObserver
+from repro.chain.types import Hash32
+from repro.core.datasets import (
+    MevDataset,
+    PRIVACY_FLASHBOTS,
+    PRIVACY_PRIVATE,
+    PRIVACY_PUBLIC,
+)
+
+
+def classify_tx(tx_hash: Hash32, observer: MempoolObserver) -> str:
+    """'public' if the pending trace saw the transaction, else 'private'."""
+    return PRIVACY_PUBLIC if observer.was_observed(tx_hash) \
+        else PRIVACY_PRIVATE
+
+
+def in_window(observer: MempoolObserver, block_number: int) -> bool:
+    return observer.in_window(block_number)
+
+
+def sandwich_privacy(record, observer: MempoolObserver) -> Optional[str]:
+    """Privacy label for a sandwich (paper's three-way split).
+
+    Flashbots-labelled sandwiches are 'flashbots'; otherwise the attack is
+    'private' when both legs are absent from the pending trace *and* the
+    victim was publicly observed; 'public' when both legs were observed.
+    Mixed observations (one leg seen) default to 'public' — the attack
+    plainly traversed the public mempool.
+    """
+    if not observer.in_window(record.block_number):
+        return None
+    if record.via_flashbots:
+        return PRIVACY_FLASHBOTS
+    front_private = not observer.was_observed(record.front_tx)
+    back_private = not observer.was_observed(record.back_tx)
+    victim_public = observer.was_observed(record.victim_tx)
+    if front_private and back_private and victim_public:
+        return PRIVACY_PRIVATE
+    return PRIVACY_PUBLIC
+
+
+def single_tx_privacy(record, observer: MempoolObserver,
+                      ) -> Optional[str]:
+    """Privacy label for single-transaction MEV (arbitrage/liquidation)."""
+    if not observer.in_window(record.block_number):
+        return None
+    if record.via_flashbots:
+        return PRIVACY_FLASHBOTS
+    return classify_tx(record.tx_hash, observer)
+
+
+def annotate_privacy(dataset: MevDataset,
+                     observer: MempoolObserver) -> MevDataset:
+    """Set ``privacy`` on every record, in place; returns the dataset.
+
+    Records outside the observation window keep ``privacy=None`` (the
+    paper restricts Section 6's analysis to its collection window).
+    """
+    for record in dataset.sandwiches:
+        record.privacy = sandwich_privacy(record, observer)
+    for record in dataset.arbitrages:
+        record.privacy = single_tx_privacy(record, observer)
+    for record in dataset.liquidations:
+        record.privacy = single_tx_privacy(record, observer)
+    return dataset

@@ -1,0 +1,51 @@
+"""Profit accounting: ETH valuation and cost models (paper Section 3.1).
+
+The paper computes, for every MEV extraction::
+
+    profit = gain − costs
+    costs  = transaction fees + coinbase tips (Flashbots only)
+
+with all token amounts converted to ETH via CoinGecko.  Here the
+conversion goes through :class:`PriceService`, which reads the simulated
+oracle's *historical* price at the block being analyzed — the same
+at-the-time valuation the paper performs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.chain.receipt import Receipt
+from repro.dex.token import WETH
+from repro.lending.oracle import PriceOracle
+
+
+class PriceService:
+    """Token → ETH conversion at historical block heights."""
+
+    def __init__(self, oracle: PriceOracle) -> None:
+        self._oracle = oracle
+
+    def value_in_eth(self, token: str, amount: int,
+                     block_number: int) -> Optional[int]:
+        """Wei value of ``amount`` of ``token`` at ``block_number``.
+
+        Returns None for tokens the price source does not cover — such
+        records are dropped, as the paper drops tokens CoinGecko lacks.
+        """
+        if token == WETH:
+            return amount
+        value = self._oracle.value_in_eth_at(token, amount, block_number)
+        if value is not None:
+            return value
+        if self._oracle.has_price(token):
+            return self._oracle.value_in_eth(token, amount)
+        return None
+
+
+def transaction_cost(receipts: Iterable[Receipt]) -> int:
+    """Total extraction cost: gas fees plus any coinbase tips."""
+    total = 0
+    for receipt in receipts:
+        total += receipt.total_fee + receipt.coinbase_transfer
+    return total

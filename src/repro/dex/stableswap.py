@@ -1,0 +1,165 @@
+"""Curve-style stableswap pool (two coins, amplified invariant).
+
+Implements the classic Curve integer math: the invariant
+``A·n^n·S + D = A·D·n^n + D^(n+1)/(n^n·Πx)`` solved by Newton iteration.
+Exposes the same interface as :class:`~repro.dex.amm.ConstantProductPool`
+so routers, searchers and detection heuristics treat venues uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.chain.events import SwapEvent, SyncEvent
+from repro.chain.execution import ExecutionContext, Revert
+from repro.chain.state import WorldState
+from repro.chain.types import Address, address_from_label
+
+N_COINS = 2
+FEE_DENOMINATOR = 10_000
+
+
+def compute_d(amp: int, balances: Tuple[int, int]) -> int:
+    """Newton-solve the stableswap invariant for D."""
+    x0, x1 = balances
+    s = x0 + x1
+    if s == 0:
+        return 0
+    if x0 == 0 or x1 == 0:
+        raise ValueError("stableswap pool is one-sided")
+    d = s
+    d_prev_prev = -1
+    ann = amp * N_COINS**N_COINS
+    for _ in range(255):
+        d_p = d
+        for x in (x0, x1):
+            d_p = d_p * d // (N_COINS * x)
+        d_prev = d
+        d = ((ann * s + d_p * N_COINS) * d
+             // ((ann - 1) * d + (N_COINS + 1) * d_p))
+        # Integer Newton can orbit the root in a short cycle on extreme
+        # imbalances; a relative tolerance (1e-15) ends the iteration with
+        # sub-rounding-error accuracy in those cases.
+        if abs(d - d_prev) <= max(1, d // 10**15):
+            return min(d, d_prev)
+        if d == d_prev_prev:
+            return min(d, d_prev)
+        d_prev_prev = d_prev
+    raise ArithmeticError("D did not converge")
+
+
+def compute_y(amp: int, d: int, x_new: int) -> int:
+    """Given one post-trade balance ``x_new``, solve for the other."""
+    ann = amp * N_COINS**N_COINS
+    c = d * d // (x_new * N_COINS)
+    c = c * d // (ann * N_COINS)
+    b = x_new + d // ann
+    y = d
+    for _ in range(255):
+        y_prev = y
+        y = (y * y + c) // (2 * y + b - d)
+        if abs(y - y_prev) <= 1:
+            return y
+    raise ArithmeticError("y did not converge")
+
+
+@dataclass
+class StableSwapPool:
+    """A two-coin amplified pool (Curve-like)."""
+
+    venue: str
+    token0: str
+    token1: str
+    amp: int = 100
+    fee_bps: int = 4  # Curve's typical 4 bps
+
+    def __post_init__(self) -> None:
+        if self.token0 == self.token1:
+            raise ValueError("pool tokens must differ")
+        if self.amp <= 0:
+            raise ValueError("amplification must be positive")
+        if not 0 <= self.fee_bps < FEE_DENOMINATOR:
+            raise ValueError("fee out of range")
+        if self.token0 > self.token1:
+            self.token0, self.token1 = self.token1, self.token0
+        self.address: Address = address_from_label(
+            f"stable:{self.venue}:{self.token0}/{self.token1}:{self.amp}")
+
+    # Shared pool interface -----------------------------------------------------
+
+    def reserves(self, state: WorldState) -> Tuple[int, int]:
+        return (state.token_balance(self.token0, self.address),
+                state.token_balance(self.token1, self.address))
+
+    def reserve_of(self, state: WorldState, token: str) -> int:
+        self._require_member(token)
+        return state.token_balance(token, self.address)
+
+    def other(self, token: str) -> str:
+        self._require_member(token)
+        return self.token1 if token == self.token0 else self.token0
+
+    def has_token(self, token: str) -> bool:
+        return token in (self.token0, self.token1)
+
+    def _require_member(self, token: str) -> None:
+        if not self.has_token(token):
+            raise ValueError(f"{token} is not in pool "
+                             f"{self.token0}/{self.token1}")
+
+    def add_liquidity(self, state: WorldState, **amounts: int) -> None:
+        """Mint reserves keyed by token symbol (see ConstantProductPool)."""
+        for token, amount in amounts.items():
+            self._require_member(token)
+            if amount < 0:
+                raise ValueError("liquidity amounts cannot be negative")
+            state.mint_token(token, self.address, amount)
+
+    def quote_out(self, state: WorldState, token_in: str,
+                  amount_in: int) -> int:
+        """Stableswap output for an exact input, net of fee."""
+        if amount_in <= 0:
+            raise ValueError("amount_in must be positive")
+        token_out = self.other(token_in)
+        reserve_in = self.reserve_of(state, token_in)
+        reserve_out = self.reserve_of(state, token_out)
+        if reserve_in <= 0 or reserve_out <= 0:
+            raise ValueError("pool has no liquidity")
+        d = compute_d(self.amp, (reserve_in, reserve_out))
+        y_new = compute_y(self.amp, d, reserve_in + amount_in)
+        dy = reserve_out - y_new - 1  # -1 mirrors Curve's rounding guard
+        if dy <= 0:
+            return 0
+        return dy - dy * self.fee_bps // FEE_DENOMINATOR
+
+    def spot_price(self, state: WorldState, token: str) -> float:
+        """Marginal price via a small probe trade."""
+        reserve = self.reserve_of(state, token)
+        probe = max(1, reserve // 100_000)
+        return self.quote_out(state, token, probe) / probe
+
+    def swap(self, ctx: ExecutionContext, token_in: str, amount_in: int,
+             recipient: Address, min_amount_out: int = 0) -> int:
+        token_out = self.other(token_in)
+        try:
+            amount_out = self.quote_out(ctx.state, token_in, amount_in)
+        except (ValueError, ArithmeticError) as exc:
+            raise Revert(str(exc))
+        if amount_out <= 0:
+            raise Revert("insufficient output amount")
+        if amount_out < min_amount_out:
+            raise Revert("slippage limit exceeded")
+        taker = ctx.tx.sender
+        ctx.state.transfer_token(token_in, taker, self.address, amount_in)
+        ctx.state.transfer_token(token_out, self.address, recipient,
+                                 amount_out)
+        ctx.emit(SwapEvent(address=self.address, venue=self.venue,
+                           taker=taker, recipient=recipient,
+                           token_in=token_in, token_out=token_out,
+                           amount_in=amount_in, amount_out=amount_out))
+        reserve0, reserve1 = self.reserves(ctx.state)
+        ctx.emit(SyncEvent(address=self.address, token0=self.token0,
+                           token1=self.token1, reserve0=reserve0,
+                           reserve1=reserve1))
+        return amount_out

@@ -1,0 +1,203 @@
+"""Balancer-style weighted constant-mean pools.
+
+A weighted pool holds reserves ``B_in, B_out`` with weights
+``w_in, w_out`` and preserves the value function ``B_in^w_in ·
+B_out^w_out``.  The exact-input swap formula is::
+
+    out = B_out · (1 − (B_in / (B_in + in·(1−fee)))^(w_in/w_out))
+
+Weights are kept as small integers (e.g. 4:1 for an 80/20 pool) so the
+exponent is a rational ``p/q`` and the whole computation stays in exact
+integer arithmetic via ``q``-th roots (floor), preserving the
+no-free-money property bit-for-bit like the rest of the DEX layer.
+A 1:1 weighting reduces to the constant-product formula exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.chain.events import SwapEvent, SyncEvent
+from repro.chain.execution import ExecutionContext, Revert
+from repro.chain.state import WorldState
+from repro.chain.types import Address, address_from_label
+
+FEE_DENOMINATOR = 10_000
+
+
+def integer_nth_root(value: int, n: int) -> int:
+    """Floor of the n-th root of a non-negative integer (exact)."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if n <= 0:
+        raise ValueError("root order must be positive")
+    if value in (0, 1) or n == 1:
+        return value
+    # Newton iteration on x^n = value, seeded from the bit length.
+    x = 1 << (value.bit_length() // n + 1)
+    while True:
+        y = ((n - 1) * x + value // x**(n - 1)) // n
+        if y >= x:
+            break
+        x = y
+    return x
+
+
+def pow_ratio_floor(base_num: int, base_den: int, exp_num: int,
+                    exp_den: int, scale: int = 10**18) -> int:
+    """Floor of ``scale · (base_num/base_den)^(exp_num/exp_den)``.
+
+    Requires ``base_num ≤ base_den`` (the swap formula only raises
+    numbers in (0, 1]), so intermediate powers cannot explode.
+    """
+    if base_num < 0 or base_den <= 0:
+        raise ValueError("invalid base")
+    if base_num > base_den:
+        raise ValueError("base must be <= 1")
+    # (num/den)^(p/q) = q-th root of (num^p / den^p); multiply by
+    # scale^q inside the root to keep precision.
+    powered_num = base_num ** exp_num
+    powered_den = base_den ** exp_num
+    return integer_nth_root(powered_num * scale**exp_den // powered_den,
+                            exp_den)
+
+
+#: Balancer's MAX_IN_RATIO: a single swap may consume at most half the
+#: input-side reserve, which also bounds the output strictly below the
+#: output-side reserve.
+MAX_IN_RATIO_DENOM = 2
+
+
+def weighted_amount_out(amount_in: int, reserve_in: int,
+                        reserve_out: int, weight_in: int,
+                        weight_out: int,
+                        fee_bps: int = 25) -> int:
+    """Balancer ``outGivenIn`` in exact integer arithmetic."""
+    if amount_in <= 0:
+        raise ValueError("amount_in must be positive")
+    if reserve_in <= 0 or reserve_out <= 0:
+        raise ValueError("pool has no liquidity")
+    if weight_in <= 0 or weight_out <= 0:
+        raise ValueError("weights must be positive")
+    if amount_in > reserve_in // MAX_IN_RATIO_DENOM:
+        raise ValueError("swap exceeds Balancer's max-in ratio")
+    effective_in = amount_in * (FEE_DENOMINATOR - fee_bps) \
+        // FEE_DENOMINATOR
+    scale = 10**18
+    # Round the retained-balance ratio UP (+1) so the output rounds in
+    # the pool's favour — Balancer's fixed-point rounding direction, and
+    # what keeps dust-sized round trips from minting a stray wei.
+    ratio = pow_ratio_floor(reserve_in, reserve_in + effective_in,
+                            weight_in, weight_out, scale) + 1
+    out = reserve_out * max(0, scale - ratio) // scale
+    return min(out, reserve_out - 1)
+
+
+@dataclass
+class WeightedPool:
+    """A two-token weighted pool (Balancer-like).
+
+    ``weight0``/``weight1`` are small integers; an 80/20 WETH pool is
+    ``weight(WETH)=4, weight(other)=1``.
+    """
+
+    venue: str
+    token0: str
+    token1: str
+    weight0: int = 1
+    weight1: int = 1
+    fee_bps: int = 25
+
+    def __post_init__(self) -> None:
+        if self.token0 == self.token1:
+            raise ValueError("pool tokens must differ")
+        if self.weight0 <= 0 or self.weight1 <= 0:
+            raise ValueError("weights must be positive")
+        if not 0 <= self.fee_bps < FEE_DENOMINATOR:
+            raise ValueError("fee out of range")
+        if self.token0 > self.token1:
+            self.token0, self.token1 = self.token1, self.token0
+            self.weight0, self.weight1 = self.weight1, self.weight0
+        self.address: Address = address_from_label(
+            f"weighted:{self.venue}:{self.token0}/{self.token1}:"
+            f"{self.weight0}:{self.weight1}:{self.fee_bps}")
+
+    # Shared pool interface ---------------------------------------------------
+
+    def reserves(self, state: WorldState) -> Tuple[int, int]:
+        return (state.token_balance(self.token0, self.address),
+                state.token_balance(self.token1, self.address))
+
+    def reserve_of(self, state: WorldState, token: str) -> int:
+        self._require_member(token)
+        return state.token_balance(token, self.address)
+
+    def weight_of(self, token: str) -> int:
+        self._require_member(token)
+        return self.weight0 if token == self.token0 else self.weight1
+
+    def other(self, token: str) -> str:
+        self._require_member(token)
+        return self.token1 if token == self.token0 else self.token0
+
+    def has_token(self, token: str) -> bool:
+        return token in (self.token0, self.token1)
+
+    def _require_member(self, token: str) -> None:
+        if not self.has_token(token):
+            raise ValueError(f"{token} is not in pool "
+                             f"{self.token0}/{self.token1}")
+
+    def add_liquidity(self, state: WorldState, **amounts: int) -> None:
+        """Mint reserves keyed by token symbol."""
+        for token, amount in amounts.items():
+            self._require_member(token)
+            if amount < 0:
+                raise ValueError("liquidity amounts cannot be negative")
+            state.mint_token(token, self.address, amount)
+
+    def quote_out(self, state: WorldState, token_in: str,
+                  amount_in: int) -> int:
+        token_out = self.other(token_in)
+        return weighted_amount_out(
+            amount_in, self.reserve_of(state, token_in),
+            self.reserve_of(state, token_out),
+            self.weight_of(token_in), self.weight_of(token_out),
+            self.fee_bps)
+
+    def spot_price(self, state: WorldState, token: str) -> float:
+        """Marginal price of ``token`` in the other token:
+        (B_other/w_other) / (B_token/w_token)."""
+        other = self.other(token)
+        reserve_token = self.reserve_of(state, token)
+        if reserve_token == 0:
+            raise ValueError("pool has no liquidity")
+        return ((self.reserve_of(state, other) / self.weight_of(other))
+                / (reserve_token / self.weight_of(token)))
+
+    def swap(self, ctx: ExecutionContext, token_in: str, amount_in: int,
+             recipient: Address, min_amount_out: int = 0) -> int:
+        token_out = self.other(token_in)
+        try:
+            amount_out = self.quote_out(ctx.state, token_in, amount_in)
+        except (ValueError, ArithmeticError) as exc:
+            raise Revert(str(exc))
+        if amount_out <= 0:
+            raise Revert("insufficient output amount")
+        if amount_out < min_amount_out:
+            raise Revert("slippage limit exceeded")
+        taker = ctx.tx.sender
+        ctx.state.transfer_token(token_in, taker, self.address,
+                                 amount_in)
+        ctx.state.transfer_token(token_out, self.address, recipient,
+                                 amount_out)
+        ctx.emit(SwapEvent(address=self.address, venue=self.venue,
+                           taker=taker, recipient=recipient,
+                           token_in=token_in, token_out=token_out,
+                           amount_in=amount_in, amount_out=amount_out))
+        reserve0, reserve1 = self.reserves(ctx.state)
+        ctx.emit(SyncEvent(address=self.address, token0=self.token0,
+                           token1=self.token1, reserve0=reserve0,
+                           reserve1=reserve1))
+        return amount_out

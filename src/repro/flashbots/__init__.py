@@ -1,0 +1,34 @@
+"""Flashbots substrate: bundles, relay, MEV-geth, public blocks API."""
+
+from repro.flashbots.api import ApiBlock, ApiTransaction, FlashbotsBlocksApi
+from repro.flashbots.auction import (
+    PGA_MEAN_FEE_FRACTION,
+    SEALED_BID_MEAN_TIP_FRACTION,
+    pga_fee_fraction,
+    pga_gas_price,
+    sealed_bid_tip_fraction,
+)
+from repro.flashbots.bundle import (
+    BUNDLE_TYPES,
+    FLASHBOTS,
+    MINER_PAYOUT,
+    ROGUE,
+    Bundle,
+    make_bundle,
+)
+from repro.flashbots.mev_geth import (
+    BuiltBlock,
+    IncludedBundle,
+    build_block,
+    score_bundle,
+)
+from repro.flashbots.relay import Relay
+
+__all__ = [
+    "ApiBlock", "ApiTransaction", "BUNDLE_TYPES", "BuiltBlock", "Bundle",
+    "FLASHBOTS", "FlashbotsBlocksApi", "IncludedBundle", "MINER_PAYOUT",
+    "PGA_MEAN_FEE_FRACTION", "ROGUE", "Relay",
+    "SEALED_BID_MEAN_TIP_FRACTION", "build_block", "make_bundle",
+    "pga_fee_fraction", "pga_gas_price", "score_bundle",
+    "sealed_bid_tip_fraction",
+]

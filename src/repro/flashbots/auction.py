@@ -1,0 +1,70 @@
+"""Searcher-side bidding in the Flashbots sealed-bid auction.
+
+Flashbots runs a *sealed-bid* auction: searchers cannot see competing
+bids, so — as the paper argues in Section 8.2 — they overbid to raise
+their inclusion odds, shifting most MEV profit to miners.  Before
+Flashbots, bidding happened in open priority-gas-auctions (PGAs) where
+escalation was visible and stopped earlier, leaving more profit with the
+extractor.  These two bidding models are what make Figure 8's
+miner/searcher profit inversion emerge in the simulation rather than
+being hard-coded.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Mean fraction of gross MEV profit a Flashbots searcher tips the miner.
+#: Empirically searchers bid away most of the opportunity in sealed-bid
+#: competition; 0.80 reproduces the paper's ≈2.6× miner uplift.
+SEALED_BID_MEAN_TIP_FRACTION = 0.80
+
+#: Mean fraction of gross profit burned in an open PGA (visible escalation
+#: stops near the second-highest valuation; historically far lower).
+PGA_MEAN_FEE_FRACTION = 0.25
+
+
+def sealed_bid_tip_fraction(rng: random.Random,
+                            competition: int = 3,
+                            mean: float = SEALED_BID_MEAN_TIP_FRACTION,
+                            ) -> float:
+    """Tip fraction a searcher commits in the sealed-bid auction.
+
+    More perceived competition pushes bids up; the fraction is clamped to
+    (0, 0.92] so a winning searcher always retains some gross profit —
+    losses then only come from faulty contracts, matching Section 5.2's
+    explanation of negative Flashbots profits.
+    """
+    if competition < 0:
+        raise ValueError("competition cannot be negative")
+    pressure = min(0.15, 0.03 * competition)
+    fraction = rng.gauss(mean + pressure, 0.07)
+    return max(0.05, min(0.92, fraction))
+
+
+def pga_fee_fraction(rng: random.Random,
+                     competition: int = 3,
+                     mean: float = PGA_MEAN_FEE_FRACTION) -> float:
+    """Fraction of gross profit burned as gas in an open PGA."""
+    if competition < 0:
+        raise ValueError("competition cannot be negative")
+    pressure = min(0.20, 0.04 * competition)
+    fraction = rng.gauss(mean + pressure, 0.08)
+    return max(0.02, min(0.95, fraction))
+
+
+def pga_gas_price(rng: random.Random, base_gas_price: int,
+                  expected_profit: int, gas_limit: int,
+                  competition: int = 3) -> int:
+    """Gas price bid for a public (non-Flashbots) MEV attempt.
+
+    Converts the PGA fee fraction into a per-gas bid over the prevailing
+    price, the mechanism that inflated public gas prices before Flashbots
+    (and whose departure explains Figure 6's April-2021 collapse).
+    """
+    if gas_limit <= 0:
+        raise ValueError("gas limit must be positive")
+    fraction = pga_fee_fraction(rng, competition)
+    fee_budget = int(expected_profit * fraction)
+    bid = base_gas_price + fee_budget // gas_limit
+    return max(base_gas_price, bid)

@@ -1,0 +1,72 @@
+"""Flashbots bundles: immutable, atomic, ordered transaction sets.
+
+A bundle is the unit of the Flashbots auction (paper Section 2.5).  Three
+types exist on the real network and in its public dataset:
+
+* ``MINER_PAYOUT`` — mining-pool payout batches (fee-less because the pool's
+  own miners include them),
+* ``ROGUE`` — transactions a miner introduced itself without broadcasting,
+* ``FLASHBOTS`` — the standard searcher → relay → miner flow.
+
+Bundles are immutable once created: transactions are stored as a tuple and
+the bundle id commits to their hashes, so any tampering yields a different
+bundle (the behaviour the relay's equivocation ban enforces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.chain.types import Address, Hash32, hash_of
+
+MINER_PAYOUT = "miner_payout"
+ROGUE = "rogue"
+FLASHBOTS = "flashbots"
+
+BUNDLE_TYPES = (MINER_PAYOUT, ROGUE, FLASHBOTS)
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """An immutable ordered set of transactions bidding for inclusion."""
+
+    searcher: Address
+    transactions: Tuple[Transaction, ...]
+    target_block: int
+    bundle_type: str = FLASHBOTS
+    meta: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.transactions:
+            raise ValueError("bundle cannot be empty")
+        if self.bundle_type not in BUNDLE_TYPES:
+            raise ValueError(f"unknown bundle type: {self.bundle_type!r}")
+        if self.target_block < 0:
+            raise ValueError("target block cannot be negative")
+
+    @property
+    def bundle_id(self) -> Hash32:
+        """Commitment to the bundle's exact contents and order."""
+        return hash_of(("bundle", self.searcher, self.target_block,
+                        self.bundle_type) + self.tx_hashes)
+
+    @property
+    def tx_hashes(self) -> Tuple[Hash32, ...]:
+        return tuple(tx.hash for tx in self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def total_gas_limit(self) -> int:
+        return sum(tx.gas_limit for tx in self.transactions)
+
+
+def make_bundle(searcher: Address, transactions, target_block: int,
+                bundle_type: str = FLASHBOTS,
+                meta: Optional[Dict[str, Any]] = None) -> Bundle:
+    """Convenience constructor accepting any transaction iterable."""
+    return Bundle(searcher=searcher, transactions=tuple(transactions),
+                  target_block=target_block, bundle_type=bundle_type,
+                  meta=dict(meta or {}))

@@ -1,0 +1,128 @@
+"""MEV-geth: miner-side bundle selection and block assembly.
+
+Mirrors the Flashbots fork of go-ethereum: score each candidate bundle by
+simulated *miner payment per gas* (tips + coinbase transfers), greedily
+commit the best non-conflicting bundles at the top of the block, then fill
+the rest with public mempool transactions in fee order.  A bundle that no
+longer executes (its opportunity was taken by a better-paying competitor —
+the sealed-bid auction resolving) is skipped whole, never partially
+included and never modified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.chain.block import Block, BlockBuilder
+from repro.chain.mempool import Mempool
+from repro.chain.receipt import Receipt
+from repro.chain.state import WorldState
+from repro.chain.types import Address
+from repro.flashbots.bundle import Bundle
+
+#: Bundles must pay at least this per gas to be worth a slot (MEV-geth's
+#: profit-switching threshold, simplified).
+MIN_BUNDLE_PAYMENT_PER_GAS = 1
+
+
+@dataclass
+class IncludedBundle:
+    """A bundle that made it into a block, with its realized economics."""
+
+    bundle: Bundle
+    receipts: List[Receipt]
+
+    @property
+    def miner_payment(self) -> int:
+        return sum(r.total_miner_payment for r in self.receipts)
+
+    @property
+    def gas_used(self) -> int:
+        return sum(r.gas_used for r in self.receipts)
+
+
+@dataclass
+class BuiltBlock:
+    """Result of one block-building round."""
+
+    block: Block
+    included_bundles: List[IncludedBundle] = field(default_factory=list)
+
+    @property
+    def is_flashbots_block(self) -> bool:
+        return bool(self.included_bundles)
+
+
+def score_bundle(builder: BlockBuilder, bundle: Bundle) -> Optional[int]:
+    """Simulated miner payment per gas for a bundle; None if inexecutable.
+
+    Miner payouts and rogue bundles are exempt from the payment floor
+    (miners include their own traffic regardless of fees).
+    """
+    receipts = builder.simulate_sequence(bundle.transactions)
+    if receipts is None:
+        return None
+    payment = sum(r.total_miner_payment for r in receipts)
+    gas = max(1, sum(r.gas_used for r in receipts))
+    return payment // gas
+
+
+def build_block(state: WorldState, mempool: Mempool, number: int,
+                timestamp: int, coinbase: Address, base_fee: int,
+                contracts: Optional[Dict[Address, Any]] = None,
+                bundles: Sequence[Bundle] = (),
+                private_sequences: Sequence[Sequence] = (),
+                burn_base_fee: bool = False,
+                account_nonces: Optional[Dict[Address, int]] = None,
+                ) -> BuiltBlock:
+    """Assemble one block: bundles first (by score), then private
+    sequences from non-Flashbots pools, then public transactions.
+
+    With no bundles and no private sequences this is exactly a
+    vanilla-geth block (the non-Flashbots miner path), so *every* miner in
+    the simulation goes through this one code path and comparisons between
+    populations are apples-to-apples.
+    """
+    builder = BlockBuilder(state, number=number, timestamp=timestamp,
+                           coinbase=coinbase, base_fee=base_fee,
+                           contracts=contracts,
+                           burn_base_fee=burn_base_fee)
+    included: List[IncludedBundle] = []
+
+    scored: List[tuple] = []
+    for bundle in bundles:
+        score = score_bundle(builder, bundle)
+        if score is None:
+            continue
+        exempt = bundle.bundle_type != "flashbots"
+        if not exempt and score < MIN_BUNDLE_PAYMENT_PER_GAS:
+            continue
+        scored.append((score, bundle))
+    # Highest payment per gas first; ties broken by bundle id for
+    # determinism.
+    scored.sort(key=lambda item: (-item[0], item[1].bundle_id))
+
+    for _, bundle in scored:
+        if bundle.total_gas_limit() > builder.gas_remaining():
+            continue
+        receipts = builder.apply_atomic_sequence(bundle.transactions)
+        if receipts is None:
+            continue  # lost the auction to an earlier bundle; skip whole
+        included.append(IncludedBundle(bundle=bundle, receipts=receipts))
+
+    for sequence in private_sequences:
+        txs = list(sequence)
+        if sum(tx.gas_limit for tx in txs) > builder.gas_remaining():
+            continue
+        builder.apply_atomic_sequence(txs)
+
+    nonces = dict(account_nonces or {})
+    for tx in mempool.transactions:
+        nonces.setdefault(tx.sender, state.nonce(tx.sender))
+    for tx in mempool.select(base_fee if burn_base_fee else 0,
+                             builder.gas_remaining(), nonces):
+        builder.apply_transaction(tx)
+
+    block = builder.finalize()
+    return BuiltBlock(block=block, included_bundles=included)

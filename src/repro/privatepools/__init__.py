@@ -1,0 +1,5 @@
+"""Non-Flashbots private pools (Eden/Taichi-like, single-miner)."""
+
+from repro.privatepools.pool import PrivatePool, PrivatePoolDirectory
+
+__all__ = ["PrivatePool", "PrivatePoolDirectory"]

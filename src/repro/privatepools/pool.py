@@ -1,0 +1,131 @@
+"""Non-Flashbots private pools (Eden-like, Taichi-like, single-miner).
+
+Section 6 of the paper studies MEV extracted through private channels
+*other than* Flashbots: named networks (Eden; Taichi until its October
+2021 shutdown) and ad-hoc arrangements where a miner mines its own — or a
+partner's — transactions without ever gossiping them.
+
+Unlike Flashbots, these pools publish nothing: no blocks API, no bundle
+labels.  The only trace they leave is the paper's inference signal — their
+transactions appear on chain without ever having been seen in the public
+mempool.
+
+Submissions are *ordered sequences* of transactions: a private sandwich
+needs its member miner to place the two attacker legs around the public
+victim, so the channel must carry ordering intent just like a Flashbots
+bundle does (it simply never discloses it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.chain.types import Address
+
+PrivateSequence = Tuple[Transaction, ...]
+
+
+class PrivatePool:
+    """A private transaction channel between submitters and member miners.
+
+    ``single_miner`` pools model a miner mining its own MEV (Section 6.3's
+    Flexpool/F2Pool finding); multi-miner pools model Eden/Taichi-style
+    networks.  ``shutdown_block`` models Taichi's mid-study demise.
+    """
+
+    def __init__(self, name: str, miners: Sequence[Address],
+                 shutdown_block: Optional[int] = None) -> None:
+        if not miners:
+            raise ValueError("a private pool needs at least one miner")
+        self.name = name
+        self.miners: Set[Address] = set(miners)
+        self.shutdown_block = shutdown_block
+        self._pending: List[PrivateSequence] = []
+        self.submitted_count = 0
+
+    @property
+    def is_single_miner(self) -> bool:
+        return len(self.miners) == 1
+
+    def is_active(self, block_number: int) -> bool:
+        return (self.shutdown_block is None
+                or block_number < self.shutdown_block)
+
+    def has_miner(self, miner: Address) -> bool:
+        return miner in self.miners
+
+    # Submission & retrieval ----------------------------------------------------
+
+    def submit(self, tx: Transaction, current_block: int) -> bool:
+        """Accept a single private transaction; never gossiped."""
+        return self.submit_sequence([tx], current_block)
+
+    def submit_sequence(self, txs: Sequence[Transaction],
+                        current_block: int) -> bool:
+        """Accept an ordered private sequence (e.g. a sandwich)."""
+        if not txs:
+            return False
+        if not self.is_active(current_block):
+            return False
+        self._pending.append(tuple(txs))
+        self.submitted_count += 1
+        return True
+
+    def pending_for(self, miner: Address,
+                    block_number: int) -> List[PrivateSequence]:
+        """Sequences a member miner may privately include, in order."""
+        if miner not in self.miners or not self.is_active(block_number):
+            return []
+        return list(self._pending)
+
+    def mark_included(self, tx_hashes: Set[str]) -> None:
+        """Drop sequences any of whose transactions landed on chain."""
+        self._pending = [
+            seq for seq in self._pending
+            if not any(tx.hash in tx_hashes for tx in seq)]
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+class PrivatePoolDirectory:
+    """All private pools in a scenario, indexed for miner-side lookup."""
+
+    def __init__(self) -> None:
+        self._pools: Dict[str, PrivatePool] = {}
+
+    def add(self, pool: PrivatePool) -> PrivatePool:
+        if pool.name in self._pools:
+            raise ValueError(f"pool {pool.name!r} already exists")
+        self._pools[pool.name] = pool
+        return pool
+
+    def get(self, name: str) -> Optional[PrivatePool]:
+        return self._pools.get(name)
+
+    @property
+    def pools(self) -> List[PrivatePool]:
+        return list(self._pools.values())
+
+    def pools_for_miner(self, miner: Address,
+                        block_number: int) -> List[PrivatePool]:
+        return [pool for pool in self._pools.values()
+                if pool.has_miner(miner) and pool.is_active(block_number)]
+
+    def pending_for_miner(self, miner: Address,
+                          block_number: int) -> List[PrivateSequence]:
+        """All private sequences available to ``miner`` right now."""
+        sequences: List[PrivateSequence] = []
+        seen: Set[str] = set()
+        for pool in self.pools_for_miner(miner, block_number):
+            for seq in pool.pending_for(miner, block_number):
+                key = seq[0].hash
+                if key not in seen:
+                    seen.add(key)
+                    sequences.append(seq)
+        return sequences
+
+    def mark_included(self, tx_hashes: Set[str]) -> None:
+        for pool in self._pools.values():
+            pool.mark_included(tx_hashes)

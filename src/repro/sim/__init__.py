@@ -1,0 +1,27 @@
+"""Simulation layer: calendar, prices, config, world driver, scenario."""
+
+from repro.sim.calendar import (
+    BERLIN_FORK_MONTH,
+    FLASHBOTS_LAUNCH_MONTH,
+    LONDON_FORK_MONTH,
+    OBSERVATION_END_MONTH,
+    OBSERVATION_START_MONTH,
+    SEARCHER_EXODUS_MONTH,
+    STUDY_MONTHS,
+    TAICHI_SHUTDOWN_MONTH,
+    StudyCalendar,
+)
+from repro.sim.config import ScenarioConfig
+from repro.sim.prices import GasDemandModel, PriceUniverse, \
+    TokenPriceProcess
+from repro.sim.scenario import INITIAL_PRICES, build_paper_scenario
+from repro.sim.world import SimulationResult, World
+
+__all__ = [
+    "BERLIN_FORK_MONTH", "FLASHBOTS_LAUNCH_MONTH", "GasDemandModel",
+    "INITIAL_PRICES", "LONDON_FORK_MONTH", "OBSERVATION_END_MONTH",
+    "OBSERVATION_START_MONTH", "PriceUniverse", "SEARCHER_EXODUS_MONTH",
+    "STUDY_MONTHS", "ScenarioConfig", "SimulationResult",
+    "StudyCalendar", "TAICHI_SHUTDOWN_MONTH", "TokenPriceProcess",
+    "World", "build_paper_scenario",
+]

@@ -1,0 +1,119 @@
+"""Synthetic price processes: token/ETH paths and gas-demand levels.
+
+Stands in for two external data sources the paper uses:
+
+* CoinGecko token prices — replaced by seeded geometric-Brownian paths
+  sampled at oracle-update transactions, and
+* the organic gas-price market — replaced by a demand model whose level
+  responds to how much priority-gas-auction (PGA) competition is happening
+  in the public mempool.  That response is the mechanism behind Figure 6:
+  when searchers move their bidding into Flashbots, the public gas price
+  collapses even though no fork happened.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional
+
+from repro.chain.types import GWEI
+
+
+class TokenPriceProcess:
+    """Seeded geometric Brownian motion for one token's ETH price."""
+
+    def __init__(self, token: str, initial_price_wei: int,
+                 drift: float = 0.0, volatility: float = 0.03,
+                 seed: int = 0) -> None:
+        if initial_price_wei <= 0:
+            raise ValueError("initial price must be positive")
+        if volatility < 0:
+            raise ValueError("volatility cannot be negative")
+        self.token = token
+        self.initial_price_wei = initial_price_wei
+        self.drift = drift
+        self.volatility = volatility
+        self._rng = random.Random((seed, token).__repr__())
+        self._current = initial_price_wei
+        self._steps = 0
+
+    @property
+    def current(self) -> int:
+        return self._current
+
+    def step(self) -> int:
+        """Advance one period and return the new price."""
+        shock = self._rng.gauss(self.drift - self.volatility**2 / 2,
+                                self.volatility)
+        self._current = max(1, int(self._current * math.exp(shock)))
+        self._steps += 1
+        return self._current
+
+
+class PriceUniverse:
+    """All token price processes for a scenario, stepped together."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._processes: Dict[str, TokenPriceProcess] = {}
+
+    def add_token(self, token: str, initial_price_wei: int,
+                  drift: float = 0.0,
+                  volatility: float = 0.03) -> TokenPriceProcess:
+        if token in self._processes:
+            raise ValueError(f"{token} already has a price process")
+        process = TokenPriceProcess(token, initial_price_wei, drift,
+                                    volatility, seed=self.seed)
+        self._processes[token] = process
+        return process
+
+    def get(self, token: str) -> Optional[TokenPriceProcess]:
+        return self._processes.get(token)
+
+    @property
+    def tokens(self) -> list:
+        return list(self._processes)
+
+    def step_all(self) -> Dict[str, int]:
+        """Advance every token one period; returns new prices."""
+        return {token: process.step()
+                for token, process in self._processes.items()}
+
+
+class GasDemandModel:
+    """Prevailing public gas-price level with PGA feedback.
+
+    ``level(block, pga_intensity)`` returns the gwei-denominated price an
+    ordinary user bids.  ``pga_intensity`` ∈ [0, 1] measures how much MEV
+    bidding is happening *in the public mempool* (1 = all searchers bid
+    publicly, 0 = all moved to private channels); it multiplies the organic
+    level by up to ``pga_multiplier``.
+    """
+
+    def __init__(self, rng: random.Random,
+                 organic_gwei: float = 40.0,
+                 pga_multiplier: float = 4.0,
+                 noise_sigma: float = 0.25) -> None:
+        if organic_gwei <= 0:
+            raise ValueError("organic level must be positive")
+        if pga_multiplier < 1.0:
+            raise ValueError("pga multiplier must be >= 1")
+        self.rng = rng
+        self.organic_gwei = organic_gwei
+        self.pga_multiplier = pga_multiplier
+        self.noise_sigma = noise_sigma
+
+    def level(self, pga_intensity: float) -> int:
+        """Current prevailing gas price in wei."""
+        if not 0.0 <= pga_intensity <= 1.0:
+            raise ValueError("pga_intensity must be within [0, 1]")
+        multiplier = 1.0 + (self.pga_multiplier - 1.0) * pga_intensity
+        noise = math.exp(self.rng.gauss(0, self.noise_sigma))
+        return max(GWEI, int(self.organic_gwei * multiplier * noise
+                             * GWEI))
+
+    def user_gas_price(self, pga_intensity: float) -> int:
+        """A single user's sampled bid around the prevailing level."""
+        jitter = math.exp(self.rng.gauss(0, 0.15))
+        return max(GWEI, int(self.level(pga_intensity) * jitter))

@@ -1,0 +1,471 @@
+"""The simulation driver: a per-block market loop over the study window.
+
+Each step reproduces one block's worth of ecosystem activity:
+
+1. organic traffic (swaps, transfers, borrows, oracle updates) is gossiped
+   into the public mempool, where the measurement observer samples it;
+2. searchers scan the mempool and chain state and submit MEV through
+   their current channel (public PGA / Flashbots relay / private pool);
+3. a miner is drawn from the hashpower lottery and builds the block with
+   MEV-geth semantics (bundles first, private sequences, then the public
+   fee-ordered tail);
+4. the chain, the Flashbots public API, and all queues are updated.
+
+The result object packages exactly the artifacts the paper's measurement
+pipeline consumes — an archive node, a pending-transaction trace, and the
+Flashbots blocks dataset — plus ground truth for scoring.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.agents.fees import FeeModel
+from repro.agents.miner import MinerProfile, MinerSet
+from repro.agents.searcher import (
+    CHANNEL_FLASHBOTS,
+    CHANNEL_PRIVATE,
+    CHANNEL_PUBLIC,
+    GroundTruth,
+    MarketView,
+    Searcher,
+    Submission,
+)
+from repro.agents.trader import BorrowerPopulation, OracleKeeper, \
+    TraderPopulation
+from repro.chain.fork import ForkSchedule
+from repro.chain.gas import INITIAL_BASE_FEE, next_base_fee
+from repro.chain.mempool import Mempool
+from repro.chain.node import ArchiveNode, Blockchain
+from repro.chain.p2p import GossipNetwork, MempoolObserver
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import Address, ether
+from repro.dex.registry import ExchangeRegistry
+from repro.flashbots.api import FlashbotsBlocksApi
+from repro.flashbots.bundle import MINER_PAYOUT, ROGUE, make_bundle
+from repro.flashbots.mev_geth import build_block
+from repro.flashbots.relay import Relay
+from repro.lending.flashloan import FlashLoanProvider
+from repro.lending.oracle import PriceOracle
+from repro.lending.pool import LendingPool
+from repro.privatepools.pool import PrivatePoolDirectory
+from repro.sim.calendar import StudyCalendar
+from repro.sim.config import ScenarioConfig
+from repro.sim.prices import GasDemandModel, PriceUniverse
+
+
+@dataclass
+class SimulationResult:
+    """Everything the measurement pipeline (and the tests) need."""
+
+    config: ScenarioConfig
+    calendar: StudyCalendar
+    forks: ForkSchedule
+    blockchain: Blockchain
+    node: ArchiveNode
+    observer: MempoolObserver
+    flashbots_api: FlashbotsBlocksApi
+    relay: Relay
+    miners: MinerSet
+    private_pools: PrivatePoolDirectory
+    oracle: PriceOracle
+    registry: ExchangeRegistry
+    lending_pools: List[LendingPool]
+    ground_truths: List[GroundTruth]
+    flashbots_launch_block: int
+
+    def landed(self, truth: GroundTruth) -> bool:
+        """True iff every transaction of the action was mined and
+        succeeded (the action actually happened on chain)."""
+        for tx_hash in truth.tx_hashes:
+            located = self.blockchain.locate_transaction(tx_hash)
+            if located is None:
+                return False
+            block, index = located
+            if not block.receipts[index].status:
+                return False
+        return True
+
+    def landed_truths(self) -> List[GroundTruth]:
+        return [t for t in self.ground_truths if self.landed(t)]
+
+
+class World:
+    """Assembled simulation; :meth:`run` drives it block by block."""
+
+    def __init__(self, config: ScenarioConfig, calendar: StudyCalendar,
+                 forks: ForkSchedule, state: WorldState,
+                 registry: ExchangeRegistry, oracle: PriceOracle,
+                 universe: PriceUniverse,
+                 lending_pools: List[LendingPool],
+                 flash_provider: Optional[FlashLoanProvider],
+                 miners: MinerSet, relay: Relay,
+                 private_pools: PrivatePoolDirectory,
+                 traders: TraderPopulation,
+                 borrowers: BorrowerPopulation,
+                 keeper: OracleKeeper,
+                 searchers: Sequence[Searcher],
+                 flashbots_launch_block: int,
+                 rng: Optional[random.Random] = None,
+                 self_mev_searchers: Optional[Dict[Address,
+                                                   Searcher]] = None,
+                 ) -> None:
+        self.config = config
+        self.calendar = calendar
+        self.forks = forks
+        self.state = state
+        self.registry = registry
+        self.oracle = oracle
+        self.universe = universe
+        self.lending_pools = lending_pools
+        self.flash_provider = flash_provider
+        self.miners = miners
+        self.relay = relay
+        self.private_pools = private_pools
+        self.traders = traders
+        self.borrowers = borrowers
+        self.keeper = keeper
+        self.searchers = list(searchers)
+        #: miner address → the searcher persona it extracts MEV with when
+        #: it builds a block itself (Section 6.3's self-extraction).
+        self.self_mev_searchers = dict(self_mev_searchers or {})
+        self.flashbots_launch_block = flashbots_launch_block
+        self.rng = rng or random.Random(config.seed)
+
+        self.blockchain = Blockchain()
+        self.node = ArchiveNode(self.blockchain)
+        self.mempool = Mempool(ttl_blocks=40)
+        self.gossip = GossipNetwork(
+            random.Random(config.seed + 1),
+            observation_rate=config.observation_rate)
+        obs_start = calendar.first_block_of(
+            config.observation_start_month)
+        obs_end = (calendar.month_bounds(config.observation_end_month)[1]
+                   if config.observation_end_month else None)
+        self.observer = MempoolObserver(start_block=obs_start,
+                                        end_block=obs_end)
+        self.gossip.attach_observer(self.observer)
+        self.flashbots_api = FlashbotsBlocksApi()
+        self.ground_truths: List[GroundTruth] = []
+        self.base_fee = 0
+        self._giant_payout_done = False
+        self._last_payout: Dict[Address, int] = {}
+        self._contracts = self._collect_contracts()
+
+    # Setup helpers -----------------------------------------------------------
+
+    def _collect_contracts(self) -> Dict[Address, object]:
+        contracts: Dict[Address, object] = dict(self.registry.contracts)
+        contracts[self.oracle.address] = self.oracle
+        for pool in self.lending_pools:
+            contracts[pool.address] = pool
+        if self.flash_provider is not None:
+            contracts[self.flash_provider.address] = self.flash_provider
+        return contracts
+
+    # Public traffic -------------------------------------------------------
+
+    def submit_public(self, tx: Transaction, current_block: int) -> None:
+        """Gossip a transaction: observer may see it, miners will."""
+        self.gossip.broadcast(tx, current_block)
+        self.mempool.add(tx, current_block)
+
+    # Per-block activity --------------------------------------------------------
+
+    def _poisson(self, rate: float) -> int:
+        """Small-rate Poisson sample (inversion method)."""
+        if rate <= 0:
+            return 0
+        count, threshold = 0, self.rng.random()
+        cumulative = probability = math.exp(-rate)
+        while threshold > cumulative and count < 100:
+            count += 1
+            probability *= rate / count
+            cumulative += probability
+        return count
+
+    def _activity_scale(self, block_number: int) -> float:
+        """Monthly activity multiplier (DeFi volume ramps over 2020–21)."""
+        index = self.calendar.month_index(block_number)
+        ramp = min(1.0, 0.35 + 0.08 * index)
+        return ramp
+
+    def _generate_traffic(self, current: int, fees: FeeModel) -> None:
+        scale = self._activity_scale(current + 1)
+        for _ in range(self._poisson(self.config.swaps_per_block
+                                     * scale)):
+            tx = self.traders.make_swap(self.state, self.registry, fees)
+            if tx is not None:
+                self.submit_public(tx, current)
+        for _ in range(self._poisson(self.config.transfers_per_block
+                                     * scale)):
+            self.submit_public(self.traders.make_transfer(self.state,
+                                                          fees), current)
+        for _ in range(self._poisson(self.config.stable_swaps_per_block
+                                     * scale)):
+            tx = self.traders.make_stable_swap(self.state,
+                                               self.registry, fees)
+            if tx is not None:
+                self.submit_public(tx, current)
+        if self.rng.random() < self.config.amateur_arb_rate * scale:
+            tx = self.traders.make_naive_arbitrage(self.state,
+                                                   self.registry, fees)
+            if tx is not None:
+                self.submit_public(tx, current)
+        open_loans = sum(len(pool.open_loans())
+                         for pool in self.lending_pools)
+        if (open_loans < self.config.max_open_loans
+                and self.rng.random() < self.config.borrow_rate * scale
+                and self.lending_pools):
+            pool = self.rng.choice(self.lending_pools)
+            tx = self.borrowers.make_borrow(self.state, pool,
+                                            self.oracle, fees)
+            if tx is not None:
+                self.submit_public(tx, current)
+        for tx in self.keeper.make_updates(self.state, fees,
+                                           current + 1):
+            self.submit_public(tx, current)
+
+    def _pga_intensity(self, target_block: int) -> float:
+        """Share of active MEV searchers bidding in the *public* mempool —
+        the driver of Figure 6's gas-price regimes."""
+        active = [s for s in self.searchers
+                  if s.is_active(target_block)
+                  and s.strategy != "other"]
+        if not active:
+            return 0.0
+        public = sum(1 for s in active
+                     if s.policy.channel_at(target_block)
+                     == CHANNEL_PUBLIC)
+        return public / len(active)
+
+    def _competition(self, target_block: int) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for searcher in self.searchers:
+            if searcher.is_active(target_block):
+                counts[searcher.strategy] = \
+                    counts.get(searcher.strategy, 0) + 1
+        return counts
+
+    def _run_searchers(self, current: int, fees: FeeModel) -> None:
+        target = current + 1
+        liquidatable = [(pool, pool.liquidatable_loans())
+                        for pool in self.lending_pools]
+        view = MarketView(
+            state=self.state, registry=self.registry, oracle=self.oracle,
+            pending=self.mempool.transactions, block_number=current,
+            fees=fees, rng=self.rng, lending_pools=self.lending_pools,
+            flash_provider=self.flash_provider,
+            competition=self._competition(target),
+            liquidatable_by_pool=liquidatable,
+            bundle_rush=self.rng.random() < 0.25)
+        flashbots_live = target >= self.flashbots_launch_block
+        for searcher in self.searchers:
+            if not searcher.is_active(target):
+                continue
+            rate = searcher.attempt_rate
+            # Once Flashbots exists, sandwiching through the open mempool
+            # is a losing race against bundles (the paper finds only
+            # 5.6 % of window sandwiches were public): the remaining
+            # public sandwichers try far less often.
+            if (flashbots_live and searcher.strategy == "sandwich"
+                    and searcher.policy.channel_at(target)
+                    == CHANNEL_PUBLIC):
+                rate *= 0.35
+            if rate < 1.0 and self.rng.random() > rate:
+                continue
+            for submission in searcher.scan(view):
+                self._route_submission(submission, current,
+                                       flashbots_live)
+
+    def _route_submission(self, submission: Submission, current: int,
+                          flashbots_live: bool) -> None:
+        if submission.channel == CHANNEL_FLASHBOTS:
+            if not flashbots_live or submission.bundle is None:
+                return
+            if self.relay.submit(submission.bundle, current):
+                self.ground_truths.append(submission.ground_truth)
+            return
+        if submission.channel == CHANNEL_PRIVATE:
+            pool = self.private_pools.get(submission.private_pool or "")
+            if pool is None:
+                return
+            if pool.submit_sequence(submission.private_sequence,
+                                    current):
+                self.ground_truths.append(submission.ground_truth)
+            return
+        accepted_any = False
+        for tx in submission.txs:
+            if self.mempool.add(tx, current):
+                self.gossip.broadcast(tx, current)
+                accepted_any = True
+        if accepted_any:
+            self.ground_truths.append(submission.ground_truth)
+
+    # Miner-side extras ------------------------------------------------------
+
+    def _payout_bundle(self, miner: MinerProfile, target: int,
+                       fees: FeeModel):
+        schedule = miner.payout_schedule
+        if schedule is None:
+            return None
+        if not miner.in_flashbots(target) or \
+                target < self.flashbots_launch_block:
+            return None
+        # Payouts fire on the first block the pool mines once the payout
+        # interval has elapsed (pools batch payouts, then wait for their
+        # own next block to include them fee-free).
+        last = self._last_payout.get(miner.address,
+                                     self.flashbots_launch_block)
+        if target - last < schedule.interval_blocks:
+            return None
+        self._last_payout[miner.address] = target
+        recipients = schedule.recipients
+        # One F2Pool payout in the study is famously 700 transactions
+        # (block 12,481,590 in the paper): the first payout due after the
+        # giant-payout month fires at full size.
+        giant_block = (self.flashbots_launch_block
+                       + 4 * self.config.blocks_per_month)
+        if (miner.name == "f2pool" and not self._giant_payout_done
+                and target >= giant_block):
+            recipients = self.config.giant_payout_recipients
+            self._giant_payout_done = True
+        needed = recipients * (schedule.amount_wei + ether(0.01))
+        if self.state.eth_balance(miner.address) < needed:
+            self.state.credit_eth(miner.address, needed * 2)
+        txs = []
+        nonce = self.state.nonce(miner.address)
+        for i in range(recipients):
+            recipient = f"0x{'11' * 10}{i:020x}"
+            txs.append(Transaction(
+                sender=miner.address, nonce=nonce + i, to=recipient,
+                value=schedule.amount_wei, gas_limit=21_000,
+                meta={"role": "payout"}, **fees.bundle_fields()))
+        return make_bundle(miner.address, txs, target,
+                           bundle_type=MINER_PAYOUT)
+
+    def _rogue_bundle(self, miner: MinerProfile, target: int,
+                      fees: FeeModel):
+        if not miner.in_flashbots(target) or \
+                target < self.flashbots_launch_block:
+            return None
+        if self.rng.random() >= self.config.rogue_bundle_rate:
+            return None
+        if self.state.eth_balance(miner.address) < ether(5):
+            self.state.credit_eth(miner.address, ether(100))
+        tx = Transaction(
+            sender=miner.address, nonce=self.state.nonce(miner.address),
+            to=miner.mev_account, value=ether(self.rng.uniform(0.1, 2)),
+            gas_limit=21_000, meta={"role": "rogue"},
+            **fees.bundle_fields())
+        return make_bundle(miner.address, [tx], target,
+                           bundle_type=ROGUE)
+
+    def _self_mev_sequences(self, miner: MinerProfile, current: int,
+                            fees: FeeModel) -> List[tuple]:
+        """A self-extracting miner's own sandwiches for the block it is
+        building right now: it scans the mempool exactly when it wins the
+        lottery and inserts its attack privately (Section 6.3)."""
+        searcher = self.self_mev_searchers.get(miner.address)
+        if searcher is None or not miner.self_mev:
+            return []
+        view = MarketView(
+            state=self.state, registry=self.registry, oracle=self.oracle,
+            pending=self.mempool.transactions, block_number=current,
+            fees=fees, rng=self.rng, lending_pools=self.lending_pools,
+            flash_provider=self.flash_provider,
+            competition=self._competition(current + 1))
+        sequences: List[tuple] = []
+        for submission in searcher.scan(view):
+            if submission.channel != CHANNEL_PRIVATE or \
+                    not submission.private_sequence:
+                continue
+            sequences.append(submission.private_sequence)
+            self.ground_truths.append(submission.ground_truth)
+        return sequences
+
+    # The main loop ---------------------------------------------------------
+
+    def step(self) -> None:
+        current = self.blockchain.height or 0
+        number = current + 1
+        london = self.forks.is_london(number)
+        if london and self.base_fee == 0:
+            self.base_fee = INITIAL_BASE_FEE
+        gas_model = GasDemandModel(
+            self.rng, organic_gwei=self.config.organic_gas_gwei,
+            pga_multiplier=self.config.pga_gas_multiplier)
+        fees = FeeModel(base_fee=self.base_fee, london_active=london,
+                        prevailing=gas_model.level(
+                            self._pga_intensity(number)))
+
+        self._generate_traffic(current, fees)
+        self._run_searchers(current, fees)
+
+        miner = self.miners.pick(self.rng)
+        bundles = []
+        flashbots_member = (miner.in_flashbots(number)
+                            and number >= self.flashbots_launch_block)
+        if flashbots_member:
+            bundles.extend(self.relay.bundles_for_block(number,
+                                                        miner.address))
+            payout = self._payout_bundle(miner, number, fees)
+            if payout is not None:
+                bundles.append(payout)
+            rogue = self._rogue_bundle(miner, number, fees)
+            if rogue is not None:
+                bundles.append(rogue)
+        private_sequences = list(self.private_pools.pending_for_miner(
+            miner.address, number))
+        private_sequences += self._self_mev_sequences(miner, current,
+                                                      fees)
+
+        result = build_block(
+            self.state, self.mempool, number=number,
+            timestamp=13 * number, coinbase=miner.address,
+            base_fee=self.base_fee, contracts=self._contracts,
+            bundles=bundles, private_sequences=private_sequences,
+            burn_base_fee=london)
+        self.blockchain.append(result.block)
+
+        if result.included_bundles:
+            self.flashbots_api.record_block(number, miner.address,
+                                            result.included_bundles)
+
+        included_hashes: Set[str] = set(result.block.tx_hashes)
+        self.mempool.remove(included_hashes)
+        self.mempool.evict_stale(number)
+        self.private_pools.mark_included(included_hashes)
+        self.relay.mark_included(number, {
+            item.bundle.bundle_id for item in result.included_bundles})
+        self.relay.expire_before(number + 1)
+
+        if london:
+            self.base_fee = next_base_fee(self.base_fee,
+                                          result.block.gas_used,
+                                          result.block.gas_limit)
+
+    def run(self, blocks: Optional[int] = None) -> SimulationResult:
+        """Advance ``blocks`` steps (default: the whole study window)."""
+        total = blocks if blocks is not None \
+            else self.calendar.total_blocks
+        start = self.blockchain.height or 0
+        for _ in range(start, min(start + total,
+                                  self.calendar.total_blocks)):
+            self.step()
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        return SimulationResult(
+            config=self.config, calendar=self.calendar, forks=self.forks,
+            blockchain=self.blockchain, node=self.node,
+            observer=self.observer, flashbots_api=self.flashbots_api,
+            relay=self.relay, miners=self.miners,
+            private_pools=self.private_pools, oracle=self.oracle,
+            registry=self.registry, lending_pools=self.lending_pools,
+            ground_truths=self.ground_truths,
+            flashbots_launch_block=self.flashbots_launch_block)

@@ -1,0 +1,73 @@
+"""Shared fixtures: a small market world for searcher-level tests."""
+
+import random
+
+import pytest
+
+from repro.agents.fees import FeeModel
+from repro.agents.searcher import MarketView
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.dex.registry import SUSHISWAP, UNISWAP_V2, ExchangeRegistry
+from repro.dex.router import SwapIntent
+from repro.lending.flashloan import FlashLoanProvider
+from repro.lending.oracle import PRICE_SCALE, PriceOracle
+from repro.lending.pool import LendingPool
+
+VICTIM = address_from_label("victim-account")
+
+
+@pytest.fixture
+def market():
+    """State + registry with a cross-venue gap + lending + oracle."""
+    state = WorldState()
+    registry = ExchangeRegistry()
+    uni = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+    sushi = registry.create_pool(SUSHISWAP, "WETH", "DAI")
+    uni.add_liquidity(state, WETH=ether(1_000), DAI=ether(3_000_000))
+    sushi.add_liquidity(state, WETH=ether(1_000), DAI=ether(3_090_000))
+    oracle = PriceOracle()
+    oracle.set_price("DAI", PRICE_SCALE // 3_000)
+    oracle.set_price("LINK", PRICE_SCALE // 150)
+    oracle.set_price("WBTC", PRICE_SCALE * 14)
+    oracle.set_price("UNI", PRICE_SCALE // 180)
+    lending = LendingPool("AaveV2", oracle)
+    lending.provision(state, "DAI", ether(10_000_000))
+    flash = FlashLoanProvider("Aave")
+    flash.provision(state, "WETH", ether(100_000))
+    flash.provision(state, "DAI", ether(100_000_000))
+    return state, registry, oracle, lending, flash, uni, sushi
+
+
+def fund(state, address, eth=1_000.0):
+    state.credit_eth(address, ether(eth))
+    state.mint_token("WETH", address, ether(eth))
+    state.mint_token("DAI", address, ether(eth * 3_000))
+
+
+def victim_swap_tx(state, pool, amount_eth=20.0, slippage_bps=300,
+                   gas_price=gwei(60)):
+    """A pending retail swap with sandwich room."""
+    state.mint_token("WETH", VICTIM, ether(amount_eth))
+    state.credit_eth(VICTIM, ether(10))
+    quote = pool.quote_out(state, "WETH", ether(amount_eth))
+    min_out = quote * (10_000 - slippage_bps) // 10_000
+    return Transaction(
+        sender=VICTIM, nonce=state.nonce(VICTIM), to=pool.address,
+        gas_limit=150_000, gas_price=gas_price,
+        intent=SwapIntent(pool.address, "WETH", ether(amount_eth),
+                          min_amount_out=min_out))
+
+
+def make_view(market, pending=(), block_number=100, base_fee=0,
+              london=False, seed=3):
+    state, registry, oracle, lending, flash, *_ = market
+    fees = FeeModel(base_fee=base_fee, london_active=london,
+                    prevailing=gwei(50))
+    return MarketView(state=state, registry=registry, oracle=oracle,
+                      pending=list(pending), block_number=block_number,
+                      fees=fees, rng=random.Random(seed),
+                      lending_pools=[lending], flash_provider=flash,
+                      competition={"sandwich": 3, "arbitrage": 3,
+                                   "liquidation": 2})

@@ -1,0 +1,126 @@
+"""Tests for the arbitrage searcher: passive gaps, copying, flash loans."""
+
+import pytest
+
+from repro.agents.searcher import ArbitrageSearcher, ChannelPolicy
+from repro.chain.block import BlockBuilder
+from repro.chain.types import address_from_label, ether, gwei
+from repro.chain.transaction import Transaction
+from repro.dex.router import ArbitrageIntent
+from repro.lending.flashloan import FlashLoanIntent
+
+from tests.agents.conftest import VICTIM, fund, make_view
+
+
+def make_searcher(policy=None, **kw):
+    kw.setdefault("min_profit_wei", ether(0.01))
+    return ArbitrageSearcher("test-arb", policy or ChannelPolicy(), **kw)
+
+
+class TestPassive:
+    def test_finds_cross_venue_gap(self, market):
+        state, *_ = market
+        searcher = make_searcher()
+        fund(state, searcher.address)
+        submissions = searcher.scan(make_view(market))
+        assert len(submissions) == 1
+        truth = submissions[0].ground_truth
+        assert truth.strategy == "arbitrage"
+        assert truth.victim_hash is None
+        assert truth.expected_profit_wei > 0
+
+    def test_no_gap_no_submission(self, market):
+        state, registry, *_, uni, sushi = market
+        # Drain sushi's skew: equalize prices by matching reserve ratios.
+        extra = (uni.reserve_of(state, "DAI") * 1_000
+                 // uni.reserve_of(state, "WETH") // 1_000)
+        searcher = make_searcher(min_profit_wei=ether(100))
+        fund(state, searcher.address)
+        assert searcher.scan(make_view(market)) == []
+
+    def test_sized_arb_executes_profitably(self, market):
+        state, registry, *_ = market
+        searcher = make_searcher()
+        fund(state, searcher.address)
+        submission = searcher.scan(make_view(market))[0]
+        tx = submission.txs[0]
+        before = state.token_balance("WETH", searcher.address)
+        builder = BlockBuilder(state, number=101, timestamp=13,
+                               coinbase=address_from_label("m"),
+                               base_fee=0, contracts=registry.contracts)
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert receipt.status
+        assert state.token_balance("WETH", searcher.address) > before
+
+
+class TestProactiveCopy:
+    def make_victim_arb(self, market):
+        state, registry, *_, uni, sushi = market
+        state.mint_token("WETH", VICTIM, ether(2))
+        state.credit_eth(VICTIM, ether(5))
+        return Transaction(
+            sender=VICTIM, nonce=state.nonce(VICTIM), to=sushi.address,
+            gas_limit=400_000, gas_price=gwei(50),
+            intent=ArbitrageIntent(route=[sushi.address, uni.address],
+                                   token_in="WETH",
+                                   amount_in=ether(2)))
+
+    def test_copies_and_frontruns_pending_arb(self, market):
+        state, *_ = market
+        searcher = make_searcher()
+        fund(state, searcher.address)
+        victim = self.make_victim_arb(market)
+        view = make_view(market, pending=[victim])
+        submission = searcher.scan(view)[0]
+        truth = submission.ground_truth
+        assert truth.victim_hash == victim.hash
+        copy_tx = submission.txs[0]
+        assert copy_tx.sender == searcher.address
+        assert copy_tx.gas_price > victim.gas_price  # Definition 2
+        assert copy_tx.intent.route == list(victim.intent.route)
+
+    def test_never_copies_professionals(self, market):
+        state, *_ = market
+        searcher = make_searcher()
+        fund(state, searcher.address)
+        victim = self.make_victim_arb(market)
+        victim.meta["mev"] = "arbitrage"  # another searcher's tx
+        view = make_view(market, pending=[victim])
+        submissions = searcher.scan(view)
+        # Falls back to the passive gap (no victim attached).
+        assert all(s.ground_truth.victim_hash is None
+                   for s in submissions)
+
+
+class TestFlashLoans:
+    def test_thin_capital_triggers_flash_loan(self, market):
+        state, *_ = market
+        searcher = make_searcher(uses_flash_loans=True)
+        fund(state, searcher.address, eth=0.5)  # under-capitalized
+        submission = searcher.scan(make_view(market))[0]
+        assert submission.ground_truth.uses_flash_loan
+        assert isinstance(submission.txs[0].intent, FlashLoanIntent)
+
+    def test_rich_searcher_skips_flash_loan(self, market):
+        state, *_ = market
+        searcher = make_searcher(uses_flash_loans=True)
+        fund(state, searcher.address, eth=100_000)
+        submission = searcher.scan(make_view(market))[0]
+        assert not submission.ground_truth.uses_flash_loan
+        assert isinstance(submission.txs[0].intent, ArbitrageIntent)
+
+    def test_flash_loan_arb_executes(self, market):
+        state, registry, _, _, flash, *_ = market
+        searcher = make_searcher(uses_flash_loans=True)
+        fund(state, searcher.address, eth=0.5)
+        submission = searcher.scan(make_view(market))[0]
+        contracts = {flash.address: flash, **registry.contracts}
+        builder = BlockBuilder(state, number=101, timestamp=13,
+                               coinbase=address_from_label("m"),
+                               base_fee=0, contracts=contracts)
+        receipt = builder.apply_transaction(submission.txs[0])
+        builder.finalize()
+        assert receipt.status
+        assert any(type(log).__name__ == "FlashLoanEvent"
+                   for log in receipt.logs)

@@ -1,0 +1,77 @@
+"""Tests for epoch-aware fee-field construction."""
+
+import random
+
+import pytest
+
+from repro.agents.fees import FeeModel
+from repro.chain.transaction import EIP1559, LEGACY, Transaction
+from repro.chain.types import address_from_label, gwei
+
+A = address_from_label("fee-payer")
+
+
+def tx_with(fields):
+    return Transaction(sender=A, nonce=0, to=A, **fields)
+
+
+class TestPreLondon:
+    def setup_method(self):
+        self.fees = FeeModel(base_fee=0, london_active=False,
+                             prevailing=gwei(50))
+
+    def test_legacy_fields(self):
+        fields = self.fees.fields_for_price(gwei(42))
+        assert fields["tx_type"] == LEGACY
+        assert fields["gas_price"] == gwei(42)
+
+    def test_user_fields_near_prevailing(self):
+        rng = random.Random(1)
+        prices = [tx_with(self.fees.user_fields(rng)).gas_price
+                  for _ in range(200)]
+        assert gwei(30) < sum(prices) / len(prices) < gwei(80)
+
+    def test_bundle_fields_cheap(self):
+        fields = self.fees.bundle_fields()
+        assert fields["gas_price"] == gwei(1)
+
+    def test_frontrun_exceeds_victim(self):
+        rng = random.Random(2)
+        fields = self.fees.frontrun_fields(rng, gwei(60), 10**18,
+                                           150_000)
+        assert fields["gas_price"] > gwei(60)
+
+    def test_backrun_just_below_victim(self):
+        fields = self.fees.backrun_fields(gwei(60))
+        assert fields["gas_price"] == gwei(60) - 1
+
+
+class TestPostLondon:
+    def setup_method(self):
+        self.fees = FeeModel(base_fee=gwei(30), london_active=True,
+                             prevailing=gwei(50))
+
+    def test_eip1559_fields(self):
+        fields = self.fees.fields_for_price(gwei(42))
+        assert fields["tx_type"] == EIP1559
+        tx = tx_with(fields)
+        assert tx.effective_gas_price(gwei(30)) == gwei(42)
+
+    def test_price_below_base_clamped(self):
+        fields = self.fees.fields_for_price(gwei(10))
+        tx = tx_with(fields)
+        assert tx.is_includable(gwei(30))
+
+    def test_bundle_fields_clear_base_fee(self):
+        tx = tx_with(self.fees.bundle_fields())
+        assert tx.is_includable(gwei(30))
+        assert tx.miner_tip_per_gas(gwei(30)) >= 1
+
+    def test_effective_price_helper(self):
+        tx = tx_with(self.fees.fields_for_price(gwei(42)))
+        assert self.fees.effective_price(tx) == gwei(42)
+
+    def test_backrun_floor_above_base(self):
+        fields = self.fees.backrun_fields(gwei(5))
+        tx = tx_with(fields)
+        assert tx.is_includable(gwei(30))

@@ -1,0 +1,156 @@
+"""Tests for the liquidation searcher: passive scans and oracle backruns."""
+
+import pytest
+
+from repro.agents.searcher import ChannelPolicy, LiquidationSearcher
+from repro.chain.block import BlockBuilder
+from repro.chain.execution import ExecutionContext
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.lending.flashloan import FlashLoanIntent
+from repro.lending.oracle import PRICE_SCALE, OracleUpdateIntent
+from repro.lending.pool import LiquidationIntent
+
+from tests.agents.conftest import fund, make_view
+
+BORROWER = address_from_label("leveraged-borrower")
+MINER = address_from_label("m")
+
+
+def make_searcher(policy=None, **kw):
+    kw.setdefault("min_profit_wei", ether(0.01))
+    return LiquidationSearcher("test-liq", policy or ChannelPolicy(),
+                               **kw)
+
+
+def open_loan(market, health_price=3_000):
+    """Open a 10-WETH / 20k-DAI loan on the fixture lending pool."""
+    state, registry, oracle, lending, *_ = market
+    state.mint_token("WETH", BORROWER, ether(10))
+    tx = Transaction(sender=BORROWER, nonce=state.nonce(BORROWER),
+                     to=lending.address)
+    ctx = ExecutionContext(state, tx, block_number=1, coinbase=MINER,
+                           contracts={lending.address: lending})
+    return lending.open_loan(ctx, "WETH", ether(10), "DAI",
+                             ether(20_000))
+
+
+class TestPassive:
+    def test_liquidates_unhealthy_loan(self, market):
+        state, registry, oracle, lending, *_ = market
+        loan = open_loan(market)
+        oracle.set_price("DAI", PRICE_SCALE // 2_000)  # WETH crashed
+        searcher = make_searcher()
+        fund(state, searcher.address, eth=10_000)
+        submissions = searcher.scan(make_view(market))
+        assert len(submissions) == 1
+        truth = submissions[0].ground_truth
+        assert truth.strategy == "liquidation"
+        assert truth.expected_profit_wei > 0
+        intent = submissions[0].txs[0].intent
+        assert isinstance(intent, LiquidationIntent)
+        assert intent.loan_id == loan.loan_id
+
+    def test_healthy_book_yields_nothing(self, market):
+        state, *_ = market
+        open_loan(market)
+        searcher = make_searcher()
+        fund(state, searcher.address, eth=10_000)
+        assert searcher.scan(make_view(market)) == []
+
+    def test_liquidation_executes(self, market):
+        state, registry, oracle, lending, *_ = market
+        open_loan(market)
+        oracle.set_price("DAI", PRICE_SCALE // 2_000)
+        searcher = make_searcher()
+        fund(state, searcher.address, eth=10_000)
+        tx = searcher.scan(make_view(market))[0].txs[0]
+        builder = BlockBuilder(state, number=101, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts={lending.address: lending,
+                                          **registry.contracts})
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert receipt.status
+        assert state.token_balance("WETH", searcher.address) > 0
+
+
+class TestOracleBackrun:
+    def pending_crash_update(self, market):
+        _, _, oracle, *_ = market
+        keeper = address_from_label("keeper")
+        return Transaction(
+            sender=keeper, nonce=0, to=oracle.address,
+            gas_limit=80_000, gas_price=gwei(70),
+            intent=OracleUpdateIntent(oracle.address, "DAI",
+                                      PRICE_SCALE // 2_000))
+
+    def test_backruns_unlocking_update(self, market):
+        state, *_ = market
+        open_loan(market)
+        searcher = make_searcher()
+        fund(state, searcher.address, eth=10_000)
+        update = self.pending_crash_update(market)
+        view = make_view(market, pending=[update])
+        submission = searcher.scan(view)[0]
+        truth = submission.ground_truth
+        assert truth.victim_hash == update.hash
+        # Public backrun: bid just below the oracle update's gas price.
+        tx = submission.txs[0]
+        assert tx.gas_price < update.gas_price
+
+    def test_flashbots_backrun_bundles_update_first(self, market):
+        state, *_ = market
+        open_loan(market)
+        searcher = make_searcher(ChannelPolicy(flashbots_from=1))
+        fund(state, searcher.address, eth=10_000)
+        update = self.pending_crash_update(market)
+        view = make_view(market, pending=[update])
+        bundle = searcher.scan(view)[0].bundle
+        assert len(bundle) == 2
+        assert bundle.transactions[0].hash == update.hash
+
+    def test_irrelevant_update_ignored(self, market):
+        state, _, oracle, *_ = market
+        open_loan(market)
+        searcher = make_searcher()
+        fund(state, searcher.address, eth=10_000)
+        benign = Transaction(
+            sender=address_from_label("keeper"), nonce=0,
+            to=oracle.address, gas_limit=80_000, gas_price=gwei(70),
+            intent=OracleUpdateIntent(oracle.address, "LINK",
+                                      PRICE_SCALE // 149))
+        view = make_view(market, pending=[benign])
+        assert searcher.scan(view) == []
+
+
+class TestFlashLoanLiquidation:
+    def test_thin_capital_wraps_flash_loan(self, market):
+        state, registry, oracle, lending, *_ = market
+        open_loan(market)
+        oracle.set_price("DAI", PRICE_SCALE // 2_000)
+        searcher = make_searcher(uses_flash_loans=True)
+        fund(state, searcher.address, eth=0.2)
+        submission = searcher.scan(make_view(market))[0]
+        assert submission.ground_truth.uses_flash_loan
+        intent = submission.txs[0].intent
+        assert isinstance(intent, FlashLoanIntent)
+
+    def test_flash_liquidation_executes(self, market):
+        state, registry, oracle, lending, flash, *_ = market
+        open_loan(market)
+        oracle.set_price("DAI", PRICE_SCALE // 2_000)
+        searcher = make_searcher(uses_flash_loans=True)
+        fund(state, searcher.address, eth=0.2)
+        tx = searcher.scan(make_view(market))[0].txs[0]
+        contracts = {lending.address: lending, flash.address: flash,
+                     **registry.contracts}
+        builder = BlockBuilder(state, number=101, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=contracts)
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert receipt.status
+        names = [type(log).__name__ for log in receipt.logs]
+        assert "FlashLoanEvent" in names
+        assert "LiquidationEvent" in names

@@ -1,0 +1,101 @@
+"""Tests for miner profiles, hashpower lottery, payout schedules."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.agents.miner import (
+    MinerProfile,
+    MinerSet,
+    PayoutSchedule,
+    zipf_hashpowers,
+)
+
+
+def miner(name="m", hashpower=1.0, join=None, leave=None, **kw):
+    return MinerProfile(name=name, hashpower=hashpower,
+                        flashbots_join_block=join,
+                        flashbots_leave_block=leave, **kw)
+
+
+class TestMinerProfile:
+    def test_addresses_derived_and_distinct(self):
+        m = miner("f2pool")
+        assert m.address != m.mev_account
+        assert m.address.startswith("0x")
+
+    def test_invalid_hashpower(self):
+        with pytest.raises(ValueError):
+            miner(hashpower=0)
+
+    def test_enrollment_window(self):
+        m = miner(join=100, leave=200)
+        assert not m.in_flashbots(99)
+        assert m.in_flashbots(100)
+        assert m.in_flashbots(199)
+        assert not m.in_flashbots(200)
+
+    def test_never_joined(self):
+        assert not miner(join=None).in_flashbots(10**6)
+
+    def test_payout_due(self):
+        schedule = PayoutSchedule(interval_blocks=50, recipients=10,
+                                  amount_wei=1)
+        assert schedule.due_at(100)
+        assert not schedule.due_at(101)
+
+
+class TestMinerSet:
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValueError):
+            MinerSet([])
+        with pytest.raises(ValueError):
+            MinerSet([miner("a"), miner("a")])
+
+    def test_pick_respects_hashpower(self):
+        big = miner("big", hashpower=9.0)
+        small = miner("small", hashpower=1.0)
+        miners = MinerSet([big, small])
+        rng = random.Random(42)
+        counts = Counter(miners.pick(rng).name for _ in range(5_000))
+        share = counts["big"] / 5_000
+        assert 0.85 < share < 0.95
+
+    def test_by_address(self):
+        a, b = miner("a"), miner("b")
+        miners = MinerSet([a, b])
+        assert miners.by_address(a.address) is a
+        assert miners.by_address("0x" + "00" * 20) is None
+
+    def test_flashbots_membership_over_time(self):
+        early = miner("early", join=10)
+        late = miner("late", join=100)
+        never = miner("never")
+        miners = MinerSet([early, late, never])
+        assert miners.flashbots_members(5) == []
+        assert miners.flashbots_members(50) == [early]
+        assert set(m.name for m in miners.flashbots_members(150)) == \
+            {"early", "late"}
+
+    def test_hashpower_share(self):
+        a = miner("a", hashpower=3.0, join=10)
+        b = miner("b", hashpower=1.0)
+        miners = MinerSet([a, b])
+        assert miners.flashbots_hashpower_share(5) == 0.0
+        assert miners.flashbots_hashpower_share(20) == pytest.approx(0.75)
+
+
+class TestZipf:
+    def test_long_tailed(self):
+        weights = zipf_hashpowers(55, exponent=1.15)
+        assert len(weights) == 55
+        assert weights[0] > weights[1] > weights[-1]
+        # Top-2 dominate (the >90 % of FB blocks from 2 miners finding)
+        assert weights[0] + weights[1] > 0.25 * sum(weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_hashpowers(0)
+        with pytest.raises(ValueError):
+            zipf_hashpowers(5, exponent=0)

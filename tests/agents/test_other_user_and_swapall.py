@@ -1,0 +1,113 @@
+"""Tests for the OtherBundleUser population and SwapAllIntent."""
+
+import pytest
+
+from repro.agents.searcher import ChannelPolicy, OtherBundleUser
+from repro.chain.block import BlockBuilder
+from repro.chain.state import InsufficientBalance
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.dex.router import SwapAllIntent
+
+from tests.agents.conftest import fund, make_view
+
+MINER = address_from_label("other-miner")
+
+
+def make_user(policy=None, activity=1.0, **kw):
+    return OtherBundleUser("test-other",
+                           policy or ChannelPolicy(flashbots_from=1),
+                           activity=activity, **kw)
+
+
+class TestOtherBundleUser:
+    def test_submits_single_tx_protected_swap(self, market):
+        state, *_ = market
+        user = make_user()
+        fund(state, user.address)
+        submissions = user.scan(make_view(market))
+        assert len(submissions) == 1
+        bundle = submissions[0].bundle
+        assert len(bundle) == 1
+        intent = bundle.transactions[0].intent
+        assert intent.min_amount_out > 0  # MEV-protected
+        assert intent.coinbase_tip > 0    # pays the miner
+        assert submissions[0].ground_truth.strategy == "other"
+
+    def test_inactive_off_flashbots(self, market):
+        state, *_ = market
+        user = make_user(policy=ChannelPolicy())  # public only
+        fund(state, user.address)
+        assert user.scan(make_view(market)) == []
+
+    def test_activity_throttles(self, market):
+        state, *_ = market
+        user = make_user(activity=0.0001)
+        fund(state, user.address)
+        hits = sum(bool(user.scan(make_view(market, seed=i)))
+                   for i in range(50))
+        assert hits <= 2
+
+    def test_bundle_rush_raises_activity(self, market):
+        state, *_ = market
+        user = make_user(activity=0.2)
+        fund(state, user.address)
+        calm = rush = 0
+        for i in range(200):
+            view = make_view(market, seed=i)
+            calm += bool(user.scan(view))
+            view_rush = make_view(market, seed=i)
+            view_rush.bundle_rush = True
+            rush += bool(user.scan(view_rush))
+        assert rush > calm
+
+    def test_bundle_executes(self, market):
+        state, registry, *_ = market
+        user = make_user()
+        fund(state, user.address)
+        bundle = user.scan(make_view(market))[0].bundle
+        builder = BlockBuilder(state, number=101, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=registry.contracts)
+        receipts = builder.apply_atomic_sequence(bundle.transactions)
+        builder.finalize()
+        assert receipts is not None
+        assert receipts[0].coinbase_transfer > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_user(activity=1.5)
+
+
+class TestSwapAllIntent:
+    def test_swaps_entire_balance(self, market):
+        state, registry, *_, uni, _ = market
+        trader = address_from_label("swapall-trader")
+        state.credit_eth(trader, ether(1))
+        state.mint_token("WETH", trader, ether(7))
+        tx = Transaction(sender=trader, nonce=0, to=uni.address,
+                         gas_price=gwei(10), gas_limit=200_000,
+                         intent=SwapAllIntent(uni.address, "WETH"))
+        builder = BlockBuilder(state, number=101, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=registry.contracts)
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert receipt.status
+        assert state.token_balance("WETH", trader) == 0
+        assert state.token_balance("DAI", trader) > 0
+
+    def test_empty_balance_reverts(self, market):
+        state, registry, *_, uni, _ = market
+        trader = address_from_label("swapall-empty")
+        state.credit_eth(trader, ether(1))
+        tx = Transaction(sender=trader, nonce=0, to=uni.address,
+                         gas_price=gwei(10), gas_limit=200_000,
+                         intent=SwapAllIntent(uni.address, "WETH"))
+        builder = BlockBuilder(state, number=101, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=registry.contracts)
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert not receipt.status
+        assert receipt.error == "no balance to swap"

@@ -1,0 +1,73 @@
+"""Tests for searcher channel policies and activity windows."""
+
+import pytest
+
+from repro.agents.searcher import (
+    CHANNEL_FLASHBOTS,
+    CHANNEL_PRIVATE,
+    CHANNEL_PUBLIC,
+    ChannelPolicy,
+    SandwichSearcher,
+    Searcher,
+)
+
+
+class TestChannelPolicy:
+    def test_default_public(self):
+        assert ChannelPolicy().channel_at(10**6) == CHANNEL_PUBLIC
+
+    def test_flashbots_window(self):
+        policy = ChannelPolicy(flashbots_from=100, flashbots_until=200)
+        assert policy.channel_at(99) == CHANNEL_PUBLIC
+        assert policy.channel_at(100) == CHANNEL_FLASHBOTS
+        assert policy.channel_at(199) == CHANNEL_FLASHBOTS
+        assert policy.channel_at(200) == CHANNEL_PUBLIC
+
+    def test_flashbots_open_ended(self):
+        policy = ChannelPolicy(flashbots_from=100)
+        assert policy.channel_at(10**9) == CHANNEL_FLASHBOTS
+
+    def test_private_after_flashbots(self):
+        policy = ChannelPolicy(flashbots_from=100, flashbots_until=200,
+                               private_pool="eden", private_from=200)
+        assert policy.channel_at(150) == CHANNEL_FLASHBOTS
+        assert policy.channel_at(200) == CHANNEL_PRIVATE
+
+    def test_private_until_shutdown(self):
+        policy = ChannelPolicy(private_pool="taichi", private_from=100,
+                               private_until=300)
+        assert policy.channel_at(200) == CHANNEL_PRIVATE
+        assert policy.channel_at(300) == CHANNEL_PUBLIC
+
+    def test_flashbots_takes_precedence_over_private(self):
+        policy = ChannelPolicy(flashbots_from=100, private_pool="eden",
+                               private_from=50)
+        assert policy.channel_at(60) == CHANNEL_PRIVATE
+        assert policy.channel_at(150) == CHANNEL_FLASHBOTS
+
+
+class TestSearcherBase:
+    def test_activity_window(self):
+        searcher = SandwichSearcher("s", ChannelPolicy(),
+                                    active_from=10, active_until=20)
+        assert not searcher.is_active(9)
+        assert searcher.is_active(10)
+        assert searcher.is_active(19)
+        assert not searcher.is_active(20)
+
+    def test_address_stable(self):
+        a = SandwichSearcher("same", ChannelPolicy())
+        b = SandwichSearcher("same", ChannelPolicy())
+        assert a.address == b.address
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SandwichSearcher("s", ChannelPolicy(), faulty_rate=2.0)
+        with pytest.raises(ValueError):
+            SandwichSearcher("s", ChannelPolicy(), attempt_rate=0.0)
+        with pytest.raises(ValueError):
+            SandwichSearcher("s", ChannelPolicy(), visibility=0.0)
+
+    def test_base_scan_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Searcher("s", ChannelPolicy()).scan(None)

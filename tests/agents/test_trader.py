@@ -1,0 +1,147 @@
+"""Tests for retail traders, borrowers, and the oracle keeper."""
+
+import random
+
+import pytest
+
+from repro.agents.fees import FeeModel
+from repro.agents.trader import BorrowerPopulation, OracleKeeper, \
+    TraderPopulation
+from repro.chain.block import BlockBuilder
+from repro.chain.types import address_from_label, ether, gwei
+from repro.dex.router import ArbitrageIntent, SwapIntent
+from repro.sim.prices import PriceUniverse
+
+from tests.agents.conftest import make_view
+
+FEES = FeeModel(base_fee=0, london_active=False, prevailing=gwei(50))
+MINER = address_from_label("m")
+
+
+@pytest.fixture
+def traders():
+    return TraderPopulation(random.Random(5), accounts=20)
+
+
+class TestTraderSwaps:
+    def test_swap_is_valid_and_executes(self, market, traders):
+        state, registry, *_ = market
+        tx = traders.make_swap(state, registry, FEES)
+        assert isinstance(tx.intent, SwapIntent)
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=registry.contracts)
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert receipt is not None and receipt.status
+
+    def test_swap_has_slippage_protection(self, market, traders):
+        state, registry, *_ = market
+        protected = 0
+        for _ in range(50):
+            tx = traders.make_swap(state, registry, FEES)
+            if tx is None:
+                continue
+            assert tx.intent.min_amount_out > 0
+            protected += 1
+        assert protected > 30
+
+    def test_slippage_mixture_has_loose_tail(self, traders):
+        samples = [traders._sample_slippage_bps() for _ in range(2_000)]
+        assert min(samples) >= 10
+        assert max(samples) <= 1_000
+        assert any(s > 200 for s in samples)
+        assert any(s < 50 for s in samples)
+
+    def test_no_pools_returns_none(self, traders):
+        from repro.chain.state import WorldState
+        from repro.dex.registry import ExchangeRegistry
+        assert traders.make_swap(WorldState(), ExchangeRegistry(),
+                                 FEES) is None
+
+
+class TestTransfersAndArbs:
+    def test_transfer_executes(self, market, traders):
+        state, *_ = market
+        tx = traders.make_transfer(state, FEES)
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0)
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert receipt is not None and receipt.status
+
+    def test_naive_arb_when_gap_exists(self, market, traders):
+        state, registry, *_ = market
+        tx = traders.make_naive_arbitrage(state, registry, FEES)
+        assert tx is not None
+        assert isinstance(tx.intent, ArbitrageIntent)
+        assert tx.meta["role"] == "amateur-arb"
+
+    def test_no_arb_without_gap(self, traders):
+        from repro.chain.state import WorldState
+        from repro.dex.registry import UNISWAP_V2, ExchangeRegistry
+        state = WorldState()
+        registry = ExchangeRegistry()
+        pool = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        pool.add_liquidity(state, WETH=ether(100), DAI=ether(300_000))
+        assert traders.make_naive_arbitrage(state, registry,
+                                            FEES) is None
+
+
+class TestBorrowers:
+    def test_borrow_opens_fragile_loan(self, market):
+        state, registry, oracle, lending, *_ = market
+        borrowers = BorrowerPopulation(random.Random(5), accounts=10)
+        tx = borrowers.make_borrow(state, lending, oracle, FEES)
+        assert tx is not None
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts={lending.address: lending})
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert receipt.status
+        loans = lending.open_loans()
+        assert len(loans) == 1
+        health = lending.health_factor(loans[0])
+        assert 1.0 < health < 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BorrowerPopulation(random.Random(1), accounts=0)
+        with pytest.raises(ValueError):
+            BorrowerPopulation(random.Random(1), target_health=0.9)
+
+
+class TestOracleKeeper:
+    def test_updates_on_schedule(self, market):
+        state, _, oracle, *_ = market
+        universe = PriceUniverse(seed=1)
+        universe.add_token("DAI", oracle.price("DAI"))
+        keeper = OracleKeeper(random.Random(5), oracle, universe,
+                              update_interval_blocks=10)
+        assert keeper.make_updates(state, FEES, block_number=7) == []
+        updates = keeper.make_updates(state, FEES, block_number=10)
+        assert len(updates) == 1
+        assert updates[0].intent.token == "DAI"
+
+    def test_updates_execute_and_change_price(self, market):
+        state, _, oracle, *_ = market
+        before = oracle.price("DAI")
+        universe = PriceUniverse(seed=1)
+        universe.add_token("DAI", before, volatility=0.5)
+        keeper = OracleKeeper(random.Random(5), oracle, universe,
+                              update_interval_blocks=1)
+        tx = keeper.make_updates(state, FEES, block_number=1)[0]
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts={oracle.address: oracle})
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert receipt.status
+        assert oracle.price("DAI") != before
+
+    def test_interval_validation(self, market):
+        _, _, oracle, *_ = market
+        with pytest.raises(ValueError):
+            OracleKeeper(random.Random(1), oracle, PriceUniverse(),
+                         update_interval_blocks=0)

@@ -1,0 +1,130 @@
+"""Tests for triangular arbitrage through a connector pool."""
+
+import pytest
+
+from repro.agents.searcher import ArbitrageSearcher, ChannelPolicy
+from repro.chain.block import BlockBuilder
+from repro.chain.state import WorldState
+from repro.chain.types import address_from_label, ether
+from repro.dex.registry import CURVE, SUSHISWAP, UNISWAP_V2, \
+    ExchangeRegistry
+from repro.lending.oracle import PRICE_SCALE, PriceOracle
+
+from tests.agents.conftest import make_view
+
+MINER = address_from_label("tri-miner")
+
+
+@pytest.fixture
+def triangle_market():
+    """WETH/DAI and WETH/USDC at parity, but the Curve DAI/USDC pool is
+    heavily imbalanced → a pure triangular opportunity."""
+    state = WorldState()
+    registry = ExchangeRegistry()
+    weth_dai = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+    weth_usdc = registry.create_pool(SUSHISWAP, "WETH", "USDC")
+    curve = registry.create_pool(CURVE, "DAI", "USDC")
+    weth_dai.add_liquidity(state, WETH=ether(2_000),
+                           DAI=ether(6_000_000))
+    weth_usdc.add_liquidity(state, WETH=ether(2_000),
+                            USDC=ether(6_000_000))
+    # Heavy depeg: 1.5M DAI vs 8.5M USDC → DAI trades ~2.6 % rich on
+    # Curve, comfortably above the 0.64 % round-trip fee floor.
+    curve.add_liquidity(state, DAI=ether(1_500_000),
+                        USDC=ether(8_500_000))
+    oracle = PriceOracle()
+    oracle.set_price("DAI", PRICE_SCALE // 3_000)
+    oracle.set_price("USDC", PRICE_SCALE // 3_000)
+    lending = None
+    flash = None
+    return state, registry, oracle, weth_dai, weth_usdc, curve
+
+
+def view_for(market, seed=3):
+    state, registry, oracle, *_ = market
+    import random
+    from repro.agents.fees import FeeModel
+    from repro.agents.searcher import MarketView
+    from repro.chain.types import gwei
+    return MarketView(state=state, registry=registry, oracle=oracle,
+                      pending=[], block_number=100,
+                      fees=FeeModel(base_fee=0, london_active=False,
+                                    prevailing=gwei(50)),
+                      rng=random.Random(seed))
+
+
+class TestTriangleSearch:
+    def test_candidates_enumerated(self, triangle_market):
+        searcher = ArbitrageSearcher("tri", ChannelPolicy(),
+                                     min_profit_wei=ether(0.01))
+        routes = searcher._triangle_candidates(view_for(triangle_market))
+        assert len(routes) == 2  # both orientations
+        assert all(len(route) == 3 for route in routes)
+
+    def test_triangle_opportunity_found_and_profitable(self,
+                                                       triangle_market):
+        state, registry, *_ = triangle_market
+        searcher = ArbitrageSearcher("tri", ChannelPolicy(),
+                                     min_profit_wei=ether(0.01))
+        state.credit_eth(searcher.address, ether(1_000))
+        state.mint_token("WETH", searcher.address, ether(1_000))
+        submissions = searcher.scan(view_for(triangle_market))
+        assert len(submissions) == 1
+        tx = submissions[0].txs[0]
+        assert len(tx.intent.route) == 3
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=registry.contracts)
+        receipt = builder.apply_transaction(tx)
+        builder.finalize()
+        assert receipt.status
+        assert state.token_balance("WETH", searcher.address) > \
+            ether(1_000)
+
+    def test_triangle_detected_as_three_venue_arbitrage(self,
+                                                        triangle_market):
+        """The Qin heuristic reports the full three-venue cycle."""
+        state, registry, oracle, *_ = triangle_market
+        searcher = ArbitrageSearcher("tri", ChannelPolicy(),
+                                     min_profit_wei=ether(0.01))
+        state.credit_eth(searcher.address, ether(1_000))
+        state.mint_token("WETH", searcher.address, ether(1_000))
+        tx = searcher.scan(view_for(triangle_market))[0].txs[0]
+        from repro.chain.node import ArchiveNode, Blockchain
+        from repro.core.heuristics.arbitrage import detect_arbitrages
+        from repro.core.profit import PriceService
+        chain = Blockchain()
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=registry.contracts)
+        builder.apply_transaction(tx)
+        chain.append(builder.finalize())
+        records = detect_arbitrages(ArchiveNode(chain),
+                                    PriceService(oracle))
+        assert len(records) == 1
+        record = records[0]
+        assert len(record.venues) == 3
+        assert "Curve" in record.venues
+        assert record.token_cycle[0] == record.token_cycle[-1] == "WETH"
+        assert record.profit_wei > 0
+
+    def test_balanced_connector_no_triangle(self):
+        state = WorldState()
+        registry = ExchangeRegistry()
+        weth_dai = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        weth_usdc = registry.create_pool(SUSHISWAP, "WETH", "USDC")
+        curve = registry.create_pool(CURVE, "DAI", "USDC")
+        weth_dai.add_liquidity(state, WETH=ether(2_000),
+                               DAI=ether(6_000_000))
+        weth_usdc.add_liquidity(state, WETH=ether(2_000),
+                                USDC=ether(6_000_000))
+        curve.add_liquidity(state, DAI=ether(5_000_000),
+                            USDC=ether(5_000_000))
+        oracle = PriceOracle()
+        oracle.set_price("DAI", PRICE_SCALE // 3_000)
+        oracle.set_price("USDC", PRICE_SCALE // 3_000)
+        market = (state, registry, oracle, weth_dai, weth_usdc, curve)
+        searcher = ArbitrageSearcher("tri", ChannelPolicy(),
+                                     min_profit_wei=ether(0.01))
+        state.mint_token("WETH", searcher.address, ether(1_000))
+        assert searcher.scan(view_for(market)) == []

@@ -1,0 +1,69 @@
+"""Tests for the Section 8.3 random-ordering ablation."""
+
+import random
+
+import pytest
+
+from repro.analysis.ablation import (
+    _dart_survival,
+    _shuffle_survival,
+    random_ordering_ablation,
+)
+from repro.core.datasets import MevDataset
+
+
+class TestShuffleSurvival:
+    def test_three_tx_block_matches_exact(self):
+        rng = random.Random(0)
+        hits, _ = _shuffle_survival(range(3), 0, 1, 2, rng, 12_000)
+        assert hits / 12_000 == pytest.approx(1 / 6, abs=0.02)
+
+    def test_backrun_survival_half(self):
+        rng = random.Random(0)
+        _, backruns = _shuffle_survival(range(10), 0, 1, 2, rng, 12_000)
+        assert backruns / 12_000 == pytest.approx(0.5, abs=0.02)
+
+    def test_survival_independent_of_block_size(self):
+        rng = random.Random(0)
+        small, _ = _shuffle_survival(range(4), 0, 1, 2, rng, 12_000)
+        big, _ = _shuffle_survival(range(40), 0, 1, 2, rng, 12_000)
+        assert small / 12_000 == pytest.approx(big / 12_000, abs=0.03)
+
+
+class TestDartSurvival:
+    def test_more_copies_more_survival(self):
+        rng = random.Random(1)
+        one = _dart_survival(10, 1, rng, 6_000)
+        four = _dart_survival(10, 4, rng, 6_000)
+        assert four > one
+
+    def test_one_copy_matches_exact(self):
+        rng = random.Random(1)
+        survival = _dart_survival(10, 1, rng, 20_000)
+        assert survival == pytest.approx(1 / 6, abs=0.02)
+
+    def test_bounded(self):
+        rng = random.Random(1)
+        assert 0.0 <= _dart_survival(5, 8, rng, 2_000) <= 1.0
+
+
+class TestReport:
+    def test_empty_dataset_returns_none(self, ):
+        from repro.chain.node import ArchiveNode, Blockchain
+        node = ArchiveNode(Blockchain())
+        assert random_ordering_ablation(node, MevDataset()) is None
+
+    def test_report_on_real_sandwich(self, ):
+        from tests.core.conftest import ChainHarness
+        harness = ChainHarness()
+        harness.mine_sandwich()
+        from repro.core.heuristics.sandwich import detect_sandwiches
+        dataset = MevDataset(
+            sandwiches=detect_sandwiches(harness.node, harness.prices))
+        report = random_ordering_ablation(harness.node, dataset,
+                                          shuffles=4_000)
+        assert report is not None
+        assert report.sandwiches_tested == 1
+        assert report.sandwich_survival == pytest.approx(1 / 6,
+                                                         abs=0.03)
+        assert report.dart_survival > report.sandwich_survival

@@ -1,0 +1,123 @@
+"""Unit tests for figure builders on hand-crafted inputs."""
+
+import pytest
+
+from repro.analysis.figures import (
+    bundle_stats,
+    fig9_private_distribution,
+)
+from repro.analysis.tables import build_table1
+from repro.chain.intents import CoinbaseTipIntent
+from repro.chain.mempool import Mempool
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.core.datasets import (
+    ArbitrageRecord,
+    MevDataset,
+    PRIVACY_FLASHBOTS,
+    PRIVACY_PRIVATE,
+    PRIVACY_PUBLIC,
+    SandwichRecord,
+)
+from repro.flashbots.api import FlashbotsBlocksApi
+from repro.flashbots.bundle import MINER_PAYOUT, make_bundle
+from repro.flashbots.mev_geth import build_block
+
+MINER = address_from_label("figtest-miner")
+
+
+def sandwich(privacy, fb=False, block=150, profit=10**18):
+    return SandwichRecord(
+        block_number=block, pool_address="0x" + "00" * 20,
+        venue="UniswapV2", extractor="0x" + "aa" * 20,
+        victim="0x" + "bb" * 20, front_tx=f"0xf{block}{privacy}",
+        victim_tx=f"0xv{block}", back_tx=f"0xb{block}{privacy}",
+        token_in="WETH", token_out="DAI", frontrun_amount_in=1,
+        backrun_amount_out=2, gain_wei=profit, cost_wei=0,
+        via_flashbots=fb, privacy=privacy)
+
+
+class TestFig9Unit:
+    def test_counts_and_shares(self):
+        dataset = MevDataset(sandwiches=[
+            sandwich(PRIVACY_FLASHBOTS, fb=True),
+            sandwich(PRIVACY_FLASHBOTS, fb=True, block=151),
+            sandwich(PRIVACY_PRIVATE, block=152),
+            sandwich(PRIVACY_PUBLIC, block=153),
+            sandwich(None, block=154),  # outside the window: excluded
+        ])
+        dist = fig9_private_distribution(dataset)
+        assert dist.total == 4
+        assert dist.flashbots == 2
+        assert dist.share("flashbots") == 0.5
+        assert dist.share("private") == 0.25
+
+    def test_empty_dataset(self):
+        dist = fig9_private_distribution(MevDataset())
+        assert dist.total == 0
+        assert dist.share("flashbots") == 0.0
+
+
+class TestTable1Unit:
+    def test_rows_and_total(self):
+        dataset = MevDataset(
+            sandwiches=[sandwich(None, fb=True)],
+            arbitrages=[ArbitrageRecord(
+                block_number=1, tx_hash="0xa",
+                extractor="0x" + "cc" * 20, venues=("UniswapV2",),
+                token_cycle=("WETH", "WETH"), amount_in=1, amount_out=2,
+                gain_wei=1, cost_wei=0, via_flashbots=True,
+                via_flashloan=True)])
+        rows = {r.strategy: r for r in build_table1(dataset)}
+        assert rows["Sandwiching"].extractions == 1
+        assert rows["Arbitrage"].via_both == 1
+        assert rows["Total"].extractions == 2
+        assert rows["Total"].share_flashbots() == 1.0
+
+    def test_empty_dataset_safe(self):
+        rows = build_table1(MevDataset())
+        assert all(r.extractions == 0 for r in rows)
+        assert all(r.share_flashbots() == 0.0 for r in rows)
+
+
+class TestBundleStatsUnit:
+    def make_api(self):
+        state = WorldState()
+        api = FlashbotsBlocksApi()
+        searcher = address_from_label("figtest-searcher")
+        state.credit_eth(searcher, ether(100))
+        state.credit_eth(MINER, ether(100))
+        tip_tx = Transaction(sender=searcher, nonce=0, to=MINER,
+                             gas_price=gwei(1), gas_limit=30_000,
+                             intent=CoinbaseTipIntent(tip=ether(1)))
+        single = make_bundle(searcher, [tip_tx], 5)
+        payout_txs = [Transaction(sender=MINER, nonce=i,
+                                  to=address_from_label(f"member{i}"),
+                                  value=ether(0.1), gas_limit=21_000,
+                                  gas_price=gwei(1))
+                      for i in range(3)]
+        payout = make_bundle(MINER, payout_txs, 5,
+                             bundle_type=MINER_PAYOUT)
+        result = build_block(state, Mempool(), number=5, timestamp=65,
+                             coinbase=MINER, base_fee=0,
+                             bundles=[single, payout])
+        api.record_block(5, MINER, result.included_bundles)
+        return api
+
+    def test_stats_from_known_bundles(self):
+        stats = bundle_stats(self.make_api())
+        assert stats.total_blocks == 1
+        assert stats.total_bundles == 2
+        assert stats.bundles_per_block_mean == 2.0
+        assert stats.txs_per_bundle_mean == 2.0  # (1 + 3) / 2
+        assert stats.largest_bundle_txs == 3
+        assert stats.single_tx_bundle_share == 0.5
+        assert stats.type_shares == {"flashbots": 0.5,
+                                     "miner_payout": 0.5}
+
+    def test_empty_api(self):
+        stats = bundle_stats(FlashbotsBlocksApi())
+        assert stats.total_blocks == 0
+        assert stats.total_bundles == 0
+        assert stats.type_shares == {}

@@ -1,0 +1,62 @@
+"""Unit tests for the goal audits (Section 5)."""
+
+from repro.analysis.goals import negative_profits, profit_distribution
+from repro.core.datasets import MevDataset, SandwichRecord
+
+
+def sandwich(fb, gain_eth, cost_eth=0.0, miner_revenue_eth=0.0,
+             block=1):
+    return SandwichRecord(
+        block_number=block, pool_address="0x" + "00" * 20,
+        venue="UniswapV2", extractor="0x" + "aa" * 20,
+        victim="0x" + "bb" * 20, front_tx=f"0xf{block}{fb}{gain_eth}",
+        victim_tx=f"0xv{block}", back_tx=f"0xb{block}{fb}{gain_eth}",
+        token_in="WETH", token_out="DAI", frontrun_amount_in=1,
+        backrun_amount_out=2, gain_wei=int(gain_eth * 10**18),
+        cost_wei=int(cost_eth * 10**18),
+        miner_revenue_wei=int(miner_revenue_eth * 10**18),
+        via_flashbots=fb)
+
+
+class TestNegativeProfits:
+    def test_counts_only_flashbots_losers(self):
+        dataset = MevDataset(sandwiches=[
+            sandwich(True, gain_eth=1.0, cost_eth=0.5, block=1),
+            sandwich(True, gain_eth=0.1, cost_eth=0.4, block=2),   # loss
+            sandwich(False, gain_eth=0.1, cost_eth=0.9, block=3),  # non-FB
+        ])
+        report = negative_profits(dataset)
+        assert report.flashbots_sandwiches == 2
+        assert report.unprofitable == 1
+        assert report.unprofitable_share == 0.5
+        assert report.loss_total_eth == 0.3
+
+    def test_empty(self):
+        report = negative_profits(MevDataset())
+        assert report.unprofitable_share == 0.0
+        assert report.loss_total_eth == 0.0
+
+
+class TestProfitDistribution:
+    def test_uplift_and_drop(self):
+        dataset = MevDataset(sandwiches=[
+            # FB: miner takes 0.4, searcher keeps 0.1
+            sandwich(True, gain_eth=0.5, cost_eth=0.4,
+                     miner_revenue_eth=0.4, block=1),
+            # non-FB: miner takes 0.1, searcher keeps 0.4
+            sandwich(False, gain_eth=0.5, cost_eth=0.1,
+                     miner_revenue_eth=0.1, block=2),
+        ])
+        report = profit_distribution(dataset)
+        assert report.miner_uplift == 4.0
+        assert report.searcher_drop == 0.75
+        assert report.miners_gain_with_flashbots
+        assert report.searchers_lose_with_flashbots
+
+    def test_no_non_fb_population(self):
+        dataset = MevDataset(sandwiches=[
+            sandwich(True, gain_eth=0.5, cost_eth=0.4,
+                     miner_revenue_eth=0.4)])
+        report = profit_distribution(dataset)
+        assert report.miner_uplift == 0.0  # undefined → 0 sentinel
+        assert report.searcher_drop == 0.0

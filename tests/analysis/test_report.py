@@ -1,0 +1,51 @@
+"""Tests for ASCII rendering helpers."""
+
+from repro.analysis.report import percent, render_kv, render_series, \
+    render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["Name", "Count"],
+                            [("sandwich", 10), ("arb", 2_000)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "Name" in lines[0]
+        assert "sandwich" in lines[2]
+        assert "2000" in lines[3]
+
+    def test_column_widths_consistent(self):
+        text = render_table(["A", "B"], [("xx", 1), ("y", 22)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty_rows(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestRenderSeries:
+    def test_bars_scale_to_peak(self):
+        text = render_series("t", [("jan", 1.0), ("feb", 2.0)],
+                             width=10)
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty_series(self):
+        assert "(empty)" in render_series("t", [])
+
+    def test_zero_values(self):
+        text = render_series("t", [("jan", 0.0)])
+        assert "#" not in text
+
+
+class TestMisc:
+    def test_percent(self):
+        assert percent(0.5) == "50.0%"
+        assert percent(0.056) == "5.6%"
+
+    def test_render_kv(self):
+        text = render_kv("Stats", [("total", 10), ("share", "47.6%")])
+        assert "total" in text and "47.6%" in text

@@ -1,0 +1,64 @@
+"""Tests for analysis statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    infer_miner_accounts,
+    mean_median_std,
+    miners_with_at_least,
+)
+from collections import Counter
+
+from repro.core.datasets import MevDataset, SandwichRecord
+
+
+def sandwich(extractor, miner, block):
+    return SandwichRecord(
+        block_number=block, pool_address="0x" + "00" * 20,
+        venue="UniswapV2", extractor=extractor, victim="0x" + "bb" * 20,
+        front_tx=f"0xf{block}", victim_tx=f"0xv{block}",
+        back_tx=f"0xb{block}", token_in="WETH", token_out="DAI",
+        frontrun_amount_in=1, backrun_amount_out=2, gain_wei=10,
+        cost_wei=1, miner=miner)
+
+
+class TestMeanMedianStd:
+    def test_basic(self):
+        mean, median, std = mean_median_std([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert median == 2.0
+        assert std == pytest.approx(0.8165, rel=1e-3)
+
+    def test_empty(self):
+        assert mean_median_std([]) == (0.0, 0.0, 0.0)
+
+    def test_single(self):
+        assert mean_median_std([5.0]) == (5.0, 5.0, 0.0)
+
+
+class TestMinersWithAtLeast:
+    def test_threshold(self):
+        counter = Counter({"a": 10, "b": 3, "c": 1})
+        assert miners_with_at_least(counter, 1) == 3
+        assert miners_with_at_least(counter, 3) == 2
+        assert miners_with_at_least(counter, 11) == 0
+
+
+class TestInferMinerAccounts:
+    def test_dominated_account_flagged(self):
+        acct, miner = "0x" + "a1" * 20, "0x" + "d4" * 20
+        dataset = MevDataset(sandwiches=[
+            sandwich(acct, miner, b) for b in range(6)])
+        assert infer_miner_accounts(dataset) == {acct}
+
+    def test_spread_account_not_flagged(self):
+        acct = "0x" + "a1" * 20
+        dataset = MevDataset(sandwiches=[
+            sandwich(acct, f"0x{i:02d}" + "00" * 19, b)
+            for b, i in zip(range(6), (1, 2, 3, 1, 2, 3))])
+        assert infer_miner_accounts(dataset) == set()
+
+    def test_min_count_respected(self):
+        acct, miner = "0x" + "a1" * 20, "0x" + "d4" * 20
+        dataset = MevDataset(sandwiches=[sandwich(acct, miner, 1)])
+        assert infer_miner_accounts(dataset, min_count=5) == set()

@@ -1,0 +1,196 @@
+"""Tests for block building: fees, validity, atomic sequences, finalize."""
+
+import pytest
+
+from repro.chain.block import BlockBuilder
+from repro.chain.gas import BLOCK_REWARD
+from repro.chain.intents import CoinbaseTipIntent, FailingIntent, \
+    TokenTransferIntent
+from repro.chain.state import WorldState
+from repro.chain.transaction import EIP1559, Transaction
+from repro.chain.types import address_from_label, ether, gwei
+
+A = address_from_label("alice")
+B = address_from_label("bob")
+MINER = address_from_label("miner")
+
+
+@pytest.fixture
+def state():
+    s = WorldState()
+    s.credit_eth(A, ether(100))
+    s.credit_eth(B, ether(100))
+    return s
+
+
+def builder(state, base_fee=0, burn=False, number=1):
+    return BlockBuilder(state, number=number, timestamp=13 * number,
+                        coinbase=MINER, base_fee=base_fee,
+                        burn_base_fee=burn)
+
+
+def payment(sender=A, nonce=0, value=ether(1), price=gwei(50), **kw):
+    return Transaction(sender=sender, nonce=nonce, to=B, value=value,
+                       gas_price=price, **kw)
+
+
+class TestFeeAccounting:
+    def test_pre_london_miner_gets_full_fee(self, state):
+        bld = builder(state)
+        receipt = bld.apply_transaction(payment())
+        assert receipt.status
+        expected_fee = 21_000 * gwei(50)
+        assert receipt.miner_fee == expected_fee
+        assert receipt.burned_fee == 0
+        assert state.eth_balance(MINER) == expected_fee
+
+    def test_post_london_base_fee_burned(self, state):
+        tx = Transaction(sender=A, nonce=0, to=B, value=0,
+                         tx_type=EIP1559, max_fee_per_gas=gwei(100),
+                         max_priority_fee_per_gas=gwei(2))
+        bld = builder(state, base_fee=gwei(40), burn=True)
+        receipt = bld.apply_transaction(tx)
+        assert receipt.effective_gas_price == gwei(42)
+        assert receipt.miner_fee == 21_000 * gwei(2)
+        assert receipt.burned_fee == 21_000 * gwei(40)
+        # burned wei vanished from total supply
+        total = sum(state.eth_balance(x) for x in (A, B, MINER))
+        assert total == ether(200) - receipt.burned_fee
+
+    def test_sender_pays_value_plus_fee(self, state):
+        bld = builder(state)
+        receipt = bld.apply_transaction(payment(value=ether(1)))
+        assert state.eth_balance(A) == ether(99) - receipt.total_fee
+
+    def test_unused_gas_refunded(self, state):
+        tx = payment(gas_limit=1_000_000)
+        bld = builder(state)
+        receipt = bld.apply_transaction(tx)
+        assert receipt.gas_used == 21_000
+        assert state.eth_balance(A) == ether(99) - 21_000 * gwei(50)
+
+    def test_failed_tx_burns_gas_limit_but_reverts_effects(self, state):
+        tx = Transaction(sender=A, nonce=0, to=B, gas_limit=100_000,
+                         gas_price=gwei(50), intent=FailingIntent())
+        bld = builder(state)
+        receipt = bld.apply_transaction(tx)
+        assert not receipt.status
+        assert receipt.gas_used == 100_000
+        assert receipt.error == "faulty contract"
+        assert state.eth_balance(A) == ether(100) - 100_000 * gwei(50)
+
+    def test_coinbase_transfer_recorded(self, state):
+        tx = Transaction(sender=A, nonce=0, to=MINER, gas_price=gwei(1),
+                         gas_limit=30_000,
+                         intent=CoinbaseTipIntent(tip=ether(2)))
+        bld = builder(state)
+        receipt = bld.apply_transaction(tx)
+        assert receipt.coinbase_transfer == ether(2)
+        assert receipt.total_miner_payment == ether(2) + receipt.miner_fee
+
+
+class TestValidity:
+    def test_wrong_nonce_skipped(self, state):
+        bld = builder(state)
+        assert bld.apply_transaction(payment(nonce=3)) is None
+        assert state.eth_balance(A) == ether(100)
+
+    def test_underfunded_skipped(self, state):
+        poor = address_from_label("poor")
+        tx = Transaction(sender=poor, nonce=0, to=B, value=ether(1),
+                         gas_price=gwei(1))
+        assert builder(state).apply_transaction(tx) is None
+
+    def test_below_base_fee_skipped(self, state):
+        bld = builder(state, base_fee=gwei(100), burn=True)
+        assert bld.apply_transaction(payment(price=gwei(50))) is None
+
+    def test_over_block_gas_limit_skipped(self, state):
+        bld = builder(state)
+        bld.gas_used = bld.gas_limit - 1_000
+        assert bld.apply_transaction(payment()) is None
+
+    def test_nonce_advances_within_block(self, state):
+        bld = builder(state)
+        assert bld.apply_transaction(payment(nonce=0)) is not None
+        assert bld.apply_transaction(payment(nonce=1)) is not None
+        assert bld.apply_transaction(payment(nonce=1)) is None
+
+
+class TestAtomicSequences:
+    def test_all_applied_on_success(self, state):
+        bld = builder(state)
+        receipts = bld.apply_atomic_sequence(
+            [payment(nonce=0), payment(nonce=1)])
+        assert receipts is not None and len(receipts) == 2
+        assert len(bld.transactions) == 2
+
+    def test_failure_rolls_back_everything(self, state):
+        state.mint_token("DAI", A, 100)
+        good = Transaction(sender=A, nonce=0, to=B, gas_price=gwei(5),
+                           gas_limit=60_000,
+                           intent=TokenTransferIntent("DAI", B, 100))
+        bad = Transaction(sender=A, nonce=1, to=B, gas_price=gwei(5),
+                          gas_limit=60_000, intent=FailingIntent())
+        bld = builder(state)
+        assert bld.apply_atomic_sequence([good, bad]) is None
+        assert state.token_balance("DAI", A) == 100
+        assert state.eth_balance(A) == ether(100)
+        assert state.eth_balance(MINER) == 0
+        assert state.nonce(A) == 0
+        assert bld.transactions == []
+        assert bld.gas_used == 0
+
+    def test_invalid_member_rolls_back(self, state):
+        bld = builder(state)
+        assert bld.apply_atomic_sequence(
+            [payment(nonce=0), payment(nonce=5)]) is None
+        assert bld.transactions == []
+
+    def test_allows_revert_when_not_required(self, state):
+        bad = Transaction(sender=A, nonce=0, to=B, gas_price=gwei(5),
+                          gas_limit=60_000, intent=FailingIntent())
+        bld = builder(state)
+        receipts = bld.apply_atomic_sequence([bad], require_success=False)
+        assert receipts is not None
+        assert not receipts[0].status
+
+    def test_block_usable_after_rollback(self, state):
+        bld = builder(state)
+        assert bld.apply_atomic_sequence([payment(nonce=9)]) is None
+        assert bld.apply_transaction(payment(nonce=0)) is not None
+
+
+class TestFinalize:
+    def test_block_reward_paid(self, state):
+        bld = builder(state)
+        bld.apply_transaction(payment())
+        block = bld.finalize()
+        assert state.eth_balance(MINER) == BLOCK_REWARD + block.receipts[0].miner_fee
+
+    def test_double_finalize_rejected(self, state):
+        bld = builder(state)
+        bld.finalize()
+        with pytest.raises(RuntimeError):
+            bld.finalize()
+
+    def test_logs_stamped_with_coordinates(self, state):
+        state.mint_token("DAI", A, 10)
+        tx = Transaction(sender=A, nonce=0, to=B, gas_price=gwei(5),
+                         gas_limit=60_000,
+                         intent=TokenTransferIntent("DAI", B, 10))
+        bld = builder(state, number=42)
+        bld.apply_transaction(payment(sender=B, nonce=0))
+        bld.apply_transaction(tx)
+        block = bld.finalize()
+        log = block.receipts[1].logs[0]
+        assert log.block_number == 42
+        assert log.tx_index == 1
+        assert log.log_index == 0
+        assert log.tx_hash == tx.hash
+
+    def test_miner_revenue_sums_components(self, state):
+        bld = builder(state)
+        bld.apply_transaction(payment())
+        block = bld.finalize()
+        assert block.miner_revenue() == BLOCK_REWARD + block.receipts[0].miner_fee

@@ -1,0 +1,123 @@
+"""Property tests for economic conservation across block building.
+
+The EVM's core invariant: value is neither created nor destroyed except
+by the block reward (created) and, post-London, the burned base fee
+(destroyed).  These properties hold for arbitrary mixes of payments,
+failing transactions, and atomic sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import BlockBuilder
+from repro.chain.gas import BLOCK_REWARD
+from repro.chain.intents import CoinbaseTipIntent, FailingIntent
+from repro.chain.state import WorldState
+from repro.chain.transaction import EIP1559, Transaction
+from repro.chain.types import address_from_label, ether, gwei
+
+ACCOUNTS = [address_from_label(f"conserve-{i}") for i in range(4)]
+MINER = address_from_label("conserve-miner")
+
+tx_strategy = st.tuples(
+    st.integers(0, 3),            # sender index
+    st.integers(0, 3),            # recipient index
+    st.integers(0, 10**18),       # value
+    st.integers(1, 200),          # gas price in gwei
+    st.sampled_from(["pay", "fail", "tip"]),
+)
+
+
+def total_eth(state):
+    return sum(state.eth_balance(a) for a in ACCOUNTS) \
+        + state.eth_balance(MINER)
+
+
+def build_txs(state, specs):
+    txs = []
+    nonces = {a: state.nonce(a) for a in ACCOUNTS}
+    for sender_i, recipient_i, value, price, kind in specs:
+        sender = ACCOUNTS[sender_i]
+        intent = None
+        if kind == "fail":
+            intent = FailingIntent()
+        elif kind == "tip":
+            intent = CoinbaseTipIntent(tip=min(value, ether(1)))
+        txs.append(Transaction(
+            sender=sender, nonce=nonces[sender],
+            to=ACCOUNTS[recipient_i], value=value,
+            gas_limit=120_000, gas_price=gwei(price), intent=intent))
+        nonces[sender] += 1
+    return txs
+
+
+class TestConservationPreLondon:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(tx_strategy, max_size=12))
+    def test_no_value_leaks(self, specs):
+        state = WorldState()
+        for account in ACCOUNTS:
+            state.credit_eth(account, ether(100))
+        before = total_eth(state)
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0)
+        for tx in build_txs(state, specs):
+            builder.apply_transaction(tx)
+        builder.finalize()
+        # Pre-London nothing is burned: the only new wei is the reward.
+        assert total_eth(state) == before + BLOCK_REWARD
+
+
+class TestConservationPostLondon:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(tx_strategy, max_size=12))
+    def test_burn_accounted_exactly(self, specs):
+        state = WorldState()
+        for account in ACCOUNTS:
+            state.credit_eth(account, ether(100))
+        before = total_eth(state)
+        base_fee = gwei(30)
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=base_fee,
+                               burn_base_fee=True)
+        for sender_i, recipient_i, value, price, kind in specs:
+            sender = ACCOUNTS[sender_i]
+            intent = FailingIntent() if kind == "fail" else None
+            tx = Transaction(
+                sender=sender, nonce=state.nonce(sender),
+                to=ACCOUNTS[recipient_i], value=value,
+                gas_limit=120_000, tx_type=EIP1559,
+                max_fee_per_gas=base_fee + gwei(price),
+                max_priority_fee_per_gas=gwei(min(price, 5)),
+                intent=intent)
+            builder.apply_transaction(tx)
+        block = builder.finalize()
+        burned = sum(r.burned_fee for r in block.receipts)
+        assert burned == base_fee * block.gas_used
+        assert total_eth(state) == before + BLOCK_REWARD - burned
+
+
+class TestSequenceRollbackConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(tx_strategy, min_size=1, max_size=6))
+    def test_failed_sequences_leave_no_trace(self, specs):
+        """An atomic sequence ending in a guaranteed failure changes
+        nothing — not even by one wei."""
+        state = WorldState()
+        for account in ACCOUNTS:
+            state.credit_eth(account, ether(100))
+        balances = {a: state.eth_balance(a) for a in ACCOUNTS}
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0)
+        txs = build_txs(state, specs)
+        poison = Transaction(sender=ACCOUNTS[0],
+                             nonce=state.nonce(ACCOUNTS[0]) + len([
+                                 t for t in txs
+                                 if t.sender == ACCOUNTS[0]]),
+                             to=ACCOUNTS[1], gas_limit=60_000,
+                             gas_price=gwei(5), intent=FailingIntent())
+        assert builder.apply_atomic_sequence(txs + [poison]) is None
+        for account in ACCOUNTS:
+            assert state.eth_balance(account) == balances[account]
+        assert state.eth_balance(MINER) == 0

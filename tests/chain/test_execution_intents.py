@@ -1,0 +1,125 @@
+"""Unit tests for the execution context and basic intents."""
+
+import pytest
+
+from repro.chain.execution import (
+    ExecutionContext,
+    Revert,
+    execute_transaction,
+)
+from repro.chain.intents import (
+    CoinbaseTipIntent,
+    FailingIntent,
+    SequenceIntent,
+    TokenTransferIntent,
+)
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether
+
+A = address_from_label("exec-a")
+B = address_from_label("exec-b")
+MINER = address_from_label("exec-miner")
+
+
+@pytest.fixture
+def state():
+    s = WorldState()
+    s.credit_eth(A, ether(10))
+    s.mint_token("DAI", A, ether(100))
+    return s
+
+
+def ctx_for(state, tx=None):
+    tx = tx or Transaction(sender=A, nonce=0, to=B)
+    return ExecutionContext(state, tx, block_number=1, coinbase=MINER)
+
+
+class TestExecutionContext:
+    def test_emit_collects_logs(self, state):
+        ctx = ctx_for(state)
+        from repro.chain.events import TransferEvent
+        ctx.emit(TransferEvent(address=B, token="DAI", sender=A,
+                               recipient=B, amount=1))
+        assert len(ctx.logs) == 1
+
+    def test_pay_coinbase_moves_eth(self, state):
+        ctx = ctx_for(state)
+        ctx.pay_coinbase(ether(1))
+        assert state.eth_balance(MINER) == ether(1)
+        assert ctx.coinbase_transfer == ether(1)
+
+    def test_pay_coinbase_negative_rejected(self, state):
+        with pytest.raises(ValueError):
+            ctx_for(state).pay_coinbase(-1)
+
+    def test_contract_lookup_reverts_when_missing(self, state):
+        with pytest.raises(Revert):
+            ctx_for(state).contract(B)
+
+    def test_value_transfer_without_intent(self, state):
+        tx = Transaction(sender=A, nonce=0, to=B, value=ether(2))
+        outcome = execute_transaction(state, tx, 1, MINER)
+        assert outcome.success
+        assert outcome.gas_used == 21_000
+        assert state.eth_balance(B) == ether(2)
+
+    def test_insufficient_value_reverts_cleanly(self, state):
+        tx = Transaction(sender=A, nonce=0, to=B, value=ether(100))
+        outcome = execute_transaction(state, tx, 1, MINER)
+        assert not outcome.success
+        assert state.eth_balance(B) == 0
+        assert state.eth_balance(A) == ether(10)
+
+
+class TestBasicIntents:
+    def test_token_transfer_intent(self, state):
+        tx = Transaction(sender=A, nonce=0, to=B,
+                         intent=TokenTransferIntent("DAI", B,
+                                                    ether(5)))
+        outcome = execute_transaction(state, tx, 1, MINER)
+        assert outcome.success
+        assert state.token_balance("DAI", B) == ether(5)
+        assert len(outcome.logs) == 1
+
+    def test_token_transfer_zero_reverts(self, state):
+        tx = Transaction(sender=A, nonce=0, to=B,
+                         intent=TokenTransferIntent("DAI", B, 0))
+        assert not execute_transaction(state, tx, 1, MINER).success
+
+    def test_failing_intent_reason_surfaces(self, state):
+        tx = Transaction(sender=A, nonce=0, to=B,
+                         intent=FailingIntent(reason="boom"))
+        outcome = execute_transaction(state, tx, 1, MINER)
+        assert not outcome.success
+        assert outcome.error == "boom"
+
+
+class TestSequenceIntent:
+    def test_runs_members_in_order(self, state):
+        seq = SequenceIntent([TokenTransferIntent("DAI", B, ether(1)),
+                              CoinbaseTipIntent(tip=ether(1))])
+        tx = Transaction(sender=A, nonce=0, to=B, intent=seq)
+        outcome = execute_transaction(state, tx, 1, MINER)
+        assert outcome.success
+        assert state.token_balance("DAI", B) == ether(1)
+        assert state.eth_balance(MINER) == ether(1)
+
+    def test_mid_sequence_failure_reverts_all(self, state):
+        seq = SequenceIntent([TokenTransferIntent("DAI", B, ether(1)),
+                              FailingIntent(),
+                              CoinbaseTipIntent(tip=ether(1))])
+        tx = Transaction(sender=A, nonce=0, to=B, intent=seq)
+        outcome = execute_transaction(state, tx, 1, MINER)
+        assert not outcome.success
+        assert state.token_balance("DAI", B) == 0
+        assert state.eth_balance(MINER) == 0
+
+    def test_empty_sequence_reverts(self, state):
+        tx = Transaction(sender=A, nonce=0, to=B,
+                         intent=SequenceIntent([]))
+        assert not execute_transaction(state, tx, 1, MINER).success
+
+    def test_gas_estimate_sums_members(self):
+        seq = SequenceIntent([FailingIntent(), FailingIntent()])
+        assert seq.gas_estimate() == 200_000

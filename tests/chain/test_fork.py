@@ -1,0 +1,27 @@
+"""Tests for the hard-fork schedule."""
+
+from repro.chain.fork import MAINNET_FORKS, ForkSchedule
+
+
+class TestForkSchedule:
+    def test_london_activation(self):
+        forks = ForkSchedule(berlin_block=100, london_block=200)
+        assert not forks.is_london(199)
+        assert forks.is_london(200)
+        assert forks.is_london(10**9)
+
+    def test_berlin_activation(self):
+        forks = ForkSchedule(berlin_block=100, london_block=200)
+        assert not forks.is_berlin(99)
+        assert forks.is_berlin(100)
+
+    def test_mainnet_constants(self):
+        assert MAINNET_FORKS.berlin_block == 12_244_000
+        assert MAINNET_FORKS.london_block == 12_965_000
+        assert MAINNET_FORKS.berlin_block < MAINNET_FORKS.london_block
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MAINNET_FORKS.london_block = 0

@@ -1,0 +1,56 @@
+"""Tests for the EIP-1559 base-fee controller."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.gas import (
+    BASE_FEE_MAX_CHANGE_DENOMINATOR,
+    BLOCK_GAS_LIMIT,
+    MIN_BASE_FEE,
+    next_base_fee,
+)
+from repro.chain.types import gwei
+
+TARGET = BLOCK_GAS_LIMIT // 2
+
+
+class TestNextBaseFee:
+    def test_at_target_unchanged(self):
+        assert next_base_fee(gwei(100), TARGET) == gwei(100)
+
+    def test_full_block_raises_by_eighth(self):
+        base = gwei(100)
+        expected = base + base // BASE_FEE_MAX_CHANGE_DENOMINATOR
+        assert next_base_fee(base, BLOCK_GAS_LIMIT) == expected
+
+    def test_empty_block_lowers_by_eighth(self):
+        base = gwei(100)
+        expected = base - base // BASE_FEE_MAX_CHANGE_DENOMINATOR
+        assert next_base_fee(base, 0) == expected
+
+    def test_never_below_floor(self):
+        assert next_base_fee(MIN_BASE_FEE, 0) == MIN_BASE_FEE
+        assert next_base_fee(0, 0) == MIN_BASE_FEE
+
+    def test_overfull_increase_at_least_one_wei(self):
+        assert next_base_fee(8, TARGET + 1) >= 9
+
+    def test_invalid_gas_limit(self):
+        with pytest.raises(ValueError):
+            next_base_fee(gwei(1), 0, 0)
+
+    @given(st.integers(MIN_BASE_FEE, 10**13),
+           st.integers(0, BLOCK_GAS_LIMIT))
+    def test_change_bounded_by_eighth(self, base, used):
+        nxt = next_base_fee(base, used)
+        bound = base // BASE_FEE_MAX_CHANGE_DENOMINATOR + 1
+        assert abs(nxt - base) <= bound
+        assert nxt >= MIN_BASE_FEE
+
+    @given(st.integers(MIN_BASE_FEE, 10**13))
+    def test_monotone_in_gas_used(self, base):
+        low = next_base_fee(base, TARGET // 2)
+        mid = next_base_fee(base, TARGET)
+        high = next_base_fee(base, TARGET + TARGET // 2)
+        assert low <= mid <= high

@@ -1,0 +1,156 @@
+"""Tests for mempool admission, replacement and fee-descending selection."""
+
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, gwei
+
+A = address_from_label("acct-a")
+B = address_from_label("acct-b")
+C = address_from_label("acct-c")
+
+
+def tx(sender=A, nonce=0, price=gwei(50), gas_limit=21_000):
+    return Transaction(sender=sender, nonce=nonce, to=B,
+                       gas_price=price, gas_limit=gas_limit)
+
+
+class TestAdmission:
+    def test_add_and_contains(self):
+        pool = Mempool()
+        t = tx()
+        assert pool.add(t, current_block=1)
+        assert t.hash in pool
+        assert len(pool) == 1
+
+    def test_duplicate_rejected(self):
+        pool = Mempool()
+        t = tx()
+        pool.add(t, 1)
+        assert not pool.add(t, 2)
+
+    def test_records_first_seen(self):
+        pool = Mempool()
+        t = tx()
+        pool.add(t, 7)
+        assert t.first_seen_block == 7
+
+
+class TestReplacement:
+    def test_insufficient_bump_rejected(self):
+        pool = Mempool()
+        pool.add(tx(price=gwei(100)), 1)
+        weak = tx(price=gwei(105))  # only 5 % bump
+        assert not pool.add(weak, 1)
+
+    def test_sufficient_bump_replaces(self):
+        pool = Mempool()
+        old = tx(price=gwei(100))
+        pool.add(old, 1)
+        new = tx(price=gwei(110))
+        assert pool.add(new, 1)
+        assert old.hash not in pool
+        assert new.hash in pool
+        assert len(pool) == 1
+
+    def test_different_nonce_not_replacement(self):
+        pool = Mempool()
+        pool.add(tx(nonce=0, price=gwei(100)), 1)
+        assert pool.add(tx(nonce=1, price=gwei(1)), 1)
+        assert len(pool) == 2
+
+
+class TestRemovalAndEviction:
+    def test_remove_included(self):
+        pool = Mempool()
+        t = tx()
+        pool.add(t, 1)
+        pool.remove([t.hash])
+        assert len(pool) == 0
+
+    def test_remove_unknown_is_noop(self):
+        pool = Mempool()
+        pool.remove(["0x" + "ab" * 32])
+
+    def test_evict_stale(self):
+        pool = Mempool(ttl_blocks=10)
+        old, fresh = tx(nonce=0), tx(sender=C, nonce=0)
+        pool.add(old, 1)
+        pool.add(fresh, 11)
+        assert pool.evict_stale(current_block=12) == 1
+        assert old.hash not in pool
+        assert fresh.hash in pool
+
+    def test_replacement_after_removal_allowed(self):
+        pool = Mempool()
+        old = tx(price=gwei(100))
+        pool.add(old, 1)
+        pool.remove([old.hash])
+        assert pool.add(tx(price=gwei(1)), 2)
+
+
+class TestOrdering:
+    def test_ordered_by_tip_descending(self):
+        pool = Mempool()
+        cheap = tx(sender=A, price=gwei(10))
+        rich = tx(sender=B, price=gwei(90))
+        pool.add(cheap, 1)
+        pool.add(rich, 1)
+        assert pool.ordered(base_fee=0) == [rich, cheap]
+
+    def test_ordered_excludes_below_base_fee(self):
+        pool = Mempool()
+        pool.add(tx(price=gwei(10)), 1)
+        assert pool.ordered(base_fee=gwei(20)) == []
+
+    def test_tie_breaks_by_arrival(self):
+        pool = Mempool()
+        first = tx(sender=A, price=gwei(50))
+        second = tx(sender=B, price=gwei(50))
+        pool.add(first, 1)
+        pool.add(second, 2)
+        assert pool.ordered(0) == [first, second]
+
+
+class TestSelection:
+    def test_respects_gas_budget(self):
+        pool = Mempool()
+        for i in range(5):
+            pool.add(tx(sender=address_from_label(f"s{i}"),
+                        gas_limit=100_000), 1)
+        chosen = pool.select(base_fee=0, gas_budget=250_000)
+        assert len(chosen) == 2
+
+    def test_respects_nonce_order(self):
+        pool = Mempool()
+        n1 = tx(nonce=1, price=gwei(99))
+        n0 = tx(nonce=0, price=gwei(1))
+        pool.add(n1, 1)
+        pool.add(n0, 1)
+        chosen = pool.select(base_fee=0, gas_budget=10**9,
+                             account_nonces={A: 0})
+        assert chosen.index(n0) < chosen.index(n1)
+
+    def test_nonce_gap_blocks_later_txs(self):
+        pool = Mempool()
+        gap = tx(nonce=2, price=gwei(99))
+        pool.add(gap, 1)
+        chosen = pool.select(base_fee=0, gas_budget=10**9,
+                             account_nonces={A: 0})
+        assert chosen == []
+
+    def test_stale_nonce_skipped(self):
+        pool = Mempool()
+        stale = tx(nonce=0)
+        pool.add(stale, 1)
+        chosen = pool.select(base_fee=0, gas_budget=10**9,
+                             account_nonces={A: 5})
+        assert chosen == []
+
+    def test_highest_payers_win_budget(self):
+        pool = Mempool()
+        rich = tx(sender=B, price=gwei(90), gas_limit=100_000)
+        poor = tx(sender=C, price=gwei(10), gas_limit=100_000)
+        pool.add(poor, 1)
+        pool.add(rich, 1)
+        chosen = pool.select(base_fee=0, gas_budget=100_000)
+        assert chosen == [rich]

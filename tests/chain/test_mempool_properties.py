@@ -1,0 +1,119 @@
+"""Hypothesis properties for mempool selection invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, gwei
+
+SENDERS = [address_from_label(f"mp-prop-{i}") for i in range(5)]
+
+tx_specs = st.lists(
+    st.tuples(st.integers(0, 4),       # sender
+              st.integers(0, 3),       # nonce
+              st.integers(1, 500),     # gas price gwei
+              st.integers(21_000, 300_000)),  # gas limit
+    max_size=30)
+
+
+def build_pool(specs):
+    pool = Mempool()
+    for block, (sender_i, nonce, price, gas_limit) in enumerate(specs):
+        tx = Transaction(sender=SENDERS[sender_i], nonce=nonce,
+                         to=SENDERS[0], gas_price=gwei(price),
+                         gas_limit=gas_limit)
+        pool.add(tx, current_block=block)
+    return pool
+
+
+class TestSelectionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tx_specs, st.integers(0, 2_000_000))
+    def test_selection_within_budget_and_pool(self, specs, budget):
+        pool = build_pool(specs)
+        nonces = {s: 0 for s in SENDERS}
+        chosen = pool.select(base_fee=0, gas_budget=budget,
+                             account_nonces=nonces)
+        assert sum(tx.gas_limit for tx in chosen) <= budget
+        hashes = [tx.hash for tx in chosen]
+        assert len(set(hashes)) == len(hashes)  # no duplicates
+        assert all(h in pool for h in hashes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tx_specs)
+    def test_per_sender_nonces_contiguous(self, specs):
+        pool = build_pool(specs)
+        nonces = {s: 0 for s in SENDERS}
+        chosen = pool.select(base_fee=0, gas_budget=10**9,
+                             account_nonces=nonces)
+        per_sender = {}
+        for tx in chosen:
+            per_sender.setdefault(tx.sender, []).append(tx.nonce)
+        for sender, seen in per_sender.items():
+            assert seen == list(range(len(seen)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(tx_specs, st.integers(0, 200))
+    def test_base_fee_filters_bids(self, specs, base_gwei):
+        pool = build_pool(specs)
+        base_fee = gwei(base_gwei)
+        for tx in pool.ordered(base_fee):
+            assert tx.max_bid_per_gas() >= base_fee
+
+    @settings(max_examples=40, deadline=None)
+    @given(tx_specs)
+    def test_single_sender_selection_is_fee_ordered(self, specs):
+        """With one tx per sender (no nonce coupling), selection follows
+        the descending-fee default strategy exactly."""
+        pool = Mempool()
+        seen_senders = set()
+        for block, (sender_i, _, price, gas_limit) in enumerate(specs):
+            if sender_i in seen_senders:
+                continue
+            seen_senders.add(sender_i)
+            pool.add(Transaction(sender=SENDERS[sender_i], nonce=0,
+                                 to=SENDERS[0], gas_price=gwei(price),
+                                 gas_limit=gas_limit), block)
+        chosen = pool.select(base_fee=0, gas_budget=10**9,
+                             account_nonces={s: 0 for s in SENDERS})
+        prices = [tx.gas_price for tx in chosen]
+        assert prices == sorted(prices, reverse=True)
+
+
+class TestFlashLoanLiquidityProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 10**24), st.integers(0, 10**21),
+           st.integers(0, 10**9))
+    def test_provider_never_loses_liquidity(self, loan_amount,
+                                            user_funds, seed):
+        """Whatever happens inside the transaction, a flash-loan
+        provider's balance never decreases: either repaid with fee, or
+        the lending itself unwound."""
+        from repro.chain.block import BlockBuilder
+        from repro.chain.state import WorldState
+        from repro.chain.types import ether
+        from repro.lending.flashloan import FlashLoanIntent, \
+            FlashLoanProvider
+        rng = random.Random(seed)
+        state = WorldState()
+        provider = FlashLoanProvider("Aave")
+        provider.provision(state, "WETH", ether(1_000))
+        user = address_from_label("flash-prop-user")
+        state.credit_eth(user, ether(10))
+        state.mint_token("WETH", user, user_funds)
+        before = provider.available(state, "WETH")
+        tx = Transaction(sender=user, nonce=0, to=provider.address,
+                         gas_price=gwei(rng.randint(1, 100)),
+                         gas_limit=500_000,
+                         intent=FlashLoanIntent(provider.address,
+                                                "WETH", loan_amount))
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=address_from_label("m"),
+                               base_fee=0,
+                               contracts={provider.address: provider})
+        builder.apply_transaction(tx)
+        builder.finalize()
+        assert provider.available(state, "WETH") >= before

@@ -1,0 +1,97 @@
+"""Tests for the blockchain store and archive-node queries."""
+
+import pytest
+
+from repro.chain.block import BlockBuilder
+from repro.chain.events import TransferEvent
+from repro.chain.intents import TokenTransferIntent
+from repro.chain.node import ArchiveNode, Blockchain
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+
+A = address_from_label("alice")
+B = address_from_label("bob")
+MINER = address_from_label("miner")
+
+
+def build_chain(num_blocks=3):
+    state = WorldState()
+    state.credit_eth(A, ether(1_000))
+    state.mint_token("DAI", A, 10**6)
+    chain = Blockchain()
+    for n in range(1, num_blocks + 1):
+        bld = BlockBuilder(state, number=n, timestamp=13 * n,
+                           coinbase=MINER, base_fee=0)
+        tx = Transaction(sender=A, nonce=state.nonce(A), to=B,
+                         gas_price=gwei(10), gas_limit=60_000,
+                         intent=TokenTransferIntent("DAI", B, n))
+        bld.apply_transaction(tx)
+        chain.append(bld.finalize())
+    return chain
+
+
+class TestBlockchain:
+    def test_height_tracks_appends(self):
+        chain = build_chain(3)
+        assert chain.height == 3
+        assert len(chain) == 3
+
+    def test_empty_chain(self):
+        chain = Blockchain()
+        assert chain.height is None
+        assert chain.block_by_number(1) is None
+
+    def test_non_contiguous_rejected(self):
+        chain = build_chain(2)
+        rogue = build_chain(1).blocks[0]
+        with pytest.raises(ValueError):
+            chain.append(rogue)
+
+    def test_block_lookup(self):
+        chain = build_chain(3)
+        assert chain.block_by_number(2).number == 2
+        assert chain.block_by_number(99) is None
+
+    def test_locate_transaction(self):
+        chain = build_chain(2)
+        tx = chain.blocks[1].transactions[0]
+        block, index = chain.locate_transaction(tx.hash)
+        assert block.number == 2
+        assert index == 0
+
+
+class TestArchiveNode:
+    def test_get_transaction_and_receipt(self):
+        chain = build_chain(2)
+        node = ArchiveNode(chain)
+        tx = chain.blocks[0].transactions[0]
+        assert node.get_transaction(tx.hash) is tx
+        assert node.get_receipt(tx.hash).tx_hash == tx.hash
+
+    def test_missing_transaction(self):
+        node = ArchiveNode(build_chain(1))
+        assert node.get_transaction("0x" + "00" * 32) is None
+        assert node.get_receipt("0x" + "00" * 32) is None
+
+    def test_iter_blocks_bounds_inclusive(self):
+        node = ArchiveNode(build_chain(5))
+        numbers = [b.number for b in node.iter_blocks(2, 4)]
+        assert numbers == [2, 3, 4]
+
+    def test_get_logs_filters_by_type_and_range(self):
+        node = ArchiveNode(build_chain(4))
+        logs = node.get_logs(TransferEvent, from_block=2, to_block=3)
+        assert [log.amount for log in logs] == [2, 3]
+        assert all(isinstance(log, TransferEvent) for log in logs)
+
+    def test_get_logs_in_chain_order(self):
+        node = ArchiveNode(build_chain(4))
+        logs = node.get_logs(TransferEvent)
+        assert [log.block_number for log in logs] == [1, 2, 3, 4]
+
+    def test_iter_receipts(self):
+        node = ArchiveNode(build_chain(3))
+        receipts = list(node.iter_receipts())
+        assert len(receipts) == 3
+        assert all(r.status for r in receipts)

@@ -1,0 +1,98 @@
+"""Tests for the gossip network and mempool observer."""
+
+import random
+
+from repro.chain.p2p import GossipNetwork, MempoolObserver
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, gwei
+
+A = address_from_label("sender")
+B = address_from_label("receiver")
+
+
+def tx(nonce=0):
+    return Transaction(sender=A, nonce=nonce, to=B, gas_price=gwei(10))
+
+
+class TestMempoolObserver:
+    def test_records_inside_window(self):
+        obs = MempoolObserver(start_block=10, end_block=20)
+        t = tx()
+        obs.record(t, 15)
+        assert obs.was_observed(t.hash)
+        assert obs.first_seen(t.hash) == 15
+
+    def test_ignores_outside_window(self):
+        obs = MempoolObserver(start_block=10, end_block=20)
+        early, late = tx(0), tx(1)
+        obs.record(early, 9)
+        obs.record(late, 21)
+        assert len(obs) == 0
+
+    def test_first_seen_not_overwritten(self):
+        obs = MempoolObserver()
+        t = tx()
+        obs.record(t, 5)
+        obs.record(t, 9)
+        assert obs.first_seen(t.hash) == 5
+
+    def test_open_ended_window(self):
+        obs = MempoolObserver(start_block=0, end_block=None)
+        t = tx()
+        obs.record(t, 10**9)
+        assert obs.was_observed(t.hash)
+
+    def test_observed_hashes_set(self):
+        obs = MempoolObserver()
+        a, b = tx(0), tx(1)
+        obs.record(a, 1)
+        obs.record(b, 2)
+        assert obs.observed_hashes == {a.hash, b.hash}
+
+
+class TestGossipNetwork:
+    def test_perfect_observation(self):
+        net = GossipNetwork(random.Random(1), observation_rate=1.0)
+        obs = MempoolObserver()
+        net.attach_observer(obs)
+        txs = [tx(n) for n in range(50)]
+        for t in txs:
+            net.broadcast(t, 1)
+        assert len(obs) == 50
+        assert net.missed_count == 0
+
+    def test_zero_observation(self):
+        net = GossipNetwork(random.Random(1), observation_rate=0.0)
+        obs = MempoolObserver()
+        net.attach_observer(obs)
+        net.broadcast(tx(), 1)
+        assert len(obs) == 0
+        assert net.missed_count == 1
+
+    def test_partial_observation_rate(self):
+        net = GossipNetwork(random.Random(7), observation_rate=0.9)
+        obs = MempoolObserver()
+        net.attach_observer(obs)
+        txs = [tx(n) for n in range(2_000)]
+        for t in txs:
+            net.broadcast(t, 1)
+        seen = len(obs)
+        assert 1_700 <= seen <= 1_990  # ~90 % of 2000
+
+    def test_broadcast_sets_first_seen(self):
+        net = GossipNetwork(random.Random(1))
+        t = tx()
+        net.broadcast(t, 33)
+        assert t.first_seen_block == 33
+
+    def test_misses_outside_window_not_counted(self):
+        net = GossipNetwork(random.Random(1), observation_rate=0.0)
+        obs = MempoolObserver(start_block=100, end_block=200)
+        net.attach_observer(obs)
+        net.broadcast(tx(), 5)
+        assert net.missed_count == 0
+
+    def test_invalid_rate_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            GossipNetwork(random.Random(1), observation_rate=1.5)

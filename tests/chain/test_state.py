@@ -1,0 +1,135 @@
+"""Unit and property tests for WorldState journaling semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.state import InsufficientBalance, WorldState
+from repro.chain.types import address_from_label
+
+A = address_from_label("alice")
+B = address_from_label("bob")
+
+
+@pytest.fixture
+def state():
+    return WorldState()
+
+
+class TestEthBalances:
+    def test_default_zero(self, state):
+        assert state.eth_balance(A) == 0
+
+    def test_credit_and_debit(self, state):
+        state.credit_eth(A, 100)
+        state.debit_eth(A, 40)
+        assert state.eth_balance(A) == 60
+
+    def test_debit_over_balance_raises(self, state):
+        state.credit_eth(A, 10)
+        with pytest.raises(InsufficientBalance):
+            state.debit_eth(A, 11)
+
+    def test_transfer_moves_value(self, state):
+        state.credit_eth(A, 100)
+        state.transfer_eth(A, B, 30)
+        assert state.eth_balance(A) == 70
+        assert state.eth_balance(B) == 30
+
+    def test_negative_amounts_rejected(self, state):
+        with pytest.raises(ValueError):
+            state.credit_eth(A, -1)
+        with pytest.raises(ValueError):
+            state.debit_eth(A, -1)
+
+
+class TestTokens:
+    def test_mint_and_balance(self, state):
+        state.mint_token("DAI", A, 500)
+        assert state.token_balance("DAI", A) == 500
+
+    def test_tokens_are_namespaced(self, state):
+        state.mint_token("DAI", A, 500)
+        assert state.token_balance("USDC", A) == 0
+
+    def test_transfer_conserves_supply(self, state):
+        state.mint_token("DAI", A, 500)
+        state.transfer_token("DAI", A, B, 200)
+        assert state.token_supply("DAI") == 500
+        assert state.token_balance("DAI", B) == 200
+
+    def test_transfer_over_balance_raises(self, state):
+        state.mint_token("DAI", A, 5)
+        with pytest.raises(InsufficientBalance):
+            state.transfer_token("DAI", A, B, 6)
+
+
+class TestNonces:
+    def test_starts_at_zero(self, state):
+        assert state.nonce(A) == 0
+
+    def test_bump_returns_consumed(self, state):
+        assert state.bump_nonce(A) == 0
+        assert state.bump_nonce(A) == 1
+        assert state.nonce(A) == 2
+
+
+class TestJournaling:
+    def test_revert_restores_eth(self, state):
+        state.credit_eth(A, 100)
+        snap = state.snapshot()
+        state.transfer_eth(A, B, 60)
+        state.revert_to(snap)
+        assert state.eth_balance(A) == 100
+        assert state.eth_balance(B) == 0
+
+    def test_revert_restores_tokens_and_nonces(self, state):
+        state.mint_token("DAI", A, 10)
+        snap = state.snapshot()
+        state.transfer_token("DAI", A, B, 10)
+        state.bump_nonce(A)
+        state.revert_to(snap)
+        assert state.token_balance("DAI", A) == 10
+        assert state.nonce(A) == 0
+
+    def test_nested_snapshots(self, state):
+        state.credit_eth(A, 100)
+        outer = state.snapshot()
+        state.debit_eth(A, 10)
+        inner = state.snapshot()
+        state.debit_eth(A, 20)
+        state.revert_to(inner)
+        assert state.eth_balance(A) == 90
+        state.revert_to(outer)
+        assert state.eth_balance(A) == 100
+
+    def test_commit_clears_journal(self, state):
+        state.credit_eth(A, 100)
+        state.commit()
+        snap = state.snapshot()
+        assert snap == 0
+        state.debit_eth(A, 1)
+        state.revert_to(snap)
+        assert state.eth_balance(A) == 100
+
+    def test_invalid_snapshot_rejected(self, state):
+        with pytest.raises(ValueError):
+            state.revert_to(5)
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 50)),
+                    max_size=30))
+    def test_revert_always_restores_initial(self, ops):
+        state = WorldState()
+        accounts = [address_from_label(f"acct-{i}") for i in range(4)]
+        for acct in accounts:
+            state.credit_eth(acct, 1_000)
+        state.commit()
+        snap = state.snapshot()
+        for who, amount in ops:
+            recipient = accounts[(who + 1) % 4]
+            try:
+                state.transfer_eth(accounts[who], recipient, amount)
+            except InsufficientBalance:
+                pass
+        state.revert_to(snap)
+        assert all(state.eth_balance(a) == 1_000 for a in accounts)

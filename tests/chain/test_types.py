@@ -1,0 +1,74 @@
+"""Unit tests for chain primitive types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain import types as t
+
+
+class TestDenominations:
+    def test_ether_round_trip(self):
+        assert t.ether(1) == 10**18
+        assert t.to_eth(t.ether(2.5)) == pytest.approx(2.5)
+
+    def test_gwei_round_trip(self):
+        assert t.gwei(1) == 10**9
+        assert t.to_gwei(t.gwei(55)) == pytest.approx(55.0)
+
+    def test_ether_fractional(self):
+        assert t.ether(0.000000001) == 10**9
+
+    def test_constants_relation(self):
+        assert t.ETHER == t.GWEI * 10**9
+        assert t.WEI == 1
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_ether_to_eth_inverse(self, amount):
+        assert t.to_eth(t.ether(amount)) == pytest.approx(amount, rel=1e-9,
+                                                          abs=1e-12)
+
+
+class TestAddresses:
+    def test_deterministic(self):
+        assert t.address_from_label("miner-1") == t.address_from_label("miner-1")
+
+    def test_distinct_labels_distinct_addresses(self):
+        assert t.address_from_label("a") != t.address_from_label("b")
+
+    def test_shape(self):
+        addr = t.address_from_label("whoever")
+        assert t.is_address(addr)
+        assert len(addr) == 42
+
+    def test_zero_address_is_address(self):
+        assert t.is_address(t.ZERO_ADDRESS)
+
+    @pytest.mark.parametrize("bad", [
+        "", "0x", "0x1234", 42, None, "1234" * 10 + "12",
+        "0x" + "zz" * 20,
+    ])
+    def test_is_address_rejects(self, bad):
+        assert not t.is_address(bad)
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_any_label_yields_valid_address(self, label):
+        assert t.is_address(t.address_from_label(label))
+
+
+class TestHashes:
+    def test_hash_of_deterministic(self):
+        assert t.hash_of(["x", 1]) == t.hash_of(["x", 1])
+
+    def test_hash_of_order_sensitive(self):
+        assert t.hash_of(["x", 1]) != t.hash_of([1, "x"])
+
+    def test_hash_shape(self):
+        assert t.is_hash32(t.hash_of(["anything"]))
+
+    def test_hash_no_concat_ambiguity(self):
+        assert t.hash_of(["ab", "c"]) != t.hash_of(["a", "bc"])
+
+    @pytest.mark.parametrize("bad", ["0x1234", "", None, 7])
+    def test_is_hash32_rejects(self, bad):
+        assert not t.is_hash32(bad)

@@ -1,0 +1,88 @@
+"""Fixtures for measurement-pipeline tests: a hand-drivable chain.
+
+``ChainHarness`` lets a test place exact transactions in exact block
+positions, so heuristic edge cases can be constructed surgically instead
+of hoping a simulation produces them.
+"""
+
+import pytest
+
+from repro.chain.block import BlockBuilder
+from repro.chain.node import ArchiveNode, Blockchain
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.core.profit import PriceService
+from repro.dex.registry import SUSHISWAP, UNISWAP_V2, ExchangeRegistry
+from repro.dex.router import SwapIntent
+from repro.lending.oracle import PRICE_SCALE, PriceOracle
+
+ATTACKER = address_from_label("attacker")
+VICTIM = address_from_label("victim")
+OTHER = address_from_label("bystander")
+MINER = address_from_label("harness-miner")
+
+
+class ChainHarness:
+    """Builds blocks tx-by-tx against a live DEX/lending world."""
+
+    def __init__(self):
+        self.state = WorldState()
+        self.registry = ExchangeRegistry()
+        self.uni = self.registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        self.sushi = self.registry.create_pool(SUSHISWAP, "WETH", "DAI")
+        self.uni.add_liquidity(self.state, WETH=ether(1_000),
+                               DAI=ether(3_000_000))
+        self.sushi.add_liquidity(self.state, WETH=ether(1_000),
+                                 DAI=ether(3_060_000))
+        self.oracle = PriceOracle()
+        self.oracle.set_price("DAI", PRICE_SCALE // 3_000)
+        self.chain = Blockchain()
+        self.node = ArchiveNode(self.chain)
+        self.prices = PriceService(self.oracle)
+        self.contracts = dict(self.registry.contracts)
+        for account in (ATTACKER, VICTIM, OTHER):
+            self.state.credit_eth(account, ether(10_000))
+            self.state.mint_token("WETH", account, ether(10_000))
+            self.state.mint_token("DAI", account, ether(10_000_000))
+
+    def swap_tx(self, sender, pool, token_in, amount, min_out=0,
+                tip=0, price=gwei(50)):
+        return Transaction(
+            sender=sender, nonce=self.state.nonce(sender),
+            to=pool.address, gas_limit=150_000, gas_price=price,
+            intent=SwapIntent(pool.address, token_in, amount,
+                              min_amount_out=min_out,
+                              coinbase_tip=tip))
+
+    def mine(self, txs, miner=MINER):
+        number = (self.chain.height or 0) + 1
+        builder = BlockBuilder(self.state, number=number,
+                               timestamp=13 * number, coinbase=miner,
+                               base_fee=0, contracts=self.contracts)
+        receipts = []
+        for tx in txs:
+            receipts.append(builder.apply_transaction(tx))
+        block = builder.finalize()
+        self.chain.append(block)
+        return block, receipts
+
+    def mine_sandwich(self, victim_amount=ether(20),
+                      frontrun=ether(30), miner=MINER, tip=0,
+                      pool=None):
+        """A textbook sandwich block; returns (front, victim, back)."""
+        pool = pool or self.uni
+        token_out = pool.other("WETH")
+        front = self.swap_tx(ATTACKER, pool, "WETH", frontrun)
+        victim = self.swap_tx(VICTIM, pool, "WETH", victim_amount)
+        # Project the frontrun output so the back leg unwinds exactly.
+        bought = pool.quote_out(self.state, "WETH", frontrun)
+        back = self.swap_tx(ATTACKER, pool, token_out, bought, tip=tip)
+        back.nonce = front.nonce + 1
+        self.mine([front, victim, back], miner=miner)
+        return front, victim, back
+
+
+@pytest.fixture
+def harness():
+    return ChainHarness()

@@ -1,0 +1,119 @@
+"""Tests for pool attribution (Section 6.3) and dataset persistence."""
+
+import io
+
+from repro.core.datasets import (
+    ArbitrageRecord,
+    LiquidationRecord,
+    MevDataset,
+    PRIVACY_PRIVATE,
+    PRIVACY_PUBLIC,
+    SandwichRecord,
+)
+from repro.core.pool_attribution import attribute_private_pools
+
+
+def sandwich(extractor, miner, privacy=PRIVACY_PRIVATE, block=150):
+    return SandwichRecord(
+        block_number=block, pool_address="0x" + "00" * 20,
+        venue="UniswapV2", extractor=extractor, victim="0x" + "bb" * 20,
+        front_tx=f"0xf{extractor[-4:]}{block}",
+        victim_tx=f"0xv{extractor[-4:]}{block}",
+        back_tx=f"0xb{extractor[-4:]}{block}", token_in="WETH",
+        token_out="DAI", frontrun_amount_in=1, backrun_amount_out=2,
+        gain_wei=10, cost_wei=1, privacy=privacy, miner=miner)
+
+
+ACCT_A = "0x" + "a1" * 20
+ACCT_B = "0x" + "b2" * 20
+ACCT_C = "0x" + "c3" * 20
+MINER_1 = "0x" + "d4" * 20
+MINER_2 = "0x" + "e5" * 20
+
+
+class TestAttribution:
+    def test_single_miner_extractor_found(self):
+        dataset = MevDataset(sandwiches=[
+            sandwich(ACCT_A, MINER_1, block=b) for b in (1, 2, 3)])
+        report = attribute_private_pools(dataset)
+        assert report.n_miners == 1
+        assert report.n_accounts == 1
+        assert report.single_miner_extractors == [(ACCT_A, MINER_1, 3)]
+
+    def test_multi_miner_account_not_flagged(self):
+        dataset = MevDataset(sandwiches=[
+            sandwich(ACCT_A, MINER_1, block=1),
+            sandwich(ACCT_A, MINER_2, block=2)])
+        report = attribute_private_pools(dataset)
+        assert report.single_miner_extractors == []
+        assert report.account_to_miners[ACCT_A] == {MINER_1, MINER_2}
+
+    def test_multi_pool_miner_detected(self):
+        """A miner that self-extracts AND mines for a broader pool."""
+        dataset = MevDataset(sandwiches=[
+            sandwich(ACCT_A, MINER_1, block=1),   # exclusive account
+            sandwich(ACCT_A, MINER_1, block=2),
+            sandwich(ACCT_B, MINER_1, block=3),   # broader-pool account
+            sandwich(ACCT_B, MINER_2, block=4)])
+        report = attribute_private_pools(dataset)
+        assert (ACCT_A, MINER_1, 2) in report.single_miner_extractors
+        assert MINER_1 in report.multi_pool_miners
+
+    def test_pure_self_extractor_not_multi_pool(self):
+        dataset = MevDataset(sandwiches=[
+            sandwich(ACCT_A, MINER_1, block=b) for b in (1, 2)])
+        report = attribute_private_pools(dataset)
+        assert report.multi_pool_miners == set()
+
+    def test_only_private_records_considered(self):
+        dataset = MevDataset(sandwiches=[
+            sandwich(ACCT_A, MINER_1, privacy=PRIVACY_PUBLIC),
+            sandwich(ACCT_B, MINER_1, privacy=None)])
+        report = attribute_private_pools(dataset)
+        assert report.n_accounts == 0
+        assert report.n_miners == 0
+
+
+class TestDatasetContainer:
+    def make_dataset(self):
+        arb = ArbitrageRecord(
+            block_number=5, tx_hash="0xarb", extractor=ACCT_A,
+            venues=("UniswapV2", "SushiSwap"),
+            token_cycle=("WETH", "DAI", "WETH"), amount_in=1,
+            amount_out=3, gain_wei=2, cost_wei=1, via_flashbots=True)
+        liq = LiquidationRecord(
+            block_number=6, tx_hash="0xliq", platform="AaveV2",
+            liquidator=ACCT_B, borrower=ACCT_C, debt_token="DAI",
+            debt_repaid=100, collateral_token="WETH",
+            collateral_seized=1, gain_wei=5, cost_wei=2,
+            via_flashloan=True)
+        return MevDataset(sandwiches=[sandwich(ACCT_A, MINER_1)],
+                          arbitrages=[arb], liquidations=[liq])
+
+    def test_totals_and_counts(self):
+        dataset = self.make_dataset()
+        assert dataset.totals() == {"sandwich": 1, "arbitrage": 1,
+                                    "liquidation": 1, "total": 3}
+        assert dataset.count("arbitrage", via_flashbots=True) == 1
+        assert dataset.count("arbitrage", via_flashbots=False) == 0
+        assert dataset.count("liquidation", via_flashloan=True) == 1
+
+    def test_profit_property(self):
+        dataset = self.make_dataset()
+        assert dataset.arbitrages[0].profit_wei == 1
+        assert dataset.liquidations[0].profit_wei == 3
+
+    def test_jsonl_round_trip(self):
+        dataset = self.make_dataset()
+        buffer = io.StringIO()
+        dataset.dump_jsonl(buffer)
+        buffer.seek(0)
+        loaded = MevDataset.load_jsonl(buffer)
+        assert loaded.totals() == dataset.totals()
+        assert loaded.arbitrages[0].venues == ("UniswapV2", "SushiSwap")
+        assert loaded.sandwiches[0].privacy == PRIVACY_PRIVATE
+        assert loaded.liquidations[0].via_flashloan
+
+    def test_jsonl_skips_blank_lines(self):
+        buffer = io.StringIO("\n\n")
+        assert MevDataset.load_jsonl(buffer).totals()["total"] == 0

@@ -1,0 +1,172 @@
+"""Property and metamorphic tests for the detection pipeline.
+
+The headline property closes the whole loop: for arbitrary victim
+sizes, slippage tolerances and pool depths, a sandwich *planned* by the
+attacker math, *executed* through the block builder, is *detected* by
+the heuristic, and the detected profit equals the attacker's actual
+balance change minus costs.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import BlockBuilder
+from repro.chain.intents import TokenTransferIntent
+from repro.chain.node import ArchiveNode, Blockchain
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.core.heuristics.sandwich import detect_sandwiches
+from repro.core.profit import PriceService
+from repro.dex.arbitrage_math import plan_sandwich
+from repro.dex.registry import UNISWAP_V2, ExchangeRegistry
+from repro.dex.router import SwapIntent
+from repro.lending.oracle import PRICE_SCALE, PriceOracle
+
+ATTACKER = address_from_label("prop-attacker")
+VICTIM = address_from_label("prop-victim")
+NOISE = address_from_label("prop-noise")
+MINER = address_from_label("prop-miner")
+
+
+def build_world(depth_eth, price=3_000):
+    state = WorldState()
+    registry = ExchangeRegistry()
+    pool = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+    pool.add_liquidity(state, WETH=ether(depth_eth),
+                       DAI=ether(depth_eth * price))
+    oracle = PriceOracle()
+    oracle.set_price("DAI", PRICE_SCALE // price)
+    for account in (ATTACKER, VICTIM, NOISE):
+        state.credit_eth(account, ether(10_000))
+        state.mint_token("WETH", account, ether(100_000))
+        state.mint_token("DAI", account, ether(100_000 * price))
+    return state, registry, pool, oracle
+
+
+def craft_sandwich(state, pool, victim_eth, slippage_bps):
+    victim_amount = ether(victim_eth)
+    quote = pool.quote_out(state, "WETH", victim_amount)
+    min_out = quote * (10_000 - slippage_bps) // 10_000
+    victim = Transaction(sender=VICTIM, nonce=state.nonce(VICTIM),
+                         to=pool.address, gas_limit=150_000,
+                         gas_price=gwei(60),
+                         intent=SwapIntent(pool.address, "WETH",
+                                           victim_amount,
+                                           min_amount_out=min_out))
+    plan = plan_sandwich(pool.reserve_of(state, "WETH"),
+                         pool.reserve_of(state, "DAI"),
+                         victim_amount, min_out, pool.fee_bps)
+    if plan is None:
+        return None
+    nonce = state.nonce(ATTACKER)
+    front = Transaction(sender=ATTACKER, nonce=nonce, to=pool.address,
+                        gas_limit=150_000, gas_price=gwei(70),
+                        intent=SwapIntent(pool.address, "WETH",
+                                          plan.frontrun_in))
+    back = Transaction(sender=ATTACKER, nonce=nonce + 1,
+                       to=pool.address, gas_limit=150_000,
+                       gas_price=gwei(50),
+                       intent=SwapIntent(pool.address, "DAI",
+                                         plan.frontrun_out))
+    return front, victim, back, plan
+
+
+class TestEndToEndProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(1.0, 80.0), st.integers(80, 800),
+           st.integers(500, 5_000))
+    def test_planned_executed_detected_accounted(self, victim_eth,
+                                                 slippage_bps,
+                                                 depth_eth):
+        state, registry, pool, oracle = build_world(depth_eth)
+        crafted = craft_sandwich(state, pool, victim_eth, slippage_bps)
+        assume(crafted is not None)
+        front, victim, back, plan = crafted
+
+        weth_before = state.token_balance("WETH", ATTACKER)
+        eth_before = state.eth_balance(ATTACKER)
+        chain = Blockchain()
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=registry.contracts)
+        receipts = builder.apply_atomic_sequence([front, victim, back])
+        chain.append(builder.finalize())
+        assume(receipts is not None)
+
+        records = detect_sandwiches(ArchiveNode(chain),
+                                    PriceService(oracle))
+        assert len(records) == 1
+        record = records[0]
+        assert record.extractor == ATTACKER
+        assert record.victim == VICTIM
+
+        # Detected gain == the attacker's realized WETH delta.
+        realized_gain = state.token_balance("WETH",
+                                            ATTACKER) - weth_before
+        assert record.gain_wei == realized_gain
+        # Detected cost == the ETH the attacker actually spent.
+        realized_cost = eth_before - state.eth_balance(ATTACKER)
+        assert record.cost_wei == realized_cost
+        # And the planner's projection was exact.
+        assert plan.expected_profit == realized_gain
+
+
+class TestMetamorphic:
+    def mine_with_noise(self, noise_positions):
+        """Mine a sandwich with unrelated transfers woven at arbitrary
+        positions; detection must be unaffected."""
+        state, registry, pool, oracle = build_world(2_000)
+        front, victim, back, _ = craft_sandwich(state, pool, 20.0, 300)
+        txs = [front, victim, back]
+        for offset, position in enumerate(noise_positions):
+            noise = Transaction(
+                sender=NOISE, nonce=state.nonce(NOISE) + offset,
+                to=VICTIM, gas_limit=60_000, gas_price=gwei(40),
+                intent=TokenTransferIntent("DAI", VICTIM, ether(1)))
+            txs.insert(min(position, len(txs)), noise)
+        # Keep the attack order intact.
+        order = [t for t in txs if t in (front, victim, back)]
+        if order != [front, victim, back]:
+            return None
+        chain = Blockchain()
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=registry.contracts)
+        for tx in txs:
+            builder.apply_transaction(tx)
+        chain.append(builder.finalize())
+        return detect_sandwiches(ArchiveNode(chain),
+                                 PriceService(oracle))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 6), max_size=4))
+    def test_noise_transactions_do_not_break_detection(self, positions):
+        records = self.mine_with_noise(positions)
+        assume(records is not None)
+        assert len(records) == 1
+        assert records[0].extractor == ATTACKER
+
+    def test_noise_swaps_on_other_pool_ignored(self):
+        state, registry, pool, oracle = build_world(2_000)
+        other = registry.create_pool("SushiSwap", "WETH", "DAI")
+        other.add_liquidity(state, WETH=ether(500),
+                            DAI=ether(1_500_000))
+        front, victim, back, _ = craft_sandwich(state, pool, 20.0, 300)
+        noise = Transaction(sender=NOISE, nonce=state.nonce(NOISE),
+                            to=other.address, gas_limit=150_000,
+                            gas_price=gwei(40),
+                            intent=SwapIntent(other.address, "WETH",
+                                              ether(5)))
+        chain = Blockchain()
+        builder = BlockBuilder(state, number=1, timestamp=13,
+                               coinbase=MINER, base_fee=0,
+                               contracts=registry.contracts)
+        for tx in (front, noise, victim, back):
+            builder.apply_transaction(tx)
+        chain.append(builder.finalize())
+        records = detect_sandwiches(ArchiveNode(chain),
+                                    PriceService(oracle))
+        assert len(records) == 1
+        assert records[0].pool_address == pool.address

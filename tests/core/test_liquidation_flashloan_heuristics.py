@@ -1,0 +1,109 @@
+"""Tests for liquidation detection and the flash-loan join."""
+
+import pytest
+
+from repro.chain.execution import ExecutionContext
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.core.heuristics.flashloan import detect_flash_loan_txs
+from repro.core.heuristics.liquidation import detect_liquidations
+from repro.lending.flashloan import FlashLoanIntent, FlashLoanProvider
+from repro.lending.oracle import PRICE_SCALE
+from repro.lending.pool import LendingPool, LiquidationIntent
+
+from tests.core.conftest import ATTACKER, MINER, VICTIM
+
+
+@pytest.fixture
+def lending(harness):
+    pool = LendingPool("AaveV2", harness.oracle)
+    pool.provision(harness.state, "DAI", ether(10_000_000))
+    harness.contracts[pool.address] = pool
+    # Open a fragile loan: 10 WETH collateral, 20k DAI debt.
+    tx = Transaction(sender=VICTIM, nonce=harness.state.nonce(VICTIM),
+                     to=pool.address)
+    ctx = ExecutionContext(harness.state, tx, block_number=0,
+                           coinbase=MINER,
+                           contracts={pool.address: pool})
+    loan = pool.open_loan(ctx, "WETH", ether(10), "DAI", ether(20_000))
+    harness.state.bump_nonce(VICTIM)
+    return pool, loan
+
+
+def liq_tx(harness, pool, loan, repay=ether(10_000), tip=0):
+    return Transaction(
+        sender=ATTACKER, nonce=harness.state.nonce(ATTACKER),
+        to=pool.address, gas_limit=500_000, gas_price=gwei(50),
+        intent=LiquidationIntent(pool.address, loan.loan_id, repay,
+                                 coinbase_tip=tip))
+
+
+class TestLiquidationDetection:
+    def test_liquidation_found_with_profit(self, harness, lending):
+        pool, loan = lending
+        harness.oracle.set_price("DAI", PRICE_SCALE // 2_000)
+        harness.mine([liq_tx(harness, pool, loan)])
+        records = detect_liquidations(harness.node, harness.prices)
+        assert len(records) == 1
+        record = records[0]
+        assert record.liquidator == ATTACKER
+        assert record.borrower == VICTIM
+        assert record.platform == "AaveV2"
+        assert record.debt_repaid == ether(10_000)
+        # Gain (collateral) exceeds cost (fees + debt value) via the
+        # fixed 8 % spread.
+        assert record.profit_wei > 0
+
+    def test_platform_filter(self, harness, lending):
+        pool, loan = lending
+        harness.oracle.set_price("DAI", PRICE_SCALE // 2_000)
+        harness.mine([liq_tx(harness, pool, loan)])
+        assert detect_liquidations(harness.node, harness.prices,
+                                   platforms=("Compound",)) == []
+
+    def test_failed_liquidation_not_counted(self, harness, lending):
+        pool, loan = lending  # healthy loan → revert
+        _, receipts = harness.mine([liq_tx(harness, pool, loan)])
+        assert not receipts[0].status
+        assert detect_liquidations(harness.node, harness.prices) == []
+
+    def test_no_liquidations_no_records(self, harness):
+        harness.mine([harness.swap_tx(ATTACKER, harness.uni, "WETH",
+                                      ether(1))])
+        assert detect_liquidations(harness.node, harness.prices) == []
+
+
+class TestFlashLoanJoin:
+    def test_flash_loan_tx_hashes_detected(self, harness, lending):
+        pool, loan = lending
+        harness.oracle.set_price("DAI", PRICE_SCALE // 2_000)
+        provider = FlashLoanProvider("Aave")
+        provider.provision(harness.state, "DAI", ether(1_000_000))
+        harness.contracts[provider.address] = provider
+        inner = LiquidationIntent(pool.address, loan.loan_id,
+                                  ether(10_000))
+        tx = Transaction(
+            sender=ATTACKER, nonce=harness.state.nonce(ATTACKER),
+            to=provider.address, gas_limit=900_000, gas_price=gwei(50),
+            intent=FlashLoanIntent(provider.address, "DAI",
+                                   ether(10_000), inner=inner))
+        _, receipts = harness.mine([tx])
+        assert receipts[0].status
+        flash = detect_flash_loan_txs(harness.node)
+        assert flash == {tx.hash}
+        # And the liquidation inside it is detected too.
+        liq = detect_liquidations(harness.node, harness.prices)
+        assert len(liq) == 1
+        assert liq[0].tx_hash == tx.hash
+
+    def test_platform_filter(self, harness):
+        provider = FlashLoanProvider("UnknownPlatform")
+        provider.provision(harness.state, "WETH", ether(100))
+        harness.contracts[provider.address] = provider
+        harness.state.mint_token("WETH", ATTACKER, ether(1))
+        tx = Transaction(
+            sender=ATTACKER, nonce=harness.state.nonce(ATTACKER),
+            to=provider.address, gas_limit=300_000, gas_price=gwei(50),
+            intent=FlashLoanIntent(provider.address, "WETH", ether(10)))
+        harness.mine([tx])
+        assert detect_flash_loan_txs(harness.node) == set()

@@ -1,0 +1,109 @@
+"""Tests for Section 6.1's private-transaction inference."""
+
+import pytest
+
+from repro.chain.p2p import MempoolObserver
+from repro.core.datasets import (
+    PRIVACY_FLASHBOTS,
+    PRIVACY_PRIVATE,
+    PRIVACY_PUBLIC,
+    SandwichRecord,
+)
+from repro.core.private_inference import (
+    annotate_privacy,
+    classify_tx,
+    sandwich_privacy,
+    single_tx_privacy,
+)
+from repro.core.datasets import ArbitrageRecord, MevDataset
+
+
+def record(block=150, fb=False, front="0xf" + "0" * 63,
+           victim="0xv" + "0" * 63, back="0xb" + "0" * 63):
+    return SandwichRecord(
+        block_number=block, pool_address="0x" + "00" * 20,
+        venue="UniswapV2", extractor="0x" + "aa" * 20,
+        victim="0x" + "bb" * 20, front_tx=front, victim_tx=victim,
+        back_tx=back, token_in="WETH", token_out="DAI",
+        frontrun_amount_in=1, backrun_amount_out=2, gain_wei=1,
+        cost_wei=0, via_flashbots=fb)
+
+
+@pytest.fixture
+def observer():
+    return MempoolObserver(start_block=100, end_block=200)
+
+
+class TestClassifyTx:
+    def test_observed_is_public(self, observer):
+        observer._first_seen["0xabc"] = 120
+        assert classify_tx("0xabc", observer) == PRIVACY_PUBLIC
+
+    def test_unobserved_is_private(self, observer):
+        assert classify_tx("0xabc", observer) == PRIVACY_PRIVATE
+
+
+class TestSandwichPrivacy:
+    def test_private_when_legs_hidden_victim_public(self, observer):
+        r = record()
+        observer._first_seen[r.victim_tx] = 120
+        assert sandwich_privacy(r, observer) == PRIVACY_PRIVATE
+
+    def test_public_when_legs_observed(self, observer):
+        r = record()
+        for h in (r.front_tx, r.victim_tx, r.back_tx):
+            observer._first_seen[h] = 120
+        assert sandwich_privacy(r, observer) == PRIVACY_PUBLIC
+
+    def test_flashbots_label_wins(self, observer):
+        r = record(fb=True)
+        observer._first_seen[r.victim_tx] = 120
+        assert sandwich_privacy(r, observer) == PRIVACY_FLASHBOTS
+
+    def test_mixed_observation_defaults_public(self, observer):
+        r = record()
+        observer._first_seen[r.victim_tx] = 120
+        observer._first_seen[r.front_tx] = 121  # one leg leaked
+        assert sandwich_privacy(r, observer) == PRIVACY_PUBLIC
+
+    def test_hidden_victim_not_private(self, observer):
+        """If the victim was never observed either, the trace proves
+        nothing (could be a missed observation) → not private."""
+        r = record()
+        assert sandwich_privacy(r, observer) == PRIVACY_PUBLIC
+
+    def test_outside_window_unlabelled(self, observer):
+        r = record(block=99)
+        assert sandwich_privacy(r, observer) is None
+        late = record(block=201)
+        assert sandwich_privacy(late, observer) is None
+
+
+class TestAnnotate:
+    def test_annotates_all_kinds(self, observer):
+        sandwich = record()
+        observer._first_seen[sandwich.victim_tx] = 120
+        arb = ArbitrageRecord(
+            block_number=150, tx_hash="0xarb", extractor="0x" + "cc" * 20,
+            venues=("UniswapV2", "SushiSwap"),
+            token_cycle=("WETH", "DAI", "WETH"), amount_in=1,
+            amount_out=2, gain_wei=1, cost_wei=0)
+        dataset = MevDataset(sandwiches=[sandwich], arbitrages=[arb])
+        annotate_privacy(dataset, observer)
+        assert sandwich.privacy == PRIVACY_PRIVATE
+        assert arb.privacy == PRIVACY_PRIVATE  # never observed pending
+
+    def test_single_tx_privacy_flashbots(self, observer):
+        arb = ArbitrageRecord(
+            block_number=150, tx_hash="0xarb", extractor="0x" + "cc" * 20,
+            venues=("UniswapV2",), token_cycle=("WETH", "WETH"),
+            amount_in=1, amount_out=2, gain_wei=1, cost_wei=0,
+            via_flashbots=True)
+        assert single_tx_privacy(arb, observer) == PRIVACY_FLASHBOTS
+
+    def test_out_of_window_stays_none(self, observer):
+        arb = ArbitrageRecord(
+            block_number=99, tx_hash="0xarb", extractor="0x" + "cc" * 20,
+            venues=("UniswapV2",), token_cycle=("WETH", "WETH"),
+            amount_in=1, amount_out=2, gain_wei=1, cost_wei=0)
+        assert single_tx_privacy(arb, observer) is None

@@ -1,0 +1,58 @@
+"""Tests for the price service and cost model."""
+
+import pytest
+
+from repro.chain.receipt import Receipt
+from repro.chain.types import ether, gwei
+from repro.core.profit import PriceService, transaction_cost
+from repro.lending.oracle import PRICE_SCALE, PriceOracle
+
+
+@pytest.fixture
+def prices():
+    oracle = PriceOracle()
+    oracle.set_price("DAI", PRICE_SCALE // 2_000, block_number=0)
+    oracle.set_price("DAI", PRICE_SCALE // 4_000, block_number=100)
+    return PriceService(oracle)
+
+
+class TestPriceService:
+    def test_weth_identity(self, prices):
+        assert prices.value_in_eth("WETH", ether(3), 50) == ether(3)
+
+    def test_historical_lookup(self, prices):
+        early = prices.value_in_eth("DAI", ether(4_000), 50)
+        late = prices.value_in_eth("DAI", ether(4_000), 150)
+        assert early == pytest.approx(ether(2), abs=10**6)
+        assert late == pytest.approx(ether(1), abs=10**6)
+
+    def test_unknown_token_returns_none(self, prices):
+        assert prices.value_in_eth("GHOST", 100, 50) is None
+
+    def test_negative_amounts_valued(self, prices):
+        """Losses must convert too (sandwich gains can be negative)."""
+        value = prices.value_in_eth("WETH", -ether(1), 50)
+        assert value == -ether(1)
+
+
+class TestTransactionCost:
+    def receipt(self, gas_used=100_000, price=gwei(50), tip=0):
+        return Receipt(tx_hash="0x" + "11" * 32, block_number=1,
+                       tx_index=0, sender="0x" + "22" * 20, to=None,
+                       status=True, gas_used=gas_used,
+                       effective_gas_price=price,
+                       miner_tip_per_gas=price, coinbase_transfer=tip)
+
+    def test_fee_only(self):
+        assert transaction_cost([self.receipt()]) == 100_000 * gwei(50)
+
+    def test_includes_coinbase_tip(self):
+        cost = transaction_cost([self.receipt(tip=ether(1))])
+        assert cost == 100_000 * gwei(50) + ether(1)
+
+    def test_sums_receipts(self):
+        cost = transaction_cost([self.receipt(), self.receipt()])
+        assert cost == 2 * 100_000 * gwei(50)
+
+    def test_empty(self):
+        assert transaction_cost([]) == 0

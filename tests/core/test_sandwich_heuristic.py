@@ -1,0 +1,156 @@
+"""Surgical tests for the Torres-et-al sandwich detection heuristic."""
+
+from repro.chain.types import ether, gwei
+from repro.core.heuristics.sandwich import detect_sandwiches
+
+from tests.core.conftest import ATTACKER, MINER, OTHER, VICTIM
+
+
+class TestDetection:
+    def test_textbook_sandwich_found(self, harness):
+        front, victim, back = harness.mine_sandwich()
+        records = detect_sandwiches(harness.node, harness.prices)
+        assert len(records) == 1
+        record = records[0]
+        assert record.extractor == ATTACKER
+        assert record.victim == VICTIM
+        assert record.front_tx == front.hash
+        assert record.victim_tx == victim.hash
+        assert record.back_tx == back.hash
+        assert record.venue == "UniswapV2"
+        assert record.miner == MINER
+
+    def test_profit_positive_for_real_attack(self, harness):
+        harness.mine_sandwich(victim_amount=ether(50),
+                              frontrun=ether(50))
+        record = detect_sandwiches(harness.node, harness.prices)[0]
+        assert record.gain_wei > 0
+        assert record.profit_wei > 0
+        assert record.cost_wei > 0
+
+    def test_miner_revenue_recorded(self, harness):
+        harness.mine_sandwich(tip=ether(1))
+        record = detect_sandwiches(harness.node, harness.prices)[0]
+        assert record.miner_revenue_wei >= ether(1)
+
+    def test_two_plain_swaps_not_flagged(self, harness):
+        a = harness.swap_tx(ATTACKER, harness.uni, "WETH", ether(5))
+        b = harness.swap_tx(VICTIM, harness.uni, "WETH", ether(5))
+        harness.mine([a, b])
+        assert detect_sandwiches(harness.node, harness.prices) == []
+
+    def test_round_trip_without_victim_not_flagged(self, harness):
+        """Buy then sell by one account with no one in between."""
+        front = harness.swap_tx(ATTACKER, harness.uni, "WETH",
+                                ether(10))
+        bought = harness.uni.quote_out(harness.state, "WETH", ether(10))
+        back = harness.swap_tx(ATTACKER, harness.uni, "DAI", bought)
+        back.nonce = front.nonce + 1
+        harness.mine([front, back])
+        assert detect_sandwiches(harness.node, harness.prices) == []
+
+    def test_victim_must_trade_same_direction(self, harness):
+        front = harness.swap_tx(ATTACKER, harness.uni, "WETH",
+                                ether(10))
+        wrong_way = harness.swap_tx(VICTIM, harness.uni, "DAI",
+                                    ether(9_000))
+        bought = harness.uni.quote_out(harness.state, "WETH", ether(10))
+        back = harness.swap_tx(ATTACKER, harness.uni, "DAI", bought)
+        back.nonce = front.nonce + 1
+        harness.mine([front, wrong_way, back])
+        assert detect_sandwiches(harness.node, harness.prices) == []
+
+    def test_cross_block_not_a_sandwich(self, harness):
+        """The definition requires all three txs in one block."""
+        front = harness.swap_tx(ATTACKER, harness.uni, "WETH",
+                                ether(10))
+        bought = harness.uni.quote_out(harness.state, "WETH", ether(10))
+        harness.mine([front])
+        victim = harness.swap_tx(VICTIM, harness.uni, "WETH", ether(20))
+        back = harness.swap_tx(ATTACKER, harness.uni, "DAI", bought)
+        harness.mine([victim, back])
+        assert detect_sandwiches(harness.node, harness.prices) == []
+
+    def test_unwind_amount_mismatch_rejected(self, harness):
+        """Backrun selling a very different amount is not an unwind."""
+        front = harness.swap_tx(ATTACKER, harness.uni, "WETH",
+                                ether(10))
+        victim = harness.swap_tx(VICTIM, harness.uni, "WETH", ether(20))
+        bought = harness.uni.quote_out(harness.state, "WETH", ether(10))
+        back = harness.swap_tx(ATTACKER, harness.uni, "DAI", bought // 2)
+        back.nonce = front.nonce + 1
+        harness.mine([front, victim, back])
+        assert detect_sandwiches(harness.node, harness.prices) == []
+
+    def test_different_pools_not_merged(self, harness):
+        """Legs on different pools do not form a sandwich."""
+        front = harness.swap_tx(ATTACKER, harness.uni, "WETH",
+                                ether(10))
+        victim = harness.swap_tx(VICTIM, harness.uni, "WETH", ether(20))
+        bought = harness.uni.quote_out(harness.state, "WETH", ether(10))
+        back = harness.swap_tx(ATTACKER, harness.sushi, "DAI", bought)
+        back.nonce = front.nonce + 1
+        harness.mine([front, victim, back])
+        assert detect_sandwiches(harness.node, harness.prices) == []
+
+    def test_block_range_filter(self, harness):
+        harness.mine_sandwich()
+        assert detect_sandwiches(harness.node, harness.prices,
+                                 from_block=2) == []
+        assert len(detect_sandwiches(harness.node, harness.prices,
+                                     to_block=1)) == 1
+
+    def test_venue_filter(self, harness):
+        harness.mine_sandwich()
+        records = detect_sandwiches(harness.node, harness.prices,
+                                    venues=("Bancor",))
+        assert records == []
+
+    def test_largest_middle_swap_is_the_victim(self, harness):
+        """With two same-direction swaps in between, the heuristic picks
+        the larger as the victim (Torres et al.'s tie-break)."""
+        pool = harness.uni
+        front = harness.swap_tx(ATTACKER, pool, "WETH", ether(30))
+        small = harness.swap_tx(OTHER, pool, "WETH", ether(2))
+        big = harness.swap_tx(VICTIM, pool, "WETH", ether(25))
+        bought = pool.quote_out(harness.state, "WETH", ether(30))
+        back = harness.swap_tx(ATTACKER, pool, "DAI", bought)
+        back.nonce = front.nonce + 1
+        harness.mine([front, small, big, back])
+        records = detect_sandwiches(harness.node, harness.prices)
+        assert len(records) == 1
+        assert records[0].victim == VICTIM
+
+    def test_failed_attacker_tx_not_counted(self, harness):
+        """A reverted backrun leaves no swap event → no sandwich."""
+        pool = harness.uni
+        front = harness.swap_tx(ATTACKER, pool, "WETH", ether(10))
+        victim = harness.swap_tx(VICTIM, pool, "WETH", ether(20))
+        bought = pool.quote_out(harness.state, "WETH", ether(10))
+        back = harness.swap_tx(ATTACKER, pool, "DAI", bought,
+                               min_out=ether(10**6))  # impossible
+        back.nonce = front.nonce + 1
+        _, receipts = harness.mine([front, victim, back])
+        assert not receipts[2].status
+        assert detect_sandwiches(harness.node, harness.prices) == []
+
+    def test_two_sandwiches_same_block_different_pools(self, harness):
+        harness.state.mint_token("WETH", VICTIM, ether(100))
+        pool_a, pool_b = harness.uni, harness.sushi
+        f1 = harness.swap_tx(ATTACKER, pool_a, "WETH", ether(10))
+        v1 = harness.swap_tx(VICTIM, pool_a, "WETH", ether(20))
+        b1 = harness.swap_tx(
+            ATTACKER, pool_a, "DAI",
+            pool_a.quote_out(harness.state, "WETH", ether(10)))
+        b1.nonce = f1.nonce + 1
+        f2 = harness.swap_tx(OTHER, pool_b, "WETH", ether(10))
+        v2 = harness.swap_tx(VICTIM, pool_b, "WETH", ether(20))
+        v2.nonce = v1.nonce + 1
+        b2 = harness.swap_tx(
+            OTHER, pool_b, "DAI",
+            pool_b.quote_out(harness.state, "WETH", ether(10)))
+        b2.nonce = f2.nonce + 1
+        harness.mine([f1, v1, b1, f2, v2, b2])
+        records = detect_sandwiches(harness.node, harness.prices)
+        assert len(records) == 2
+        assert {r.extractor for r in records} == {ATTACKER, OTHER}

@@ -1,0 +1,145 @@
+"""Property tests for MEV sizing math (arbitrage optimum, sandwich bound)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.types import ether
+from repro.dex.amm import get_amount_out
+from repro.dex.arbitrage_math import (
+    _victim_out_after_frontrun,
+    max_sandwich_frontrun,
+    optimal_two_pool_arbitrage,
+    plan_sandwich,
+    simulate_two_pool_arbitrage,
+)
+
+reserve_st = st.integers(10**15, 10**24)
+
+
+class TestOptimalArbitrage:
+    def test_balanced_pools_no_opportunity(self):
+        plan = optimal_two_pool_arbitrage(ether(100), ether(100),
+                                          ether(100), ether(100))
+        assert plan is None
+
+    def test_gapped_pools_yield_profit(self):
+        # Pool 1 sells Y cheap (1 X = 2 Y), pool 2 buys Y dear (1 Y = 1 X).
+        plan = optimal_two_pool_arbitrage(ether(100), ether(200),
+                                          ether(150), ether(150))
+        assert plan is not None
+        assert plan.expected_profit > 0
+
+    def test_plan_consistent_with_simulation(self):
+        plan = optimal_two_pool_arbitrage(ether(100), ether(200),
+                                          ether(150), ether(150))
+        simulated = simulate_two_pool_arbitrage(
+            plan.amount_in, ether(100), ether(200), ether(150), ether(150))
+        assert simulated == plan.expected_out
+
+    def test_tiny_gap_eaten_by_fees(self):
+        # 0.1 % price gap < 0.6 % combined fees → no opportunity.
+        plan = optimal_two_pool_arbitrage(ether(1_000), ether(1_001),
+                                          ether(1_000), ether(1_000))
+        assert plan is None
+
+    def test_empty_pool_returns_none(self):
+        assert optimal_two_pool_arbitrage(0, 1, 1, 1) is None
+
+    @settings(max_examples=60)
+    @given(reserve_st, reserve_st, reserve_st, reserve_st)
+    def test_optimum_beats_neighbors(self, a, b, c, d):
+        """The closed-form input out-profits ±1 % perturbations."""
+        plan = optimal_two_pool_arbitrage(a, b, c, d)
+        if plan is None:
+            return
+
+        def profit(x):
+            if x <= 0:
+                return 0
+            return simulate_two_pool_arbitrage(x, a, b, c, d) - x
+
+        best = profit(plan.amount_in)
+        assert best > 0
+        step = max(1, plan.amount_in // 100)
+        assert best >= profit(plan.amount_in - step)
+        assert best >= profit(plan.amount_in + step)
+
+    @settings(max_examples=60)
+    @given(reserve_st, reserve_st, reserve_st, reserve_st)
+    def test_none_means_no_profit_anywhere(self, a, b, c, d):
+        """When no plan is returned, sampled inputs all lose money."""
+        if optimal_two_pool_arbitrage(a, b, c, d) is not None:
+            return
+        for fraction in (10**6, 10**3, 10, 2):
+            x = a // fraction
+            if x <= 0:
+                continue
+            assert simulate_two_pool_arbitrage(x, a, b, c, d) - x <= 0
+
+
+class TestSandwichSizing:
+    def test_tight_slippage_blocks_attack(self):
+        r_in, r_out = ether(1_000), ether(1_000)
+        victim_in = ether(10)
+        exact_out = get_amount_out(victim_in, r_in, r_out)
+        # Integer rounding may leave room for a dust-sized frontrun, but
+        # never for a profitable one.
+        frontrun = max_sandwich_frontrun(r_in, r_out, victim_in, exact_out)
+        assert frontrun < 1_000  # wei-scale dust on 1000-ETH reserves
+        assert plan_sandwich(r_in, r_out, victim_in, exact_out) is None
+
+    def test_loose_slippage_allows_large_frontrun(self):
+        r_in, r_out = ether(1_000), ether(1_000)
+        victim_in = ether(10)
+        floor = get_amount_out(victim_in, r_in, r_out) // 2  # 50 % slippage
+        frontrun = max_sandwich_frontrun(r_in, r_out, victim_in, floor)
+        assert frontrun > 0
+
+    def test_boundary_is_exact(self):
+        r_in, r_out = ether(500), ether(1_500)
+        victim_in = ether(5)
+        floor = get_amount_out(victim_in, r_in, r_out) * 95 // 100
+        frontrun = max_sandwich_frontrun(r_in, r_out, victim_in, floor)
+        assert _victim_out_after_frontrun(frontrun, r_in, r_out,
+                                          victim_in, 30) >= floor
+        assert _victim_out_after_frontrun(frontrun + 1, r_in, r_out,
+                                          victim_in, 30) < floor
+
+    def test_unsatisfiable_victim_returns_zero(self):
+        r_in, r_out = ether(100), ether(100)
+        victim_in = ether(1)
+        impossible_floor = ether(2)
+        assert max_sandwich_frontrun(r_in, r_out, victim_in,
+                                     impossible_floor) == 0
+
+    @settings(max_examples=50)
+    @given(reserve_st, reserve_st, st.integers(10**12, 10**20),
+           st.integers(1, 40))
+    def test_victim_floor_always_respected(self, r_in, r_out, victim_in,
+                                           slip_pct):
+        fair = get_amount_out(victim_in, r_in, r_out)
+        floor = fair * (100 - slip_pct) // 100
+        plan = plan_sandwich(r_in, r_out, victim_in, floor)
+        if plan is None:
+            return
+        assert plan.victim_out >= floor
+        assert plan.expected_profit > 0
+
+    def test_capital_cap_limits_frontrun(self):
+        r_in, r_out = ether(1_000), ether(1_000)
+        victim_in = ether(50)
+        floor = get_amount_out(victim_in, r_in, r_out) // 2
+        unlimited = plan_sandwich(r_in, r_out, victim_in, floor)
+        capped = plan_sandwich(r_in, r_out, victim_in, floor,
+                               max_capital=unlimited.frontrun_in // 2)
+        assert capped.frontrun_in <= unlimited.frontrun_in // 2
+        assert capped.expected_profit < unlimited.expected_profit
+
+    def test_bigger_slippage_tolerance_bigger_profit(self):
+        r_in, r_out = ether(1_000), ether(1_000)
+        victim_in = ether(20)
+        fair = get_amount_out(victim_in, r_in, r_out)
+        loose = plan_sandwich(r_in, r_out, victim_in, fair * 90 // 100)
+        tight = plan_sandwich(r_in, r_out, victim_in, fair * 99 // 100)
+        if loose and tight:
+            assert loose.expected_profit >= tight.expected_profit

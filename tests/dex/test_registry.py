@@ -1,0 +1,96 @@
+"""Tests for the exchange registry and cross-venue price views."""
+
+import pytest
+
+from repro.chain.state import WorldState
+from repro.chain.types import ether
+from repro.dex.registry import (
+    CURVE,
+    SUSHISWAP,
+    UNISWAP_V2,
+    ExchangeRegistry,
+)
+from repro.dex.stableswap import StableSwapPool
+
+
+@pytest.fixture
+def registry():
+    return ExchangeRegistry()
+
+
+class TestRegistration:
+    def test_create_pool_registers(self, registry):
+        pool = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        assert registry.get(pool.address) is pool
+        assert pool in registry.pools
+
+    def test_curve_pools_are_stableswap(self, registry):
+        pool = registry.create_pool(CURVE, "DAI", "USDC")
+        assert isinstance(pool, StableSwapPool)
+
+    def test_venue_fee_defaults(self, registry):
+        sushi = registry.create_pool(SUSHISWAP, "WETH", "DAI")
+        assert sushi.fee_bps == 30
+        bancor = registry.create_pool("Bancor", "WETH", "DAI")
+        assert bancor.fee_bps == 20
+
+    def test_duplicate_pool_rejected(self, registry):
+        registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        with pytest.raises(ValueError):
+            registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+
+    def test_same_pair_different_venue_ok(self, registry):
+        registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        registry.create_pool(SUSHISWAP, "WETH", "DAI")
+        assert len(registry.pools_for_pair("WETH", "DAI")) == 2
+
+    def test_contracts_map(self, registry):
+        pool = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        assert registry.contracts == {pool.address: pool}
+
+
+class TestLookups:
+    def test_pair_lookup_order_insensitive(self, registry):
+        registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        assert registry.pools_for_pair("DAI", "WETH")
+        assert registry.pools_for_pair("WETH", "DAI")
+
+    def test_pools_with_token(self, registry):
+        registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        registry.create_pool(UNISWAP_V2, "WETH", "USDC")
+        registry.create_pool(UNISWAP_V2, "DAI", "USDC")
+        assert len(registry.pools_with_token("WETH")) == 2
+
+    def test_venues_listing(self, registry):
+        registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        registry.create_pool(SUSHISWAP, "WETH", "DAI")
+        assert registry.venues() == [SUSHISWAP, UNISWAP_V2]
+
+
+class TestPriceGap:
+    def test_needs_two_liquid_pools(self, registry):
+        state = WorldState()
+        pool = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        pool.add_liquidity(state, WETH=ether(100), DAI=ether(100))
+        assert registry.best_price_gap(state, "WETH", "DAI") is None
+
+    def test_detects_gap_direction(self, registry):
+        state = WorldState()
+        uni = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        sushi = registry.create_pool(SUSHISWAP, "WETH", "DAI")
+        # WETH cheap on uni (3000 DAI), dear on sushi (3300 DAI)
+        uni.add_liquidity(state, WETH=ether(1_000), DAI=ether(3_000_000))
+        sushi.add_liquidity(state, WETH=ether(1_000),
+                            DAI=ether(3_300_000))
+        cheap, dear, ratio = registry.best_price_gap(state, "WETH", "DAI")
+        assert cheap is uni
+        assert dear is sushi
+        assert ratio == pytest.approx(1.1)
+
+    def test_illiquid_pools_skipped(self, registry):
+        state = WorldState()
+        uni = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        sushi = registry.create_pool(SUSHISWAP, "WETH", "DAI")
+        uni.add_liquidity(state, WETH=ether(1_000), DAI=ether(3_000_000))
+        sushi.add_liquidity(state, WETH=0, DAI=0)
+        assert registry.best_price_gap(state, "WETH", "DAI") is None

@@ -1,0 +1,124 @@
+"""Tests for the Curve-style stableswap pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.execution import ExecutionContext, Revert
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether
+from repro.dex.amm import get_amount_out
+from repro.dex.stableswap import StableSwapPool, compute_d, compute_y
+
+TRADER = address_from_label("trader")
+MINER = address_from_label("miner")
+
+
+@pytest.fixture
+def setup():
+    state = WorldState()
+    pool = StableSwapPool(venue="Curve", token0="DAI", token1="USDC",
+                          amp=100)
+    pool.add_liquidity(state, DAI=ether(1_000_000), USDC=ether(1_000_000))
+    state.mint_token("DAI", TRADER, ether(100_000))
+    state.mint_token("USDC", TRADER, ether(100_000))
+    return state, pool
+
+
+def make_ctx(state, pool):
+    tx = Transaction(sender=TRADER, nonce=0, to=pool.address)
+    return ExecutionContext(state, tx, block_number=1, coinbase=MINER,
+                            contracts={pool.address: pool})
+
+
+class TestInvariantMath:
+    def test_d_of_balanced_pool_is_total(self):
+        d = compute_d(100, (ether(1_000), ether(1_000)))
+        assert d == pytest.approx(ether(2_000), rel=1e-9)
+
+    def test_d_zero_for_empty_pool(self):
+        assert compute_d(100, (0, 0)) == 0
+
+    def test_one_sided_pool_rejected(self):
+        with pytest.raises(ValueError):
+            compute_d(100, (ether(1), 0))
+
+    def test_y_recovers_balance(self):
+        balances = (ether(800), ether(1_200))
+        d = compute_d(100, balances)
+        y = compute_y(100, d, balances[0])
+        assert y == pytest.approx(balances[1], abs=10)
+
+    @settings(max_examples=40)
+    @given(st.integers(1, 5_000),
+           st.integers(10**18, 10**24), st.integers(10**18, 10**24))
+    def test_d_between_sum_bounds(self, amp, x0, x1):
+        """D lies between the CP geometric bound and the sum."""
+        d = compute_d(amp, (x0, x1))
+        assert d <= x0 + x1 + 1
+        assert d * d >= 4 * x0 * x1 - d  # 2*sqrt(x0*x1) <= D (approx)
+
+
+class TestStableQuotes:
+    def test_near_parity_on_balanced_pool(self, setup):
+        state, pool = setup
+        out = pool.quote_out(state, "DAI", ether(1_000))
+        # Stableswap slippage must be tiny: > 99.9 % out (minus 4 bps fee)
+        assert out > ether(1_000) * 999 // 1_000
+
+    def test_flatter_than_constant_product(self, setup):
+        state, pool = setup
+        trade = ether(100_000)
+        stable_out = pool.quote_out(state, "DAI", trade)
+        cp_out = get_amount_out(trade, ether(1_000_000), ether(1_000_000),
+                                fee_bps=4)
+        assert stable_out > cp_out
+
+    def test_higher_amp_flatter_curve(self):
+        state = WorldState()
+        low = StableSwapPool(venue="Curve", token0="DAI", token1="USDT",
+                             amp=10)
+        high = StableSwapPool(venue="Curve", token0="DAI", token1="USDC",
+                              amp=2_000)
+        low.add_liquidity(state, DAI=ether(1_000_000),
+                          USDT=ether(1_000_000))
+        high.add_liquidity(state, DAI=ether(1_000_000),
+                           USDC=ether(1_000_000))
+        trade = ether(200_000)
+        assert (high.quote_out(state, "DAI", trade)
+                > low.quote_out(state, "DAI", trade))
+
+    def test_output_bounded_by_reserves(self, setup):
+        state, pool = setup
+        out = pool.quote_out(state, "DAI", ether(10_000_000))
+        assert out < ether(1_000_000)
+
+    def test_spot_price_near_one(self, setup):
+        state, pool = setup
+        assert pool.spot_price(state, "DAI") == pytest.approx(1.0,
+                                                              rel=2e-3)
+
+
+class TestStableSwapExecution:
+    def test_swap_moves_tokens_and_emits(self, setup):
+        state, pool = setup
+        ctx = make_ctx(state, pool)
+        out = pool.swap(ctx, "DAI", ether(1_000), TRADER)
+        assert state.token_balance("USDC", TRADER) == ether(100_000) + out
+        assert [type(l).__name__ for l in ctx.logs] == \
+            ["SwapEvent", "SyncEvent"]
+
+    def test_slippage_guard(self, setup):
+        state, pool = setup
+        ctx = make_ctx(state, pool)
+        with pytest.raises(Revert):
+            pool.swap(ctx, "DAI", ether(1_000), TRADER,
+                      min_amount_out=ether(1_001))
+
+    def test_round_trip_loses_money(self, setup):
+        state, pool = setup
+        ctx = make_ctx(state, pool)
+        out = pool.swap(ctx, "DAI", ether(10_000), TRADER)
+        back = pool.swap(ctx, "USDC", out, TRADER)
+        assert back < ether(10_000)

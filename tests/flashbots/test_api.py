@@ -1,0 +1,101 @@
+"""Tests for the public Flashbots blocks API dataset."""
+
+import pytest
+
+from repro.chain.intents import CoinbaseTipIntent
+from repro.chain.mempool import Mempool
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.flashbots.api import FlashbotsBlocksApi
+from repro.flashbots.bundle import make_bundle
+from repro.flashbots.mev_geth import build_block
+
+MINER = address_from_label("fb-miner")
+SEARCHER = address_from_label("searcher")
+
+
+def mined_bundles(number=5, tips=(1, 2)):
+    state = WorldState()
+    bundles = []
+    for i, tip in enumerate(tips):
+        searcher = address_from_label(f"searcher-{i}")
+        state.credit_eth(searcher, ether(100))
+        tx = Transaction(sender=searcher, nonce=0, to=MINER,
+                         gas_price=gwei(1), gas_limit=30_000,
+                         intent=CoinbaseTipIntent(tip=ether(tip)))
+        bundles.append(make_bundle(searcher, [tx], number))
+    result = build_block(state, Mempool(), number=number,
+                         timestamp=13 * number, coinbase=MINER,
+                         base_fee=0, bundles=bundles)
+    return result.included_bundles
+
+
+class TestRecording:
+    def test_record_and_query(self):
+        api = FlashbotsBlocksApi()
+        included = mined_bundles()
+        api.record_block(5, MINER, included)
+        assert api.is_flashbots_block(5)
+        assert api.block_count() == 1
+        assert api.bundle_count() == 2
+
+    def test_empty_inclusion_not_recorded(self):
+        api = FlashbotsBlocksApi()
+        api.record_block(5, MINER, [])
+        assert not api.is_flashbots_block(5)
+
+    def test_double_record_rejected(self):
+        api = FlashbotsBlocksApi()
+        included = mined_bundles()
+        api.record_block(5, MINER, included)
+        with pytest.raises(ValueError):
+            api.record_block(5, MINER, included)
+
+    def test_miner_reward_totals_bundle_payments(self):
+        api = FlashbotsBlocksApi()
+        included = mined_bundles(tips=(1, 2))
+        api.record_block(5, MINER, included)
+        block = api.get_block(5)
+        assert block.miner_reward == sum(i.miner_payment
+                                         for i in included)
+        assert block.miner_reward >= ether(3)
+
+
+class TestTxLabels:
+    def test_tx_join_surface(self):
+        api = FlashbotsBlocksApi()
+        included = mined_bundles()
+        api.record_block(5, MINER, included)
+        tx_hash = included[0].bundle.tx_hashes[0]
+        assert api.is_flashbots_tx(tx_hash)
+        label = api.tx_label(tx_hash)
+        assert label.bundle_id == included[0].bundle.bundle_id
+        assert label.bundle_type == "flashbots"
+
+    def test_unknown_tx(self):
+        api = FlashbotsBlocksApi()
+        assert not api.is_flashbots_tx("0x" + "00" * 32)
+        assert api.tx_label("0x" + "00" * 32) is None
+
+    def test_flashbots_tx_hashes_set(self):
+        api = FlashbotsBlocksApi()
+        included = mined_bundles()
+        api.record_block(5, MINER, included)
+        expected = {h for item in included for h in item.bundle.tx_hashes}
+        assert api.flashbots_tx_hashes() == expected
+
+
+class TestRangeQueries:
+    def test_blocks_until(self):
+        api = FlashbotsBlocksApi()
+        api.record_block(5, MINER, mined_bundles(5))
+        api.record_block(9, MINER, mined_bundles(9))
+        assert [b.block_number for b in api.blocks_until(5)] == [5]
+        assert [b.block_number for b in api.blocks_until(100)] == [5, 9]
+
+    def test_all_blocks_sorted(self):
+        api = FlashbotsBlocksApi()
+        api.record_block(9, MINER, mined_bundles(9))
+        api.record_block(5, MINER, mined_bundles(5))
+        assert [b.block_number for b in api.all_blocks()] == [5, 9]

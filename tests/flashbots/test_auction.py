@@ -1,0 +1,73 @@
+"""Tests for sealed-bid vs PGA bidding models."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.chain.types import gwei
+from repro.flashbots.auction import (
+    pga_fee_fraction,
+    pga_gas_price,
+    sealed_bid_tip_fraction,
+)
+
+
+class TestSealedBid:
+    def test_fraction_in_bounds(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            f = sealed_bid_tip_fraction(rng)
+            assert 0.05 <= f <= 0.99
+
+    def test_mean_reflects_overbidding(self):
+        rng = random.Random(2)
+        samples = [sealed_bid_tip_fraction(rng) for _ in range(2_000)]
+        assert statistics.mean(samples) > 0.7
+
+    def test_competition_raises_bids(self):
+        calm = random.Random(3)
+        hot = random.Random(3)
+        low = statistics.mean(sealed_bid_tip_fraction(calm, competition=0)
+                              for _ in range(2_000))
+        high = statistics.mean(sealed_bid_tip_fraction(hot, competition=9)
+                               for _ in range(2_000))
+        assert high > low
+
+    def test_negative_competition_rejected(self):
+        with pytest.raises(ValueError):
+            sealed_bid_tip_fraction(random.Random(1), competition=-1)
+
+
+class TestPga:
+    def test_fraction_in_bounds(self):
+        rng = random.Random(4)
+        for _ in range(500):
+            assert 0.02 <= pga_fee_fraction(rng) <= 0.95
+
+    def test_sealed_bids_exceed_pga_on_average(self):
+        """The core profit-inversion driver: Flashbots searchers give away
+        more of their profit than PGA participants did."""
+        a, b = random.Random(5), random.Random(5)
+        sealed = statistics.mean(sealed_bid_tip_fraction(a)
+                                 for _ in range(2_000))
+        open_pga = statistics.mean(pga_fee_fraction(b)
+                                   for _ in range(2_000))
+        assert sealed > open_pga + 0.2
+
+    def test_gas_price_at_least_base(self):
+        rng = random.Random(6)
+        bid = pga_gas_price(rng, base_gas_price=gwei(50),
+                            expected_profit=0, gas_limit=100_000)
+        assert bid >= gwei(50)
+
+    def test_gas_price_scales_with_profit(self):
+        rng_small = random.Random(7)
+        rng_big = random.Random(7)
+        small = pga_gas_price(rng_small, gwei(50), 10**17, 100_000)
+        big = pga_gas_price(rng_big, gwei(50), 10**19, 100_000)
+        assert big > small
+
+    def test_zero_gas_limit_rejected(self):
+        with pytest.raises(ValueError):
+            pga_gas_price(random.Random(1), gwei(1), 1, 0)

@@ -1,0 +1,90 @@
+"""Structural invariants of MEV-geth-built blocks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.intents import CoinbaseTipIntent
+from repro.chain.mempool import Mempool
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.flashbots.bundle import make_bundle
+from repro.flashbots.mev_geth import build_block
+
+MINER = address_from_label("struct-miner")
+
+
+def make_world(n_searchers):
+    state = WorldState()
+    searchers = [address_from_label(f"struct-s{i}")
+                 for i in range(n_searchers)]
+    users = [address_from_label(f"struct-u{i}") for i in range(4)]
+    for addr in searchers + users:
+        state.credit_eth(addr, ether(100))
+    return state, searchers, users
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 5), st.integers(0, 6), st.integers(0, 10**9))
+def test_bundles_always_precede_public_txs(n_bundles, n_public, seed):
+    """Every bundle transaction sits above every mempool transaction —
+    MEV-geth's top-of-block guarantee."""
+    rng = random.Random(seed)
+    state, searchers, users = make_world(n_bundles)
+    bundles = []
+    for i in range(n_bundles):
+        tx = Transaction(sender=searchers[i], nonce=0, to=MINER,
+                         gas_price=gwei(1), gas_limit=30_000,
+                         intent=CoinbaseTipIntent(
+                             tip=ether(rng.uniform(0.1, 3.0))))
+        bundles.append(make_bundle(searchers[i], [tx], 5))
+    pool = Mempool()
+    for j in range(n_public):
+        pool.add(Transaction(sender=users[j % 4], nonce=j // 4,
+                             to=MINER, value=1,
+                             gas_price=gwei(rng.randint(10, 90))), 1)
+    result = build_block(state, pool, number=5, timestamp=65,
+                         coinbase=MINER, base_fee=0, bundles=bundles)
+    bundle_hashes = {h for item in result.included_bundles
+                     for h in item.bundle.tx_hashes}
+    seen_public = False
+    for tx in result.block.transactions:
+        if tx.hash in bundle_hashes:
+            assert not seen_public, "bundle tx after a public tx"
+        else:
+            seen_public = True
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 10**9))
+def test_included_bundles_sorted_by_payment_rate(n_bundles, seed):
+    rng = random.Random(seed)
+    state, searchers, _ = make_world(n_bundles)
+    bundles = []
+    for i in range(n_bundles):
+        tx = Transaction(sender=searchers[i], nonce=0, to=MINER,
+                         gas_price=gwei(1), gas_limit=30_000,
+                         intent=CoinbaseTipIntent(
+                             tip=ether(rng.uniform(0.05, 5.0))))
+        bundles.append(make_bundle(searchers[i], [tx], 5))
+    result = build_block(state, Mempool(), number=5, timestamp=65,
+                         coinbase=MINER, base_fee=0, bundles=bundles)
+    rates = [item.miner_payment // max(1, item.gas_used)
+             for item in result.included_bundles]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_public_tail_ordered_by_fee():
+    state, _, users = make_world(0)
+    pool = Mempool()
+    prices = [gwei(p) for p in (15, 80, 40, 60)]
+    for user, price in zip(users, prices):
+        pool.add(Transaction(sender=user, nonce=0, to=MINER, value=1,
+                             gas_price=price), 1)
+    result = build_block(state, pool, number=5, timestamp=65,
+                         coinbase=MINER, base_fee=0)
+    got = [tx.gas_price for tx in result.block.transactions]
+    assert got == sorted(prices, reverse=True)

@@ -1,0 +1,131 @@
+"""Tests for MEV-geth bundle scoring and block assembly."""
+
+import pytest
+
+from repro.chain.intents import CoinbaseTipIntent, FailingIntent
+from repro.chain.mempool import Mempool
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.flashbots.bundle import MINER_PAYOUT, make_bundle
+from repro.flashbots.mev_geth import build_block
+
+MINER = address_from_label("fb-miner")
+SEARCHER_A = address_from_label("searcher-a")
+SEARCHER_B = address_from_label("searcher-b")
+USER = address_from_label("plain-user")
+
+
+@pytest.fixture
+def state():
+    s = WorldState()
+    for addr in (SEARCHER_A, SEARCHER_B, USER):
+        s.credit_eth(addr, ether(100))
+    return s
+
+
+def tip_tx(sender, tip_eth, nonce=0, gas_price=gwei(1)):
+    return Transaction(sender=sender, nonce=nonce, to=MINER,
+                       gas_price=gas_price, gas_limit=30_000,
+                       intent=CoinbaseTipIntent(tip=ether(tip_eth)))
+
+
+def plain_tx(nonce=0, gas_price=gwei(30)):
+    return Transaction(sender=USER, nonce=nonce,
+                       to=address_from_label("x"), value=ether(1),
+                       gas_price=gas_price)
+
+
+def build(state, bundles=(), mempool=None, number=5):
+    return build_block(state, mempool or Mempool(), number=number,
+                       timestamp=13 * number, coinbase=MINER, base_fee=0,
+                       bundles=bundles)
+
+
+class TestBundleInclusion:
+    def test_no_bundles_vanilla_block(self, state):
+        pool = Mempool()
+        pool.add(plain_tx(), 1)
+        result = build(state, mempool=pool)
+        assert not result.is_flashbots_block
+        assert len(result.block.transactions) == 1
+
+    def test_bundle_included_ahead_of_mempool(self, state):
+        pool = Mempool()
+        pool.add(plain_tx(gas_price=gwei(500)), 1)
+        bundle = make_bundle(SEARCHER_A, [tip_tx(SEARCHER_A, 1)], 5)
+        result = build(state, bundles=[bundle], mempool=pool)
+        assert result.is_flashbots_block
+        # Bundle txs occupy the top of the block despite lower gas price.
+        assert result.block.transactions[0].hash == bundle.tx_hashes[0]
+        assert len(result.block.transactions) == 2
+
+    def test_higher_paying_bundle_wins_ordering(self, state):
+        low = make_bundle(SEARCHER_A, [tip_tx(SEARCHER_A, 1)], 5)
+        high = make_bundle(SEARCHER_B, [tip_tx(SEARCHER_B, 5)], 5)
+        result = build(state, bundles=[low, high])
+        assert result.included_bundles[0].bundle is high
+        assert result.included_bundles[1].bundle is low
+
+    def test_failing_bundle_skipped_entirely(self, state):
+        bad_tx = Transaction(sender=SEARCHER_A, nonce=0, to=MINER,
+                             gas_price=gwei(1), gas_limit=50_000,
+                             intent=FailingIntent())
+        bad = make_bundle(SEARCHER_A, [bad_tx], 5)
+        good = make_bundle(SEARCHER_B, [tip_tx(SEARCHER_B, 1)], 5)
+        result = build(state, bundles=[bad, good])
+        assert len(result.included_bundles) == 1
+        assert result.included_bundles[0].bundle is good
+        hashes = [t.hash for t in result.block.transactions]
+        assert bad_tx.hash not in hashes
+
+    def test_conflicting_bundles_auction_resolution(self, state):
+        """Two bundles spending the same nonce: only the richer lands."""
+        weak = make_bundle(SEARCHER_A, [tip_tx(SEARCHER_A, 1, nonce=0)], 5)
+        strong = make_bundle(SEARCHER_A,
+                             [tip_tx(SEARCHER_A, 3, nonce=0)], 5)
+        result = build(state, bundles=[weak, strong])
+        assert len(result.included_bundles) == 1
+        assert result.included_bundles[0].bundle is strong
+
+    def test_zero_payment_flashbots_bundle_rejected(self, state):
+        free_tx = Transaction(sender=SEARCHER_A, nonce=0, to=MINER,
+                              gas_price=0, gas_limit=21_000)
+        bundle = make_bundle(SEARCHER_A, [free_tx], 5)
+        result = build(state, bundles=[bundle])
+        assert not result.is_flashbots_block
+
+    def test_miner_payout_bundle_exempt_from_payment_floor(self, state):
+        free_tx = Transaction(sender=SEARCHER_A, nonce=0, to=MINER,
+                              gas_price=0, gas_limit=21_000)
+        bundle = make_bundle(SEARCHER_A, [free_tx], 5,
+                             bundle_type=MINER_PAYOUT)
+        result = build(state, bundles=[bundle])
+        assert result.is_flashbots_block
+
+
+class TestEconomics:
+    def test_included_bundle_reports_payment(self, state):
+        bundle = make_bundle(SEARCHER_A, [tip_tx(SEARCHER_A, 2)], 5)
+        result = build(state, bundles=[bundle])
+        item = result.included_bundles[0]
+        assert item.miner_payment >= ether(2)
+        assert item.gas_used > 0
+
+    def test_mempool_tx_not_double_included_after_bundle(self, state):
+        """A bundle that contains a mempool transaction consumes it."""
+        victim = plain_tx(nonce=0)
+        pool = Mempool()
+        pool.add(victim, 1)
+        sandwichish = make_bundle(
+            SEARCHER_A,
+            [tip_tx(SEARCHER_A, 1, nonce=0), victim], 5)
+        result = build(state, bundles=[sandwichish], mempool=pool)
+        hashes = [t.hash for t in result.block.transactions]
+        assert hashes.count(victim.hash) == 1
+
+    def test_block_state_committed(self, state):
+        bundle = make_bundle(SEARCHER_A, [tip_tx(SEARCHER_A, 2)], 5)
+        build(state, bundles=[bundle])
+        assert state.eth_balance(MINER) > ether(2)  # tip + block reward
+        assert state.nonce(SEARCHER_A) == 1

@@ -1,0 +1,99 @@
+"""Tests for relay registration, admission, rate limiting and bans."""
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, gwei
+from repro.flashbots.bundle import make_bundle
+from repro.flashbots.relay import Relay
+
+SEARCHER = address_from_label("searcher")
+MINER = address_from_label("fb-miner")
+
+
+def bundle(target=10, searcher=SEARCHER, nonce=0):
+    tx = Transaction(sender=searcher, nonce=nonce,
+                     to=address_from_label("pool"), gas_price=gwei(5))
+    return make_bundle(searcher, [tx], target_block=target)
+
+
+@pytest.fixture
+def relay():
+    r = Relay()
+    r.register_searcher(SEARCHER)
+    r.register_miner(MINER)
+    return r
+
+
+class TestRegistration:
+    def test_registered_roles(self, relay):
+        assert relay.is_searcher(SEARCHER)
+        assert relay.is_miner(MINER)
+        assert MINER in relay.miners
+
+    def test_unregistered_rejected(self, relay):
+        stranger = address_from_label("stranger")
+        assert not relay.is_searcher(stranger)
+        assert not relay.submit(bundle(searcher=stranger), 1)
+        assert relay.rejected_count == 1
+
+
+class TestSubmission:
+    def test_accepts_future_target(self, relay):
+        assert relay.submit(bundle(target=5), current_block=4)
+        assert relay.pending_count() == 1
+
+    def test_rejects_stale_target(self, relay):
+        assert not relay.submit(bundle(target=5), current_block=5)
+        assert not relay.submit(bundle(target=5), current_block=9)
+
+    def test_rate_limit_per_searcher(self, relay):
+        for i in range(relay.max_bundles_per_searcher_per_block):
+            assert relay.submit(bundle(target=10, nonce=i), 1)
+        assert not relay.submit(bundle(target=10, nonce=99), 1)
+        # A different target block has its own budget.
+        assert relay.submit(bundle(target=11, nonce=100), 1)
+
+
+class TestDelivery:
+    def test_miner_sees_bundles_for_block(self, relay):
+        b = bundle(target=7)
+        relay.submit(b, 1)
+        assert relay.bundles_for_block(7, miner=MINER) == [b]
+        assert relay.bundles_for_block(8, miner=MINER) == []
+
+    def test_non_member_miner_sees_nothing(self, relay):
+        relay.submit(bundle(target=7), 1)
+        outsider = address_from_label("outsider")
+        assert relay.bundles_for_block(7, miner=outsider) == []
+
+    def test_mark_included_removes(self, relay):
+        b = bundle(target=7)
+        relay.submit(b, 1)
+        relay.mark_included(7, {b.bundle_id})
+        assert relay.bundles_for_block(7, miner=MINER) == []
+
+    def test_expire_before_drops_stale(self, relay):
+        relay.submit(bundle(target=5), 1)
+        relay.submit(bundle(target=9, nonce=1), 1)
+        assert relay.expire_before(6) == 1
+        assert relay.pending_count() == 1
+
+
+class TestBanning:
+    def test_banned_miner_loses_access(self, relay):
+        relay.report_equivocation(MINER)
+        assert relay.is_banned(MINER)
+        assert not relay.is_miner(MINER)
+        assert MINER not in relay.miners
+        relay.submit(bundle(target=7), 1)
+        assert relay.bundles_for_block(7, miner=MINER) == []
+
+    def test_banned_searcher_cannot_submit(self, relay):
+        relay.ban(SEARCHER)
+        assert not relay.submit(bundle(target=7), 1)
+
+    def test_banned_cannot_reregister(self, relay):
+        relay.ban(MINER)
+        with pytest.raises(PermissionError):
+            relay.register_miner(MINER)

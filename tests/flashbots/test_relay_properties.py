@@ -1,0 +1,71 @@
+"""Property tests for relay admission invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, gwei
+from repro.flashbots.bundle import make_bundle
+from repro.flashbots.relay import Relay
+
+SEARCHERS = [address_from_label(f"prop-searcher-{i}") for i in range(4)]
+
+submissions_st = st.lists(
+    st.tuples(st.integers(0, 3),        # searcher index
+              st.integers(1, 8),        # target block
+              st.booleans()),           # registered?
+    max_size=40)
+
+
+def bundle_for(searcher, target, nonce):
+    tx = Transaction(sender=searcher, nonce=nonce,
+                     to=address_from_label("prop-pool"),
+                     gas_price=gwei(5))
+    return make_bundle(searcher, [tx], target)
+
+
+class TestRelayInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(submissions_st, st.integers(0, 5))
+    def test_accepted_bundles_always_valid(self, specs, current_block):
+        relay = Relay(max_bundles_per_searcher_per_block=3)
+        registered = set()
+        nonce = 0
+        for searcher_i, target, register in specs:
+            searcher = SEARCHERS[searcher_i]
+            if register and searcher not in registered:
+                relay.register_searcher(searcher)
+                registered.add(searcher)
+            bundle = bundle_for(searcher, target, nonce)
+            nonce += 1
+            accepted = relay.submit(bundle, current_block)
+            if accepted:
+                # Admission implies every precondition held.
+                assert searcher in registered
+                assert target > current_block
+        # Per-searcher per-block caps were never exceeded.
+        for target in range(1, 9):
+            queue = relay.bundles_for_block(target)
+            for searcher in SEARCHERS:
+                count = sum(1 for b in queue if b.searcher == searcher)
+                assert count <= 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(submissions_st)
+    def test_expiry_leaves_only_future_bundles(self, specs):
+        relay = Relay()
+        for searcher in SEARCHERS:
+            relay.register_searcher(searcher)
+        nonce = 0
+        for searcher_i, target, _ in specs:
+            relay.submit(bundle_for(SEARCHERS[searcher_i], target,
+                                    nonce), 0)
+            nonce += 1
+        relay.expire_before(5)
+        for target in range(1, 5):
+            assert relay.bundles_for_block(target) == []
+        total_left = relay.pending_count()
+        assert total_left == sum(len(relay.bundles_for_block(t))
+                                 for t in range(5, 9))

@@ -1,0 +1,219 @@
+"""Score the measurement pipeline against simulator ground truth.
+
+The pipeline never reads ground truth; these tests close the loop by
+checking that what the heuristics *found* matches what the agents
+*actually did* — the validation a real measurement study can only
+approximate.
+"""
+
+import pytest
+
+from repro.core.datasets import PRIVACY_PRIVATE
+
+
+def landed_by_strategy(sim_result, strategy):
+    return [t for t in sim_result.landed_truths()
+            if t.strategy == strategy]
+
+
+class TestSandwichScores:
+    def test_recall(self, sim_result, dataset):
+        """Nearly every sandwich that really happened is detected."""
+        truths = landed_by_strategy(sim_result, "sandwich")
+        detected_pairs = {(r.front_tx, r.back_tx)
+                          for r in dataset.sandwiches}
+        found = sum(1 for t in truths
+                    if (t.tx_hashes[0], t.tx_hashes[1])
+                    in detected_pairs)
+        assert len(truths) > 50  # the scenario produced real volume
+        assert found / len(truths) > 0.85
+
+    def test_precision(self, sim_result, dataset):
+        """Nearly every detected sandwich really was one."""
+        truth_pairs = {(t.tx_hashes[0], t.tx_hashes[1])
+                       for t in landed_by_strategy(sim_result,
+                                                   "sandwich")}
+        assert len(dataset.sandwiches) > 50
+        true_hits = sum(1 for r in dataset.sandwiches
+                        if (r.front_tx, r.back_tx) in truth_pairs)
+        assert true_hits / len(dataset.sandwiches) > 0.95
+
+    def test_victims_are_real_victims(self, sim_result, dataset):
+        truth_victims = {t.victim_hash
+                         for t in landed_by_strategy(sim_result,
+                                                     "sandwich")}
+        matched = sum(1 for r in dataset.sandwiches
+                      if r.victim_tx in truth_victims)
+        assert matched / len(dataset.sandwiches) > 0.9
+
+
+class TestArbitrageScores:
+    @staticmethod
+    def _covered(sim_result, truth):
+        """True if every venue on the arbitrage's route is one the
+        paper's script crawls (Uniswap V1 is notably absent from the
+        arbitrage coverage even though the sandwich script has it)."""
+        from repro.dex.registry import ARBITRAGE_VENUES
+        tx = sim_result.node.get_transaction(truth.tx_hashes[0])
+        if tx is None or tx.intent is None:
+            return True
+        route = getattr(tx.intent, "route", None) or \
+            getattr(getattr(tx.intent, "inner", None), "route", None)
+        if route is None:
+            return True
+        venues = [sim_result.registry.get(addr).venue
+                  for addr in route
+                  if sim_result.registry.get(addr) is not None]
+        return all(v in ARBITRAGE_VENUES for v in venues)
+
+    def test_recall_on_covered_venues(self, sim_result, dataset):
+        truths = [t for t in landed_by_strategy(sim_result, "arbitrage")
+                  if self._covered(sim_result, t)]
+        detected = {r.tx_hash for r in dataset.arbitrages}
+        assert len(truths) > 50
+        found = sum(1 for t in truths if t.tx_hashes[0] in detected)
+        assert found / len(truths) > 0.9
+
+    def test_uncovered_misses_are_all_v1_routes(self, sim_result,
+                                                dataset):
+        """Everything the heuristic missed routed through Uniswap V1 —
+        the paper's own arbitrage script has the same blind spot."""
+        detected = {r.tx_hash for r in dataset.arbitrages}
+        missed = [t for t in landed_by_strategy(sim_result, "arbitrage")
+                  if t.tx_hashes[0] not in detected]
+        for truth in missed:
+            assert not self._covered(sim_result, truth)
+
+    def test_detects_amateur_arbitrage_too(self, sim_result, dataset):
+        """Detected arbitrage includes victims' naive attempts, which
+        ground truth (searcher-only) does not track."""
+        truth_hashes = {t.tx_hashes[0]
+                        for t in landed_by_strategy(sim_result,
+                                                    "arbitrage")}
+        extras = [r for r in dataset.arbitrages
+                  if r.tx_hash not in truth_hashes]
+        for record in extras:
+            tx = sim_result.node.get_transaction(record.tx_hash)
+            assert tx.meta.get("role") == "amateur-arb"
+
+
+class TestLiquidationScores:
+    def test_recall(self, sim_result, dataset):
+        truths = landed_by_strategy(sim_result, "liquidation")
+        detected = {r.tx_hash for r in dataset.liquidations}
+        assert truths, "scenario produced no liquidations"
+        found = sum(1 for t in truths if t.tx_hashes[0] in detected)
+        assert found / len(truths) > 0.9
+
+
+class TestLabelJoins:
+    def test_flashbots_labels_match_channel(self, sim_result, dataset):
+        channel_by_tx = {}
+        for truth in sim_result.landed_truths():
+            for tx_hash in truth.tx_hashes:
+                channel_by_tx[tx_hash] = truth.channel
+        mismatches = 0
+        checked = 0
+        for record in dataset.arbitrages + dataset.liquidations:
+            channel = channel_by_tx.get(record.tx_hash)
+            if channel is None:
+                continue
+            checked += 1
+            if record.via_flashbots != (channel == "flashbots"):
+                mismatches += 1
+        assert checked > 50
+        assert mismatches == 0
+
+    def test_flash_loan_labels_match(self, sim_result, dataset):
+        flash_truth = {t.tx_hashes[0]
+                       for t in sim_result.landed_truths()
+                       if t.uses_flash_loan}
+        for record in dataset.arbitrages + dataset.liquidations:
+            if record.tx_hash in flash_truth:
+                assert record.via_flashloan
+
+    def test_sandwiches_never_flash_loans(self, dataset):
+        assert all(not r.via_flashloan for r in dataset.sandwiches)
+
+    def test_privacy_matches_channel_in_window(self, sim_result,
+                                               dataset):
+        truth_by_pair = {(t.tx_hashes[0], t.tx_hashes[1]): t
+                         for t in sim_result.landed_truths()
+                         if t.strategy == "sandwich"}
+        checked = 0
+        tolerated = 0
+        for record in dataset.sandwiches:
+            if record.privacy is None:
+                continue
+            truth = truth_by_pair.get((record.front_tx, record.back_tx))
+            if truth is None:
+                continue
+            checked += 1
+            expected = {"flashbots": "flashbots", "private": "private",
+                        "public": "public"}[truth.channel]
+            if record.privacy == expected:
+                continue
+            # The one legitimate error mode the paper's method has: a
+            # truly private sandwich whose *victim* the observer missed
+            # (0.5 % gossip loss) cannot be proven private and falls
+            # back to 'public'.  Anything else is a real bug.
+            assert (expected, record.privacy) == ("private", "public"), \
+                (record, truth)
+            assert not sim_result.observer.was_observed(
+                record.victim_tx)
+            tolerated += 1
+        assert checked > 10
+        # Missed-victim fallbacks must stay rare (gossip loss is 0.5 %,
+        # but few dozen samples make the binomial tail non-trivial).
+        assert tolerated <= max(3, checked // 10)
+
+
+class TestAttributionIntegration:
+    def test_self_extracting_miners_recovered(self, sim_result,
+                                              dataset):
+        """Section 6.3: the planted self-MEV miners are exactly the
+        single-miner extractors the analysis surfaces."""
+        from repro.core.pool_attribution import attribute_private_pools
+        report = attribute_private_pools(dataset)
+        planted = {s.address: s for s in
+                   sim_result_self_searchers(sim_result)}
+        recovered = {account: miner for account, miner, _ in
+                     report.single_miner_extractors}
+        assert recovered, "no single-miner extractors found"
+        # The planted self-extractors are recovered...
+        hits = set(planted) & set(recovered)
+        assert hits, "no planted self-extractor was recovered"
+        # ...each paired with exactly the right miner.
+        for account in hits:
+            expected_pool = planted[account].policy.private_pool
+            miner_name = expected_pool.split(":", 1)[1]
+            profile = sim_result.miners.by_address(recovered[account])
+            assert profile.name == miner_name
+        # Chance false positives (an Eden searcher whose few sandwiches
+        # all landed with one member miner) are possible — the paper's
+        # own inference shares this caveat — but must stay rare.
+        assert len(set(recovered) - set(planted)) <= 2
+
+
+def sim_result_self_searchers(sim_result):
+    """The planted self-MEV personas (via their miner profiles)."""
+    # The world object isn't in the result; recover personas from the
+    # private-channel ground truth records.
+    addresses = {t.searcher for t in sim_result.ground_truths
+                 if t.private_pool and t.private_pool.startswith("self:")}
+
+    class Persona:
+        def __init__(self, address, pool):
+            self.address = address
+
+            class Policy:
+                private_pool = pool
+            self.policy = Policy()
+
+    personas = []
+    for truth in sim_result.ground_truths:
+        if truth.private_pool and truth.private_pool.startswith("self:"):
+            if truth.searcher in {p.address for p in personas}:
+                continue
+            personas.append(Persona(truth.searcher, truth.private_pool))
+    return personas

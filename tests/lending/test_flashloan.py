@@ -1,0 +1,137 @@
+"""Tests for flash loans: atomic repay-or-revert, fee, composition."""
+
+import pytest
+
+from repro.chain.block import BlockBuilder
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether, gwei
+from repro.dex.registry import SUSHISWAP, UNISWAP_V2, ExchangeRegistry
+from repro.dex.router import ArbitrageIntent
+from repro.lending.flashloan import FlashLoanIntent, FlashLoanProvider
+
+USER = address_from_label("flash-user")
+MINER = address_from_label("miner")
+
+
+@pytest.fixture
+def env():
+    state = WorldState()
+    provider = FlashLoanProvider("Aave")
+    provider.provision(state, "WETH", ether(10_000))
+    state.credit_eth(USER, ether(10))
+    contracts = {provider.address: provider}
+    return state, provider, contracts
+
+
+def run_tx(state, contracts, intent, gas_limit=1_000_000):
+    tx = Transaction(sender=USER, nonce=state.nonce(USER),
+                     to=list(contracts)[0], gas_price=gwei(10),
+                     gas_limit=gas_limit, intent=intent)
+    builder = BlockBuilder(state, number=1, timestamp=13, coinbase=MINER,
+                           base_fee=0, contracts=contracts)
+    receipt = builder.apply_transaction(tx)
+    builder.finalize()
+    return receipt
+
+
+class TestFlashLoanMechanics:
+    def test_unrepayable_loan_reverts_whole_tx(self, env):
+        state, provider, contracts = env
+        # No inner intent and no funds to pay the fee → cannot repay.
+        intent = FlashLoanIntent(provider.address, "WETH", ether(1_000))
+        receipt = run_tx(state, contracts, intent)
+        assert not receipt.status
+        assert provider.available(state, "WETH") == ether(10_000)
+        assert state.token_balance("WETH", USER) == 0
+
+    def test_loan_with_fee_covered_succeeds(self, env):
+        state, provider, contracts = env
+        state.mint_token("WETH", USER, ether(1))  # covers the 9 bps fee
+        intent = FlashLoanIntent(provider.address, "WETH", ether(1_000))
+        receipt = run_tx(state, contracts, intent)
+        assert receipt.status
+        fee = provider.fee_for(ether(1_000))
+        assert fee == ether(1_000) * 9 // 10_000
+        assert provider.available(state, "WETH") == ether(10_000) + fee
+        assert state.token_balance("WETH", USER) == ether(1) - fee
+
+    def test_emits_event_only_on_success(self, env):
+        state, provider, contracts = env
+        state.mint_token("WETH", USER, ether(1))
+        ok = run_tx(state, contracts,
+                    FlashLoanIntent(provider.address, "WETH", ether(100)))
+        fail = run_tx(state, contracts,
+                      FlashLoanIntent(provider.address, "WETH",
+                                      ether(9_999)))
+        ok_events = [l for l in ok.logs
+                     if type(l).__name__ == "FlashLoanEvent"]
+        assert len(ok_events) == 1
+        assert ok_events[0].amount == ether(100)
+        assert fail.logs == []
+
+    def test_liquidity_exhausted_reverts(self, env):
+        state, provider, contracts = env
+        intent = FlashLoanIntent(provider.address, "WETH", ether(50_000))
+        receipt = run_tx(state, contracts, intent)
+        assert not receipt.status
+        assert receipt.error == "flash loan liquidity exhausted"
+
+    def test_nonpositive_amount_reverts(self, env):
+        state, provider, contracts = env
+        receipt = run_tx(state, contracts,
+                         FlashLoanIntent(provider.address, "WETH", 0))
+        assert not receipt.status
+
+    def test_gas_includes_inner(self, env):
+        _, provider, _ = env
+        bare = FlashLoanIntent(provider.address, "WETH", 1)
+        wrapped = FlashLoanIntent(provider.address, "WETH", 1,
+                                  inner=ArbitrageIntent(
+                                      route=["a", "b"], token_in="WETH",
+                                      amount_in=1))
+        assert wrapped.gas_estimate() > bare.gas_estimate()
+
+
+class TestFlashLoanArbitrage:
+    """Flash-loan-funded arbitrage: the paper's amplified-capital MEV."""
+
+    def test_penniless_searcher_profits(self, env):
+        state, provider, contracts = env
+        registry = ExchangeRegistry()
+        uni = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        sushi = registry.create_pool(SUSHISWAP, "WETH", "DAI")
+        uni.add_liquidity(state, WETH=ether(1_000), DAI=ether(3_000_000))
+        sushi.add_liquidity(state, WETH=ether(1_000),
+                            DAI=ether(3_450_000))
+        contracts.update(registry.contracts)
+        arb = ArbitrageIntent(route=[sushi.address, uni.address],
+                              token_in="WETH", amount_in=ether(20))
+        intent = FlashLoanIntent(provider.address, "WETH", ether(20),
+                                 inner=arb)
+        receipt = run_tx(state, contracts, intent)
+        assert receipt.status
+        # The searcher kept profit minus the flash fee, from zero capital.
+        assert state.token_balance("WETH", USER) > 0
+        event_names = [type(l).__name__ for l in receipt.logs]
+        assert "FlashLoanEvent" in event_names
+        assert event_names.count("SwapEvent") == 2
+
+    def test_failed_inner_arb_reverts_loan(self, env):
+        state, provider, contracts = env
+        registry = ExchangeRegistry()
+        uni = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+        sushi = registry.create_pool(SUSHISWAP, "WETH", "DAI")
+        # Balanced pools: no arbitrage → inner reverts → loan reverts.
+        uni.add_liquidity(state, WETH=ether(1_000), DAI=ether(3_000_000))
+        sushi.add_liquidity(state, WETH=ether(1_000),
+                            DAI=ether(3_000_000))
+        contracts.update(registry.contracts)
+        arb = ArbitrageIntent(route=[sushi.address, uni.address],
+                              token_in="WETH", amount_in=ether(20))
+        intent = FlashLoanIntent(provider.address, "WETH", ether(20),
+                                 inner=arb)
+        receipt = run_tx(state, contracts, intent)
+        assert not receipt.status
+        assert provider.available(state, "WETH") == ether(10_000)
+        assert uni.reserve_of(state, "WETH") == ether(1_000)

@@ -1,0 +1,106 @@
+"""Tests for the price oracle and oracle-update intents."""
+
+import pytest
+
+from repro.chain.execution import ExecutionContext
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether
+from repro.lending.oracle import (
+    PRICE_SCALE,
+    OracleUpdateIntent,
+    PriceOracle,
+)
+
+KEEPER = address_from_label("keeper")
+MINER = address_from_label("miner")
+
+
+@pytest.fixture
+def oracle():
+    o = PriceOracle()
+    o.set_price("DAI", PRICE_SCALE // 3_000, block_number=0)
+    return o
+
+
+class TestPrices:
+    def test_weth_is_numeraire(self, oracle):
+        assert oracle.price("WETH") == PRICE_SCALE
+
+    def test_set_and_get(self, oracle):
+        assert oracle.price("DAI") == PRICE_SCALE // 3_000
+
+    def test_unknown_token_raises(self, oracle):
+        with pytest.raises(KeyError):
+            oracle.price("SHIB")
+        assert not oracle.has_price("SHIB")
+
+    def test_nonpositive_price_rejected(self, oracle):
+        with pytest.raises(ValueError):
+            oracle.set_price("DAI", 0)
+
+    def test_value_in_eth(self, oracle):
+        value = oracle.value_in_eth("DAI", ether(3_000))
+        assert value == pytest.approx(ether(1), abs=3_000)
+
+    def test_weth_value_identity(self, oracle):
+        assert oracle.value_in_eth("WETH", ether(5)) == ether(5)
+
+
+class TestHistory:
+    def test_price_at_between_updates(self, oracle):
+        oracle.set_price("DAI", PRICE_SCALE // 2_000, block_number=100)
+        assert oracle.price_at("DAI", 50) == PRICE_SCALE // 3_000
+        assert oracle.price_at("DAI", 100) == PRICE_SCALE // 2_000
+        assert oracle.price_at("DAI", 500) == PRICE_SCALE // 2_000
+
+    def test_price_at_before_first_update(self):
+        oracle = PriceOracle()
+        oracle.set_price("DAI", 10**15, block_number=10)
+        assert oracle.price_at("DAI", 5) is None
+
+    def test_price_at_unknown_token(self, oracle):
+        assert oracle.price_at("SHIB", 10) is None
+
+    def test_value_in_eth_at(self, oracle):
+        oracle.set_price("DAI", PRICE_SCALE // 2_000, block_number=100)
+        at_old = oracle.value_in_eth_at("DAI", ether(6_000), 50)
+        at_new = oracle.value_in_eth_at("DAI", ether(6_000), 150)
+        assert at_old == pytest.approx(ether(2), abs=10**6)
+        assert at_new == pytest.approx(ether(3), abs=10**6)
+
+
+class TestOracleUpdateIntent:
+    def run_update(self, oracle, price, block=7):
+        state = WorldState()
+        tx = Transaction(sender=KEEPER, nonce=0, to=oracle.address)
+        ctx = ExecutionContext(state, tx, block_number=block,
+                               coinbase=MINER,
+                               contracts={oracle.address: oracle})
+        intent = OracleUpdateIntent(oracle.address, "DAI", price)
+        outcome = intent.execute(ctx)
+        return ctx, outcome
+
+    def test_update_changes_price_and_emits(self, oracle):
+        ctx, outcome = self.run_update(oracle, PRICE_SCALE // 2_500)
+        assert outcome.success
+        assert oracle.price("DAI") == PRICE_SCALE // 2_500
+        assert len(ctx.logs) == 1
+        assert ctx.logs[0].token == "DAI"
+
+    def test_update_recorded_in_history(self, oracle):
+        self.run_update(oracle, PRICE_SCALE // 2_500, block=7)
+        assert oracle.price_at("DAI", 7) == PRICE_SCALE // 2_500
+
+    def test_update_rolls_back_with_state(self, oracle):
+        state = WorldState()
+        snap = state.snapshot()
+        tx = Transaction(sender=KEEPER, nonce=0, to=oracle.address)
+        ctx = ExecutionContext(state, tx, block_number=9, coinbase=MINER,
+                               contracts={oracle.address: oracle})
+        OracleUpdateIntent(oracle.address, "DAI",
+                           PRICE_SCALE // 100).execute(ctx)
+        assert oracle.price("DAI") == PRICE_SCALE // 100
+        state.revert_to(snap)
+        assert oracle.price("DAI") == PRICE_SCALE // 3_000
+        assert oracle.price_at("DAI", 9) == PRICE_SCALE // 3_000

@@ -1,0 +1,200 @@
+"""Tests for lending-pool loans, health factors and liquidations."""
+
+import pytest
+
+from repro.chain.execution import ExecutionContext, Revert
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, ether
+from repro.lending.oracle import PRICE_SCALE, PriceOracle
+from repro.lending.pool import LendingPool, LiquidationIntent
+
+BORROWER = address_from_label("borrower")
+LIQUIDATOR = address_from_label("liquidator")
+MINER = address_from_label("miner")
+
+
+@pytest.fixture
+def env():
+    state = WorldState()
+    oracle = PriceOracle()
+    oracle.set_price("DAI", PRICE_SCALE // 3_000)  # 3000 DAI per ETH
+    pool = LendingPool("Aave", oracle)
+    pool.provision(state, "DAI", ether(10_000_000))
+    state.mint_token("WETH", BORROWER, ether(100))
+    state.mint_token("DAI", LIQUIDATOR, ether(1_000_000))
+    return state, oracle, pool
+
+
+def ctx_for(state, pool, sender, block=1):
+    tx = Transaction(sender=sender, nonce=0, to=pool.address)
+    return ExecutionContext(state, tx, block_number=block, coinbase=MINER,
+                            contracts={pool.address: pool})
+
+
+def open_standard_loan(state, pool):
+    """10 WETH collateral (30k DAI value), 20k DAI debt → HF ≈ 1.24."""
+    ctx = ctx_for(state, pool, BORROWER)
+    return pool.open_loan(ctx, "WETH", ether(10), "DAI", ether(20_000))
+
+
+class TestOpenLoan:
+    def test_healthy_loan_opens(self, env):
+        state, _, pool = env
+        loan = open_standard_loan(state, pool)
+        assert loan.loan_id in pool.loans
+        assert state.token_balance("DAI", BORROWER) == ether(20_000)
+        assert state.token_balance("WETH", pool.address) == ether(10)
+
+    def test_emits_borrow_event(self, env):
+        state, _, pool = env
+        ctx = ctx_for(state, pool, BORROWER)
+        pool.open_loan(ctx, "WETH", ether(10), "DAI", ether(20_000))
+        assert any(type(log).__name__ == "BorrowEvent"
+                   for log in ctx.logs)
+
+    def test_undercollateralized_rejected(self, env):
+        state, _, pool = env
+        ctx = ctx_for(state, pool, BORROWER)
+        with pytest.raises(Revert):
+            pool.open_loan(ctx, "WETH", ether(10), "DAI", ether(29_000))
+
+    def test_health_factor_math(self, env):
+        state, _, pool = env
+        loan = open_standard_loan(state, pool)
+        # 30000 * 0.825 / 20000 = 1.2375
+        assert pool.health_factor(loan) == pytest.approx(1.2375, rel=1e-6)
+        assert not pool.is_liquidatable(loan)
+
+
+class TestLiquidation:
+    def price_drop(self, oracle, eth_price_dai):
+        """Set WETH price by adjusting DAI/ETH inverse: collateral is WETH,
+        debt is DAI; drop WETH value by raising DAI price."""
+        oracle.set_price("DAI", PRICE_SCALE // eth_price_dai)
+
+    def test_loan_becomes_liquidatable_after_price_drop(self, env):
+        state, oracle, pool = env
+        loan = open_standard_loan(state, pool)
+        self.price_drop(oracle, 2_000)  # collateral now 20k DAI value
+        assert pool.is_liquidatable(loan)
+        assert loan in pool.liquidatable_loans()
+
+    def test_healthy_loan_cannot_be_liquidated(self, env):
+        state, _, pool = env
+        loan = open_standard_loan(state, pool)
+        ctx = ctx_for(state, pool, LIQUIDATOR)
+        with pytest.raises(Revert):
+            pool.liquidate(ctx, loan.loan_id, ether(1_000))
+
+    def test_liquidation_seizes_bonus_collateral(self, env):
+        state, oracle, pool = env
+        loan = open_standard_loan(state, pool)
+        self.price_drop(oracle, 2_000)
+        ctx = ctx_for(state, pool, LIQUIDATOR)
+        repay = pool.max_repay(loan)  # 50 % of 20k = 10k DAI
+        seized = pool.liquidate(ctx, loan.loan_id, repay)
+        # 10k DAI = 5 WETH at 2000; +8 % bonus = 5.4 WETH
+        assert seized == pytest.approx(ether(5.4), rel=1e-6)
+        assert state.token_balance("WETH", LIQUIDATOR) == seized
+        # Liquidator profit: received 5.4 WETH worth 10.8k DAI for 10k DAI.
+        value_received = oracle.value_in_eth("WETH", seized)
+        value_paid = oracle.value_in_eth("DAI", repay)
+        assert value_received > value_paid
+
+    def test_close_factor_caps_repayment(self, env):
+        state, oracle, pool = env
+        loan = open_standard_loan(state, pool)
+        self.price_drop(oracle, 2_000)
+        ctx = ctx_for(state, pool, LIQUIDATOR)
+        pool.liquidate(ctx, loan.loan_id, ether(20_000))
+        assert loan.debt_amount == ether(10_000)  # only half repaid
+
+    def test_liquidation_restores_health(self, env):
+        state, oracle, pool = env
+        loan = open_standard_loan(state, pool)
+        self.price_drop(oracle, 2_400)  # just below the HF=1 boundary
+        ctx = ctx_for(state, pool, LIQUIDATOR)
+        pool.liquidate(ctx, loan.loan_id, pool.max_repay(loan))
+        assert not pool.is_liquidatable(loan)
+
+    def test_second_liquidator_frontrun_fate(self, env):
+        """The loser of a liquidation race reverts (paper Definition 3)."""
+        state, oracle, pool = env
+        loan = open_standard_loan(state, pool)
+        self.price_drop(oracle, 2_400)
+        winner_ctx = ctx_for(state, pool, LIQUIDATOR)
+        pool.liquidate(winner_ctx, loan.loan_id, pool.max_repay(loan))
+        loser = address_from_label("slow-liquidator")
+        state.mint_token("DAI", loser, ether(100_000))
+        loser_ctx = ctx_for(state, pool, loser)
+        with pytest.raises(Revert):
+            pool.liquidate(loser_ctx, loan.loan_id, ether(10_000))
+
+    def test_emits_liquidation_event(self, env):
+        state, oracle, pool = env
+        loan = open_standard_loan(state, pool)
+        self.price_drop(oracle, 2_000)
+        ctx = ctx_for(state, pool, LIQUIDATOR)
+        pool.liquidate(ctx, loan.loan_id, ether(1_000))
+        events = [log for log in ctx.logs
+                  if type(log).__name__ == "LiquidationEvent"]
+        assert len(events) == 1
+        assert events[0].liquidator == LIQUIDATOR
+        assert events[0].borrower == BORROWER
+        assert events[0].debt_repaid == ether(1_000)
+
+    def test_unknown_loan_reverts(self, env):
+        state, _, pool = env
+        ctx = ctx_for(state, pool, LIQUIDATOR)
+        with pytest.raises(Revert):
+            pool.liquidate(ctx, 999_999, ether(1))
+
+    def test_rollback_restores_loan_book(self, env):
+        state, oracle, pool = env
+        loan = open_standard_loan(state, pool)
+        self.price_drop(oracle, 2_000)
+        snap = state.snapshot()
+        ctx = ctx_for(state, pool, LIQUIDATOR)
+        pool.liquidate(ctx, loan.loan_id, ether(5_000))
+        state.revert_to(snap)
+        assert loan.debt_amount == ether(20_000)
+        assert loan.collateral_amount == ether(10)
+        assert state.token_balance("WETH", LIQUIDATOR) == 0
+
+    def test_open_loan_rollback_removes_loan(self, env):
+        state, _, pool = env
+        snap = state.snapshot()
+        loan = open_standard_loan(state, pool)
+        state.revert_to(snap)
+        assert loan.loan_id not in pool.loans
+
+
+class TestLiquidationIntent:
+    def test_intent_executes_and_tips(self, env):
+        state, oracle, pool = env
+        loan = open_standard_loan(state, pool)
+        oracle.set_price("DAI", PRICE_SCALE // 2_000)
+        state.credit_eth(LIQUIDATOR, ether(1))
+        ctx = ctx_for(state, pool, LIQUIDATOR)
+        intent = LiquidationIntent(pool.address, loan.loan_id,
+                                   ether(5_000), coinbase_tip=ether(0.5))
+        outcome = intent.execute(ctx)
+        assert outcome.success
+        assert ctx.coinbase_transfer == ether(0.5)
+        assert state.eth_balance(MINER) == ether(0.5)
+
+
+class TestConfigValidation:
+    def test_bad_close_factor(self):
+        with pytest.raises(ValueError):
+            LendingPool("X", PriceOracle(), close_factor_bps=0)
+
+    def test_bad_bonus(self):
+        with pytest.raises(ValueError):
+            LendingPool("X", PriceOracle(), bonus_bps=10_000)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            LendingPool("X", PriceOracle(),
+                        liquidation_threshold_bps=20_000)

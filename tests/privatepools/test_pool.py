@@ -1,0 +1,116 @@
+"""Tests for non-Flashbots private pools."""
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.chain.types import address_from_label, gwei
+from repro.privatepools.pool import PrivatePool, PrivatePoolDirectory
+
+MINER_1 = address_from_label("pp-miner-1")
+MINER_2 = address_from_label("pp-miner-2")
+USER = address_from_label("pp-user")
+
+
+def tx(nonce=0):
+    return Transaction(sender=USER, nonce=nonce,
+                       to=address_from_label("pool"), gas_price=gwei(5))
+
+
+class TestPrivatePool:
+    def test_needs_a_miner(self):
+        with pytest.raises(ValueError):
+            PrivatePool("empty", [])
+
+    def test_single_miner_flag(self):
+        solo = PrivatePool("solo", [MINER_1])
+        duo = PrivatePool("duo", [MINER_1, MINER_2])
+        assert solo.is_single_miner
+        assert not duo.is_single_miner
+
+    def test_submit_and_retrieve(self):
+        pool = PrivatePool("eden", [MINER_1])
+        t = tx()
+        assert pool.submit(t, current_block=5)
+        assert pool.pending_for(MINER_1, 6) == [(t,)]
+
+    def test_non_member_sees_nothing(self):
+        pool = PrivatePool("eden", [MINER_1])
+        pool.submit(tx(), 5)
+        assert pool.pending_for(MINER_2, 6) == []
+
+    def test_shutdown_blocks_submissions(self):
+        taichi = PrivatePool("taichi", [MINER_1], shutdown_block=100)
+        assert taichi.submit(tx(0), 99)
+        assert not taichi.submit(tx(1), 100)
+        assert taichi.pending_for(MINER_1, 101) == []
+
+    def test_mark_included(self):
+        pool = PrivatePool("eden", [MINER_1])
+        t = tx()
+        pool.submit(t, 5)
+        pool.mark_included({t.hash})
+        assert pool.pending_count() == 0
+
+
+class TestSequences:
+    def test_submit_sequence_preserves_order(self):
+        pool = PrivatePool("solo", [MINER_1])
+        front, back = tx(0), tx(1)
+        assert pool.submit_sequence([front, back], 5)
+        assert pool.pending_for(MINER_1, 6) == [(front, back)]
+
+    def test_empty_sequence_rejected(self):
+        pool = PrivatePool("solo", [MINER_1])
+        assert not pool.submit_sequence([], 5)
+
+    def test_mark_included_drops_whole_sequence(self):
+        pool = PrivatePool("solo", [MINER_1])
+        front, back = tx(0), tx(1)
+        pool.submit_sequence([front, back], 5)
+        pool.mark_included({front.hash})
+        assert pool.pending_count() == 0
+
+
+class TestDirectory:
+    def test_add_and_get(self):
+        directory = PrivatePoolDirectory()
+        pool = directory.add(PrivatePool("eden", [MINER_1]))
+        assert directory.get("eden") is pool
+        assert directory.pools == [pool]
+
+    def test_duplicate_name_rejected(self):
+        directory = PrivatePoolDirectory()
+        directory.add(PrivatePool("eden", [MINER_1]))
+        with pytest.raises(ValueError):
+            directory.add(PrivatePool("eden", [MINER_2]))
+
+    def test_pools_for_miner(self):
+        directory = PrivatePoolDirectory()
+        directory.add(PrivatePool("eden", [MINER_1, MINER_2]))
+        directory.add(PrivatePool("solo", [MINER_1]))
+        assert len(directory.pools_for_miner(MINER_1, 5)) == 2
+        assert len(directory.pools_for_miner(MINER_2, 5)) == 1
+
+    def test_pending_deduplicated_across_pools(self):
+        directory = PrivatePoolDirectory()
+        a = directory.add(PrivatePool("a", [MINER_1]))
+        b = directory.add(PrivatePool("b", [MINER_1]))
+        t = tx()
+        a.submit(t, 5)
+        b.submit(t, 5)
+        assert directory.pending_for_miner(MINER_1, 6) == [(t,)]
+
+    def test_mark_included_propagates(self):
+        directory = PrivatePoolDirectory()
+        a = directory.add(PrivatePool("a", [MINER_1]))
+        t = tx()
+        a.submit(t, 5)
+        directory.mark_included({t.hash})
+        assert directory.pending_for_miner(MINER_1, 6) == []
+
+    def test_shutdown_pool_excluded(self):
+        directory = PrivatePoolDirectory()
+        directory.add(PrivatePool("taichi", [MINER_1],
+                                  shutdown_block=100))
+        assert directory.pools_for_miner(MINER_1, 99)
+        assert not directory.pools_for_miner(MINER_1, 100)

@@ -1,0 +1,79 @@
+"""Tests for the study calendar block↔month arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.calendar import STUDY_MONTHS, StudyCalendar
+
+
+@pytest.fixture
+def calendar():
+    return StudyCalendar(blocks_per_month=100)
+
+
+class TestStructure:
+    def test_study_window_is_23_months(self):
+        assert len(STUDY_MONTHS) == 23
+        assert STUDY_MONTHS[0] == "2020-05"
+        assert STUDY_MONTHS[-1] == "2022-03"
+
+    def test_total_blocks(self, calendar):
+        assert calendar.total_blocks == 2_300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StudyCalendar(blocks_per_month=0)
+        with pytest.raises(ValueError):
+            StudyCalendar(blocks_per_month=10, months=())
+
+
+class TestMapping:
+    def test_first_and_last_block_of_month(self, calendar):
+        assert calendar.month_of(1) == "2020-05"
+        assert calendar.month_of(100) == "2020-05"
+        assert calendar.month_of(101) == "2020-06"
+        assert calendar.month_of(2_300) == "2022-03"
+
+    def test_out_of_window_rejected(self, calendar):
+        with pytest.raises(ValueError):
+            calendar.month_of(0)
+        with pytest.raises(ValueError):
+            calendar.month_of(2_301)
+
+    def test_month_bounds_round_trip(self, calendar):
+        first, last = calendar.month_bounds("2021-02")
+        assert calendar.month_of(first) == "2021-02"
+        assert calendar.month_of(last) == "2021-02"
+        assert last - first + 1 == 100
+
+    def test_unknown_month_rejected(self, calendar):
+        with pytest.raises(ValueError):
+            calendar.month_bounds("2019-01")
+
+    def test_blocks_in(self, calendar):
+        blocks = calendar.blocks_in("2020-05")
+        assert list(blocks)[:3] == [1, 2, 3]
+        assert len(list(blocks)) == 100
+
+    @given(st.integers(1, 2_300))
+    def test_month_of_consistent_with_bounds(self, block):
+        calendar = StudyCalendar(blocks_per_month=100)
+        month = calendar.month_of(block)
+        first, last = calendar.month_bounds(month)
+        assert first <= block <= last
+
+
+class TestDays:
+    def test_day_indexes_increase(self, calendar):
+        days = [calendar.day_of(b) for b in range(1, 2_301, 50)]
+        assert days == sorted(days)
+
+    def test_days_per_month(self, calendar):
+        first_day = calendar.day_of(1)
+        next_month_day = calendar.day_of(101)
+        assert next_month_day - first_day == 30
+
+    def test_months_up_to(self, calendar):
+        months = calendar.months_up_to(150)
+        assert months == ["2020-05", "2020-06"]

@@ -1,0 +1,81 @@
+"""Tests for scenario configuration and the calibrated world builder."""
+
+import pytest
+
+from repro.sim import ScenarioConfig, build_paper_scenario
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ScenarioConfig()
+        assert config.total_blocks == config.blocks_per_month * 23
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(blocks_per_month=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(num_miners=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(observation_rate=1.5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(flashbots_launch_month="2019-01")
+
+
+class TestScenarioAssembly:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_paper_scenario(ScenarioConfig(blocks_per_month=10,
+                                                   seed=3))
+
+    def test_miner_population(self, world):
+        miners = world.miners.miners
+        assert len(miners) == 55
+        # Long-tailed: the largest dwarfs the smallest.
+        assert miners[0].hashpower > 20 * miners[-1].hashpower
+        # A couple of miners never join Flashbots.
+        never = [m for m in miners if m.flashbots_join_block is None]
+        assert len(never) == 2
+
+    def test_enrollment_biggest_first(self, world):
+        joined = [m for m in world.miners.miners
+                  if m.flashbots_join_block is not None]
+        assert joined[0].flashbots_join_block <= \
+            joined[-1].flashbots_join_block
+
+    def test_self_mev_miners_have_personas(self, world):
+        self_miners = [m for m in world.miners.miners if m.self_mev]
+        assert len(self_miners) == 2
+        for miner in self_miners:
+            assert miner.address in world.self_mev_searchers
+
+    def test_markets_deployed_and_liquid(self, world):
+        assert len(world.registry.pools) == 17
+        for pool in world.registry.pools:
+            assert min(pool.reserves(world.state)) > 0
+
+    def test_oracle_covers_pool_tokens(self, world):
+        for pool in world.registry.pools:
+            assert world.oracle.has_price(pool.token0)
+            assert world.oracle.has_price(pool.token1)
+
+    def test_private_pools_configured(self, world):
+        eden = world.private_pools.get("eden")
+        taichi = world.private_pools.get("taichi")
+        assert eden is not None and not eden.is_single_miner
+        assert taichi is not None
+        assert taichi.shutdown_block == \
+            world.calendar.first_block_of("2021-10")
+
+    def test_searchers_funded_and_registered(self, world):
+        for searcher in world.searchers:
+            assert world.relay.is_searcher(searcher.address)
+            assert world.state.eth_balance(searcher.address) > 0
+
+    def test_forks_inside_window(self, world):
+        assert 1 < world.forks.berlin_block < world.forks.london_block
+        assert world.forks.london_block < world.calendar.total_blocks
+
+    def test_observation_window_at_tail(self, world):
+        obs_start = world.observer.start_block
+        assert obs_start == world.calendar.first_block_of("2021-11")
+        assert obs_start > world.flashbots_launch_block

@@ -1,0 +1,87 @@
+"""Tests for synthetic price processes and the gas-demand model."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.chain.types import GWEI
+from repro.sim.prices import GasDemandModel, PriceUniverse, \
+    TokenPriceProcess
+
+
+class TestTokenPriceProcess:
+    def test_deterministic_given_seed(self):
+        a = TokenPriceProcess("DAI", 10**15, seed=3)
+        b = TokenPriceProcess("DAI", 10**15, seed=3)
+        assert [a.step() for _ in range(10)] == \
+            [b.step() for _ in range(10)]
+
+    def test_different_tokens_decorrelated(self):
+        a = TokenPriceProcess("DAI", 10**15, seed=3)
+        b = TokenPriceProcess("LINK", 10**15, seed=3)
+        assert [a.step() for _ in range(5)] != \
+            [b.step() for _ in range(5)]
+
+    def test_price_stays_positive(self):
+        process = TokenPriceProcess("DAI", 10**6, volatility=0.8,
+                                    seed=3)
+        for _ in range(300):
+            assert process.step() >= 1
+
+    def test_zero_volatility_drift_free(self):
+        process = TokenPriceProcess("DAI", 10**15, volatility=0.0,
+                                    seed=1)
+        assert process.step() == 10**15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenPriceProcess("DAI", 0)
+        with pytest.raises(ValueError):
+            TokenPriceProcess("DAI", 1, volatility=-1)
+
+
+class TestPriceUniverse:
+    def test_step_all_advances_everything(self):
+        universe = PriceUniverse(seed=2)
+        universe.add_token("DAI", 10**15)
+        universe.add_token("LINK", 10**16)
+        prices = universe.step_all()
+        assert set(prices) == {"DAI", "LINK"}
+        assert all(p > 0 for p in prices.values())
+
+    def test_duplicate_token_rejected(self):
+        universe = PriceUniverse()
+        universe.add_token("DAI", 10**15)
+        with pytest.raises(ValueError):
+            universe.add_token("DAI", 10**15)
+
+    def test_get_missing(self):
+        assert PriceUniverse().get("GHOST") is None
+
+
+class TestGasDemandModel:
+    def test_pga_raises_level(self):
+        rng = random.Random(4)
+        model = GasDemandModel(rng, organic_gwei=40, pga_multiplier=4)
+        calm = statistics.fmean(model.level(0.0) for _ in range(500))
+        hot = statistics.fmean(model.level(1.0) for _ in range(500))
+        assert hot > 2.5 * calm
+
+    def test_level_floor(self):
+        model = GasDemandModel(random.Random(4), organic_gwei=0.0001)
+        # validation prevents zero, but the floor holds for tiny values
+        with pytest.raises(ValueError):
+            GasDemandModel(random.Random(4), organic_gwei=0)
+        assert model.level(0.0) >= GWEI
+
+    def test_intensity_validation(self):
+        model = GasDemandModel(random.Random(4))
+        with pytest.raises(ValueError):
+            model.level(1.5)
+
+    def test_user_price_near_level(self):
+        model = GasDemandModel(random.Random(4), noise_sigma=0.0)
+        prices = [model.user_gas_price(0.0) for _ in range(300)]
+        mean = statistics.fmean(prices)
+        assert 30 * GWEI < mean < 55 * GWEI

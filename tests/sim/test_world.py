@@ -1,0 +1,135 @@
+"""Tests for the simulation driver on a miniature scenario.
+
+These use a very small configuration (a handful of blocks per month) so
+each test runs in well under a second; the full calibrated shapes are
+exercised by the integration tests and benchmarks.
+"""
+
+import pytest
+
+from repro.sim import ScenarioConfig, build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    config = ScenarioConfig(blocks_per_month=20, seed=13)
+    world = build_paper_scenario(config)
+    world.run()
+    return world
+
+
+@pytest.fixture(scope="module")
+def result(small_world):
+    return small_world.result()
+
+
+class TestChainProgress:
+    def test_full_window_mined(self, result):
+        assert result.blockchain.height == 20 * 23
+
+    def test_blocks_contiguous(self, result):
+        numbers = [b.number for b in result.blockchain.blocks]
+        assert numbers == list(range(1, len(numbers) + 1))
+
+    def test_blocks_carry_traffic(self, result):
+        total_txs = sum(len(b.transactions)
+                        for b in result.blockchain.blocks)
+        assert total_txs > result.blockchain.height  # >1 tx/block avg
+
+    def test_monotone_timestamps(self, result):
+        stamps = [b.timestamp for b in result.blockchain.blocks]
+        assert stamps == sorted(stamps)
+
+
+class TestFlashbotsEpoch:
+    def test_no_flashbots_blocks_before_launch(self, result):
+        launch = result.flashbots_launch_block
+        for block in result.blockchain.blocks:
+            if block.number < launch:
+                assert not result.flashbots_api.is_flashbots_block(
+                    block.number)
+
+    def test_flashbots_blocks_after_launch(self, result):
+        assert result.flashbots_api.block_count() > 0
+
+    def test_api_blocks_mined_by_members(self, result):
+        for api_block in result.flashbots_api.all_blocks():
+            miner = result.miners.by_address(api_block.miner)
+            assert miner is not None
+            assert miner.in_flashbots(api_block.block_number)
+
+
+class TestForkMechanics:
+    def test_base_fee_zero_before_london(self, result):
+        london = result.forks.london_block
+        for block in result.blockchain.blocks:
+            if block.number < london:
+                assert block.base_fee == 0
+
+    def test_base_fee_active_after_london(self, result):
+        london = result.forks.london_block
+        post = [b for b in result.blockchain.blocks
+                if b.number >= london]
+        assert all(b.base_fee > 0 for b in post)
+
+
+class TestConservation:
+    def test_no_negative_balances(self, small_world):
+        state = small_world.state
+        assert all(v >= 0 for v in state._eth.values())
+        for ledger in state._tokens.values():
+            assert all(v >= 0 for v in ledger.values())
+
+    def test_included_txs_removed_from_mempool(self, small_world):
+        result = small_world.result()
+        for block in result.blockchain.blocks[-5:]:
+            for tx in block.transactions:
+                assert tx.hash not in small_world.mempool
+
+
+class TestGroundTruth:
+    def test_ground_truth_collected(self, result):
+        assert len(result.ground_truths) > 0
+        strategies = {t.strategy for t in result.ground_truths}
+        assert "sandwich" in strategies
+
+    def test_landed_truths_on_chain(self, result):
+        for truth in result.landed_truths()[:50]:
+            for tx_hash in truth.tx_hashes:
+                assert result.blockchain.locate_transaction(tx_hash) \
+                    is not None
+
+    def test_observer_never_sees_private_submissions(self, result):
+        """The measurement node cannot have observed any transaction that
+        went through Flashbots or a private pool."""
+        for truth in result.ground_truths:
+            if truth.channel == "public":
+                continue
+            for tx_hash in truth.tx_hashes:
+                if truth.victim_hash == tx_hash:
+                    continue
+                assert not result.observer.was_observed(tx_hash)
+
+
+class TestDeterminism:
+    @staticmethod
+    def shape(result):
+        """Structural fingerprint independent of global tx identifiers."""
+        return ([b.miner for b in result.blockchain.blocks],
+                [len(b.transactions) for b in result.blockchain.blocks],
+                [(t.strategy, t.channel, t.block_submitted)
+                 for t in result.ground_truths])
+
+    def test_same_seed_same_world(self):
+        a = build_paper_scenario(ScenarioConfig(blocks_per_month=6,
+                                                seed=99))
+        b = build_paper_scenario(ScenarioConfig(blocks_per_month=6,
+                                                seed=99))
+        assert self.shape(a.run(60)) == self.shape(b.run(60))
+
+    def test_different_seed_different_world(self):
+        a = build_paper_scenario(ScenarioConfig(blocks_per_month=6,
+                                                seed=1))
+        b = build_paper_scenario(ScenarioConfig(blocks_per_month=6,
+                                                seed=2))
+        assert self.shape(a.run(60)) != self.shape(b.run(60))

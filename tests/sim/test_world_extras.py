@@ -1,0 +1,90 @@
+"""Tests for miner-side world mechanics: payouts, rogue, self-MEV."""
+
+import pytest
+
+from repro.flashbots.bundle import MINER_PAYOUT, ROGUE
+from repro.sim import ScenarioConfig, build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ScenarioConfig(blocks_per_month=25, seed=17)
+    world = build_paper_scenario(config)
+    return world.run()
+
+
+def bundle_rows(result, bundle_type):
+    rows = []
+    for api_block in result.flashbots_api.all_blocks():
+        for row in api_block.transactions:
+            if row.bundle_type == bundle_type:
+                rows.append((api_block, row))
+    return rows
+
+
+class TestPayoutBundles:
+    def test_payouts_present_in_fb_epoch(self, result):
+        rows = bundle_rows(result, MINER_PAYOUT)
+        assert rows
+        launch = result.flashbots_launch_block
+        assert all(block.block_number >= launch for block, _ in rows)
+
+    def test_payouts_mined_by_the_paying_pool(self, result):
+        """A payout bundle is included by the pool whose payout it is."""
+        for api_block, row in bundle_rows(result, MINER_PAYOUT):
+            tx = result.node.get_transaction(row.tx_hash)
+            assert tx.sender == api_block.miner
+
+    def test_giant_payout_occurred_exactly_once(self, result):
+        from collections import Counter
+        sizes = Counter()
+        for _, row in bundle_rows(result, MINER_PAYOUT):
+            sizes[row.bundle_id] += 1
+        giants = [b for b, n in sizes.items() if n == 700]
+        assert len(giants) == 1
+
+    def test_payout_txs_execute(self, result):
+        for _, row in bundle_rows(result, MINER_PAYOUT)[:50]:
+            receipt = result.node.get_receipt(row.tx_hash)
+            assert receipt is not None and receipt.status
+
+
+class TestRogueBundles:
+    def test_rogue_bundles_exist_and_are_miner_own(self, result):
+        rows = bundle_rows(result, ROGUE)
+        assert rows
+        for api_block, row in rows:
+            tx = result.node.get_transaction(row.tx_hash)
+            assert tx.sender == api_block.miner
+            assert tx.meta.get("role") == "rogue"
+
+    def test_rogue_never_observed_pending(self, result):
+        for _, row in bundle_rows(result, ROGUE):
+            assert not result.observer.was_observed(row.tx_hash)
+
+
+class TestSelfMev:
+    def test_self_mev_only_in_own_blocks(self, result):
+        """Every self-MEV sandwich is in a block its miner mined."""
+        self_truths = [t for t in result.ground_truths
+                       if t.private_pool
+                       and t.private_pool.startswith("self:")]
+        assert self_truths
+        landed = [t for t in self_truths if result.landed(t)]
+        assert landed
+        for truth in landed:
+            miner_name = truth.private_pool.split(":", 1)[1]
+            for tx_hash in truth.tx_hashes:
+                block, _ = result.blockchain.locate_transaction(tx_hash)
+                profile = result.miners.by_address(block.miner)
+                assert profile.name == miner_name
+
+    def test_self_mev_absent_from_flashbots_api(self, result):
+        for truth in result.ground_truths:
+            if not (truth.private_pool
+                    and truth.private_pool.startswith("self:")):
+                continue
+            for tx_hash in truth.tx_hashes:
+                if tx_hash == truth.victim_hash:
+                    continue
+                assert not result.flashbots_api.is_flashbots_tx(tx_hash)

@@ -1,0 +1,65 @@
+"""Unit tests for World's internal machinery (samplers, intensity)."""
+
+import pytest
+
+from repro.sim import ScenarioConfig, build_paper_scenario
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_paper_scenario(ScenarioConfig(blocks_per_month=10,
+                                               seed=23))
+
+
+class TestPoisson:
+    def test_zero_rate(self, world):
+        assert world._poisson(0.0) == 0
+        assert world._poisson(-1.0) == 0
+
+    def test_mean_tracks_rate(self, world):
+        samples = [world._poisson(3.0) for _ in range(3_000)]
+        mean = sum(samples) / len(samples)
+        assert 2.7 < mean < 3.3
+
+    def test_bounded(self, world):
+        assert all(world._poisson(2.0) <= 100 for _ in range(200))
+
+
+class TestActivityScale:
+    def test_ramps_over_months(self, world):
+        early = world._activity_scale(1)
+        late = world._activity_scale(world.calendar.total_blocks)
+        assert early < late <= 1.0
+
+    def test_monotone(self, world):
+        bpm = world.calendar.blocks_per_month
+        scales = [world._activity_scale(1 + i * bpm) for i in range(23)]
+        assert scales == sorted(scales)
+
+
+class TestPgaIntensity:
+    def test_all_public_before_flashbots(self, world):
+        """Pre-launch every active MEV searcher bids publicly."""
+        launch = world.flashbots_launch_block
+        intensity = world._pga_intensity(launch - 2)
+        assert intensity == 1.0
+
+    def test_drops_after_adoption(self, world):
+        launch = world.flashbots_launch_block
+        bpm = world.calendar.blocks_per_month
+        before = world._pga_intensity(launch - 2)
+        after = world._pga_intensity(launch + 5 * bpm)
+        assert after < before
+
+    def test_bounded(self, world):
+        for block in range(1, world.calendar.total_blocks,
+                           world.calendar.blocks_per_month):
+            assert 0.0 <= world._pga_intensity(block) <= 1.0
+
+
+class TestCompetition:
+    def test_counts_by_strategy(self, world):
+        counts = world._competition(world.calendar.total_blocks // 2)
+        assert counts.get("sandwich", 0) > 0
+        assert counts.get("arbitrage", 0) > 0
+        assert sum(counts.values()) <= len(world.searchers)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+BPM = ["--bpm", "8", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.bpm == 60
+        assert args.seed == 7
+
+    def test_export_needs_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"] + BPM) == 0
+        out = capsys.readouterr().out
+        assert "MEV Strategy" in out
+        assert "Sandwiching" in out
+        assert "Total" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"] + BPM) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Figure 4" in out
+        assert "Figure 9" in out
+
+    def test_run_full_report(self, capsys):
+        assert main(["run"] + BPM) == 0
+        out = capsys.readouterr().out
+        for marker in ("MEV Strategy", "Figure 8", "Section 5.2",
+                       "Section 6.3", "Goal 2"):
+            assert marker in out
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "mev.jsonl"
+        assert main(["export", str(target)] + BPM) == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.core.datasets import MevDataset
+        with open(target, encoding="utf-8") as stream:
+            loaded = MevDataset.load_jsonl(stream)
+        assert loaded.totals()["total"] >= 0
+        assert target.read_text().count("\n") == \
+            loaded.totals()["total"]

@@ -1,0 +1,44 @@
+"""Package-level API tests: exports, quick_study, version."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quick_study_end_to_end(self):
+        study = repro.quick_study(blocks_per_month=6, seed=2)
+        assert study.result.blockchain.height == 6 * 23
+        rows = study.table1
+        assert rows[-1].strategy == "Total"
+
+    def test_run_inspector_reusable(self):
+        study = repro.quick_study(blocks_per_month=6, seed=2)
+        again = repro.run_inspector(study.result)
+        assert again.totals() == study.dataset.totals()
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro", "repro.chain", "repro.dex", "repro.lending",
+    "repro.flashbots", "repro.privatepools", "repro.agents",
+    "repro.sim", "repro.core", "repro.analysis",
+])
+class TestPublicSurfaces:
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), (module_name, name)
+
+    def test_all_sorted_unique(self, module_name):
+        module = importlib.import_module(module_name)
+        assert len(set(module.__all__)) == len(module.__all__)
+
+    def test_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 20
