@@ -22,7 +22,10 @@ from typing import List, Sequence
 from repro.analysis.goals import profit_distribution
 from repro.core import MevInspector, PriceService
 from repro.core.datasets import PRIVACY_PRIVATE
-from repro.sim import ScenarioConfig, build_paper_scenario
+# Sensitivity sweeps *re-run the simulator* on purpose — they vary its
+# parameters and measure afresh; no ground-truth labels flow into any
+# heuristic.  Deliberate exception to the measurement/substrate wall.
+from repro.sim import ScenarioConfig, build_paper_scenario  # repro-lint: disable=R003
 
 
 def _measure(config: ScenarioConfig):

@@ -1,4 +1,4 @@
-"""Command-line interface: simulate, measure, report, export.
+"""Command-line interface: simulate, measure, report, export, lint.
 
 Usage::
 
@@ -6,11 +6,13 @@ Usage::
     python -m repro table1 [--bpm N] [--seed S]     # just Table 1
     python -m repro figures [--bpm N] [--seed S]    # figure series
     python -m repro export PATH [--bpm N] [--seed S]  # JSONL dataset
+    python -m repro lint [PATHS ...]                # invariant linter
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 from typing import List, Optional
 
@@ -56,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "JSONL")
     export.add_argument("path", help="output file path")
     _add_common(export)
+    lint = sub.add_parser("lint",
+                          help="run the domain-invariant linter "
+                               "(R001–R005) over source paths")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint "
+                           "(default: src)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", help="report format")
     return parser
 
 
@@ -149,9 +159,10 @@ def print_full_report(study: Study) -> None:
          percent(concentration.top2_block_share))]))
 
 
-def print_ablations(bpm: int, seed: int) -> None:
-    import random
-
+def print_ablations(bpm: int, seed: int,
+                    rng: Optional[random.Random] = None) -> None:
+    """Run the sensitivity sweeps; ``rng`` defaults to a fresh seeded
+    ``random.Random(seed)`` so repeated invocations replay exactly."""
     from repro.agents.pga import compare_mechanisms
     from repro.analysis.sensitivity import (
         observation_rate_sweep,
@@ -173,7 +184,8 @@ def print_ablations(bpm: int, seed: int) -> None:
          for p in observation_rate_sweep([0.995, 0.5],
                                          blocks_per_month=sweep_bpm,
                                          seed=seed)]))
-    result = compare_mechanisms(random.Random(seed), opportunities=300)
+    result = compare_mechanisms(rng or random.Random(seed),
+                                opportunities=300)
     print("\n" + render_kv("Auction mechanisms (§8.2)", [
         ("miner share, open PGA", percent(result.pga_miner_share)),
         ("miner share, sealed bid",
@@ -182,6 +194,10 @@ def print_ablations(bpm: int, seed: int) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        from repro.lint.cli import main as lint_main
+        lint_argv = list(args.paths) + ["--format", args.format]
+        return lint_main(lint_argv)
     if args.command == "ablations":
         print_ablations(args.bpm, args.seed)
         return 0

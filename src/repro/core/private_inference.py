@@ -14,15 +14,18 @@ it, absence from the trace means "not collected", not "private".
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.chain.p2p import MempoolObserver
 from repro.chain.types import Hash32
 from repro.core.datasets import (
+    ArbitrageRecord,
+    LiquidationRecord,
     MevDataset,
     PRIVACY_FLASHBOTS,
     PRIVACY_PRIVATE,
     PRIVACY_PUBLIC,
+    SandwichRecord,
 )
 
 
@@ -36,7 +39,8 @@ def in_window(observer: MempoolObserver, block_number: int) -> bool:
     return observer.in_window(block_number)
 
 
-def sandwich_privacy(record, observer: MempoolObserver) -> Optional[str]:
+def sandwich_privacy(record: SandwichRecord,
+                     observer: MempoolObserver) -> Optional[str]:
     """Privacy label for a sandwich (paper's three-way split).
 
     Flashbots-labelled sandwiches are 'flashbots'; otherwise the attack is
@@ -57,8 +61,8 @@ def sandwich_privacy(record, observer: MempoolObserver) -> Optional[str]:
     return PRIVACY_PUBLIC
 
 
-def single_tx_privacy(record, observer: MempoolObserver,
-                      ) -> Optional[str]:
+def single_tx_privacy(record: Union[ArbitrageRecord, LiquidationRecord],
+                      observer: MempoolObserver) -> Optional[str]:
     """Privacy label for single-transaction MEV (arbitrage/liquidation)."""
     if not observer.in_window(record.block_number):
         return None

@@ -1,0 +1,48 @@
+"""``repro.lint`` — AST-based static analysis for domain invariants.
+
+The simulator and measurement pipeline rest on invariants that plain
+tests cannot guard (they hold *by construction* until someone edits the
+wrong file): value stays integer wei inside the EVM state, seeded runs
+replay exactly, heuristics never peek at ground truth, heuristics and
+emitters agree on the event schema, and the public measurement API is
+typed.  Each invariant is a rule:
+
+=====  ====================  =======================================
+Rule   Name                  Guards
+=====  ====================  =======================================
+R001   wei-safety            no floats/true division in value math
+R002   determinism           no ambient entropy or hash-order loops
+R003   layering              measurement blind to simulator truth
+R004   event-schema          emitters/readers match events.py
+R005   public-api-hygiene    typed public functions in repro.core
+=====  ====================  =======================================
+
+Run with ``python -m repro.lint [paths]`` or ``python -m repro lint``.
+Suppress a deliberate exception with ``# repro-lint: disable=R00X`` on
+the flagged line (or the line above), or file-wide with
+``# repro-lint: disable-file=R00X``.  Configure via the
+``[tool.repro-lint]`` table in ``pyproject.toml``.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import lint_file, lint_paths, lint_source
+from repro.lint.findings import ERROR, WARNING, Finding
+from repro.lint.registry import Rule, all_rules, make_rules, register
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "make_rules",
+    "register",
+    "render_json",
+    "render_text",
+]

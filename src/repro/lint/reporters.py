@@ -1,0 +1,31 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.lint.findings import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a per-rule summary footer."""
+    if not findings:
+        return "repro-lint: no findings"
+    lines: List[str] = [finding.render() for finding in findings]
+    by_rule = Counter(finding.rule_id for finding in findings)
+    summary = ", ".join(f"{rule}×{count}"
+                        for rule, count in sorted(by_rule.items()))
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"repro-lint: {len(findings)} {noun} ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document: ``{"findings": [...], "count": N}``."""
+    payload = {
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,15 @@
+"""Built-in lint rules; importing this package registers them all."""
+
+from repro.lint.rules.wei_safety import WeiSafetyRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.event_schema import EventSchemaRule
+from repro.lint.rules.api_hygiene import ApiHygieneRule
+
+__all__ = [
+    "WeiSafetyRule",
+    "DeterminismRule",
+    "LayeringRule",
+    "EventSchemaRule",
+    "ApiHygieneRule",
+]

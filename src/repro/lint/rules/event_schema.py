@@ -1,0 +1,488 @@
+"""R004 — event-schema conformance between emitters and heuristics.
+
+The measurement pipeline consumes *only* event logs (see
+``repro.chain.events``), so the event dataclasses are the de-facto wire
+schema between the simulated contracts and the paper's heuristics.  A
+typo'd field on either side fails silently: dataclass defaults mask a
+missing value, ``getattr``-style drift shows up as zero detections, not
+as an error.  This rule parses the schema straight out of
+``repro/chain/events.py`` (no imports — pure AST) and checks both sides:
+
+* **emitters** (anywhere): ``SwapEvent(...)`` constructor calls must use
+  keyword arguments only, every keyword must be a declared field, and
+  ``address`` (the one non-defaulted coordinate) must be present;
+* **readers** (``repro.core.heuristics``): every attribute read off a
+  value statically known to be an event instance must name a declared
+  field or method.  Bindings are inferred from parameter/variable
+  annotations, ``isinstance`` guards, subscripting and iteration over
+  annotated containers, and the return annotations of module-local
+  helpers — enough to type the paper-style detection code without a
+  real type checker.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+DEFAULT_READER_PACKAGES = ("repro.core.heuristics",)
+DEFAULT_EVENTS_MODULE = "repro.chain.events"
+
+#: Attributes every object has; never worth flagging.
+_OBJECT_ATTRS = {"__class__", "__dict__", "__doc__"}
+
+_LIST_LIKE = {"List", "Sequence", "Iterable", "Iterator", "Set",
+              "FrozenSet", "MutableSequence", "Deque", "list", "set",
+              "frozenset", "deque"}
+_DICT_LIKE = {"Dict", "Mapping", "MutableMapping", "DefaultDict",
+              "OrderedDict", "dict", "defaultdict"}
+_TUPLE_LIKE = {"Tuple", "tuple"}
+
+
+# -- minimal structural types -------------------------------------------------
+
+class _Ty:
+    pass
+
+
+class _Event(_Ty):
+    def __init__(self, names: Set[str]) -> None:
+        self.names = names  # candidate event class names (union)
+
+
+class _ListOf(_Ty):
+    def __init__(self, elem: Optional[_Ty]) -> None:
+        self.elem = elem
+
+
+class _TupleOf(_Ty):
+    def __init__(self, elems: List[Optional[_Ty]]) -> None:
+        self.elems = elems
+
+
+class _DictOf(_Ty):
+    def __init__(self, key: Optional[_Ty],
+                 value: Optional[_Ty]) -> None:
+        self.key = key
+        self.value = value
+
+
+def _merge(a: Optional[_Ty], b: Optional[_Ty]) -> Optional[_Ty]:
+    if isinstance(a, _Event) and isinstance(b, _Event):
+        return _Event(a.names | b.names)
+    return a or b
+
+
+# -- schema extraction --------------------------------------------------------
+
+class EventSchema:
+    """Field/method sets per event class, parsed from events.py."""
+
+    def __init__(self, attrs: Dict[str, Set[str]],
+                 fields: Dict[str, Set[str]]) -> None:
+        self.attrs = attrs    # readable attributes (fields + methods)
+        self.fields = fields  # constructor-keyword-eligible fields
+
+    @property
+    def class_names(self) -> Set[str]:
+        return set(self.attrs)
+
+
+def load_schema(events_file: Path) -> Optional[EventSchema]:
+    try:
+        tree = ast.parse(events_file.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    own_fields: Dict[str, Set[str]] = {}
+    own_methods: Dict[str, Set[str]] = {}
+    non_init: Dict[str, Set[str]] = {}
+    bases: Dict[str, List[str]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        fields: Set[str] = set()
+        methods: Set[str] = set()
+        no_init: Set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                fields.add(stmt.target.id)
+                if _is_non_init_field(stmt.value):
+                    no_init.add(stmt.target.id)
+            elif isinstance(stmt, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                methods.add(stmt.name)
+        own_fields[node.name] = fields
+        own_methods[node.name] = methods
+        non_init[node.name] = no_init
+        bases[node.name] = [base.id for base in node.bases
+                            if isinstance(base, ast.Name)]
+
+    def resolve(name: str, seen: Set[str]) -> Tuple[Set[str], Set[str],
+                                                    Set[str]]:
+        if name in seen or name not in own_fields:
+            return set(), set(), set()
+        seen.add(name)
+        fields = set(own_fields[name])
+        methods = set(own_methods[name])
+        no_init = set(non_init[name])
+        for base in bases.get(name, []):
+            base_fields, base_methods, base_no_init = \
+                resolve(base, seen)
+            fields |= base_fields
+            methods |= base_methods
+            no_init |= base_no_init
+        return fields, methods, no_init
+
+    attrs: Dict[str, Set[str]] = {}
+    ctor_fields: Dict[str, Set[str]] = {}
+    for name in own_fields:
+        fields, methods, no_init = resolve(name, set())
+        attrs[name] = fields | methods | _OBJECT_ATTRS
+        ctor_fields[name] = fields - no_init
+    return EventSchema(attrs, ctor_fields)
+
+
+def _is_non_init_field(value: Optional[ast.AST]) -> bool:
+    """True for ``field(default=..., init=False)`` declarations."""
+    if not isinstance(value, ast.Call):
+        return False
+    if not (isinstance(value.func, ast.Name) and
+            value.func.id == "field"):
+        return False
+    return any(kw.arg == "init" and
+               isinstance(kw.value, ast.Constant) and
+               kw.value.value is False
+               for kw in value.keywords)
+
+
+# -- module analysis ----------------------------------------------------------
+
+class _ModuleAnalysis:
+    """Per-module import map and local helper return types."""
+
+    def __init__(self, ctx: ModuleContext, schema: EventSchema,
+                 events_module: str) -> None:
+        self.schema = schema
+        #: local name → event class name in the schema
+        self.event_names: Dict[str, str] = {}
+        self.returns: Dict[str, Optional[_Ty]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and \
+                    node.module == events_module:
+                for alias in node.names:
+                    if alias.name in schema.class_names:
+                        self.event_names[alias.asname or alias.name] = \
+                            alias.name
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.returns[node.name] = self.parse_annotation(
+                    node.returns)
+
+    # annotation AST → structural type ------------------------------------
+
+    def parse_annotation(self, node: Optional[ast.AST]) -> Optional[_Ty]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.Name):
+            if node.id in self.event_names:
+                return _Event({self.event_names[node.id]})
+            return None
+        if isinstance(node, ast.Attribute):
+            # typing.List[...] etc.: treat by attribute name below
+            return None
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            base_name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else "")
+            inner = node.slice
+            if base_name in _LIST_LIKE:
+                return _ListOf(self.parse_annotation(inner))
+            if base_name in _TUPLE_LIKE:
+                elts = inner.elts if isinstance(inner, ast.Tuple) \
+                    else [inner]
+                return _TupleOf([self.parse_annotation(e)
+                                 for e in elts])
+            if base_name in _DICT_LIKE:
+                if isinstance(inner, ast.Tuple) and \
+                        len(inner.elts) == 2:
+                    return _DictOf(self.parse_annotation(inner.elts[0]),
+                                   self.parse_annotation(inner.elts[1]))
+                return None
+            if base_name == "Optional":
+                return self.parse_annotation(inner)
+            if base_name == "Union":
+                elts = inner.elts if isinstance(inner, ast.Tuple) \
+                    else [inner]
+                merged: Optional[_Ty] = None
+                for elt in elts:
+                    merged = _merge(merged,
+                                    self.parse_annotation(elt))
+                return merged
+        return None
+
+
+class _FunctionChecker:
+    """Flow-insensitive event-typing of one function body."""
+
+    def __init__(self, rule: "EventSchemaRule", ctx: ModuleContext,
+                 analysis: _ModuleAnalysis,
+                 node: ast.FunctionDef) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.analysis = analysis
+        self.node = node
+        self.bindings: Dict[str, _Ty] = {}
+        self.findings: List[Finding] = []
+
+    # -- expression typing -------------------------------------------------
+
+    def type_of(self, expr: ast.AST) -> Optional[_Ty]:
+        if isinstance(expr, ast.Name):
+            return self.bindings.get(expr.id)
+        if isinstance(expr, ast.Subscript):
+            container = self.type_of(expr.value)
+            if isinstance(container, _ListOf):
+                return container.elem
+            if isinstance(container, _DictOf):
+                return container.value
+            return None
+        if isinstance(expr, ast.Call):
+            return self._type_of_call(expr)
+        if isinstance(expr, ast.IfExp):
+            return _merge(self.type_of(expr.body),
+                          self.type_of(expr.orelse))
+        return None
+
+    def _type_of_call(self, call: ast.Call) -> Optional[_Ty]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.analysis.event_names:
+                return _Event({self.analysis.event_names[func.id]})
+            if func.id in ("sorted", "list", "reversed") and call.args:
+                inner = self.type_of(call.args[0])
+                elem = self._elem_of(inner)
+                return _ListOf(elem) if elem is not None else inner
+            if func.id == "enumerate" and call.args:
+                elem = self._elem_of(self.type_of(call.args[0]))
+                return _ListOf(_TupleOf([None, elem]))
+            return self.analysis.returns.get(func.id)
+        if isinstance(func, ast.Attribute):
+            owner = self.type_of(func.value)
+            if isinstance(owner, _DictOf):
+                if func.attr == "items":
+                    return _ListOf(_TupleOf([owner.key, owner.value]))
+                if func.attr == "values":
+                    return _ListOf(owner.value)
+                if func.attr == "keys":
+                    return _ListOf(owner.key)
+                if func.attr == "get":
+                    return owner.value
+        return None
+
+    @staticmethod
+    def _elem_of(container: Optional[_Ty]) -> Optional[_Ty]:
+        if isinstance(container, _ListOf):
+            return container.elem
+        if isinstance(container, _DictOf):
+            return container.key
+        return None
+
+    # -- binding collection ------------------------------------------------
+
+    def _bind(self, name: str, ty: Optional[_Ty]) -> None:
+        if ty is not None:
+            existing = self.bindings.get(name)
+            merged = _merge(existing, ty)
+            if merged is not None:
+                self.bindings[name] = merged
+
+    def _bind_target(self, target: ast.AST, ty: Optional[_Ty]) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, ty)
+        elif isinstance(target, (ast.Tuple, ast.List)) and \
+                isinstance(ty, _TupleOf):
+            for i, elt in enumerate(target.elts):
+                if i < len(ty.elems):
+                    self._bind_target(elt, ty.elems[i])
+
+    def _bind_isinstance(self, test: ast.AST) -> None:
+        for node in ast.walk(test):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Name) and
+                    node.func.id == "isinstance" and
+                    len(node.args) == 2 and
+                    isinstance(node.args[0], ast.Name)):
+                continue
+            classes = node.args[1]
+            names = classes.elts if isinstance(classes, ast.Tuple) \
+                else [classes]
+            event_classes = {
+                self.analysis.event_names[name.id]
+                for name in names
+                if isinstance(name, ast.Name) and
+                name.id in self.analysis.event_names}
+            if event_classes:
+                self._bind(node.args[0].id, _Event(event_classes))
+
+    def collect_bindings(self) -> None:
+        for arg in (list(self.node.args.posonlyargs) +
+                    list(self.node.args.args) +
+                    list(self.node.args.kwonlyargs)):
+            self._bind(arg.arg,
+                       self.analysis.parse_annotation(arg.annotation))
+        # Two passes: assignments may reference names bound later in
+        # source order (rare, but cheap to cover).
+        for _ in range(2):
+            for node in ast.walk(self.node):
+                if isinstance(node, ast.AnnAssign) and \
+                        isinstance(node.target, ast.Name):
+                    self._bind(node.target.id,
+                               self.analysis.parse_annotation(
+                                   node.annotation))
+                elif isinstance(node, ast.Assign) and \
+                        len(node.targets) == 1:
+                    self._bind_target(node.targets[0],
+                                      self.type_of(node.value))
+                elif isinstance(node, ast.For):
+                    self._bind_target(
+                        node.target,
+                        self._elem_of(self.type_of(node.iter)))
+                elif isinstance(node, ast.comprehension):
+                    self._bind_target(
+                        node.target,
+                        self._elem_of(self.type_of(node.iter)))
+                    for if_test in node.ifs:
+                        self._bind_isinstance(if_test)
+                elif isinstance(node, (ast.If, ast.While)):
+                    self._bind_isinstance(node.test)
+                elif isinstance(node, ast.Assert):
+                    self._bind_isinstance(node.test)
+
+    # -- attribute checking -------------------------------------------------
+
+    def check_attributes(self) -> None:
+        for node in ast.walk(self.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.value, ast.Name):
+                continue
+            bound = self.bindings.get(node.value.id)
+            if not isinstance(bound, _Event):
+                continue
+            valid = set()
+            for class_name in bound.names:
+                valid |= self.analysis.schema.attrs.get(class_name,
+                                                        set())
+            if node.attr not in valid:
+                classes = " | ".join(sorted(bound.names))
+                self.findings.append(self.ctx.finding(
+                    node, self.rule.rule_id,
+                    f"event-schema violation: '{node.value.id}.{node.attr}'"
+                    f" reads a field not declared on {classes} in "
+                    "repro/chain/events.py"))
+
+
+# -- the rule -----------------------------------------------------------------
+
+@register
+class EventSchemaRule(Rule):
+    rule_id = "R004"
+    title = "event-schema"
+    rationale = ("Heuristics may only read declared EventLog fields; "
+                 "emitters must construct events with declared, "
+                 "keyword-only fields.")
+
+    def __init__(self, options: Dict[str, object]) -> None:
+        super().__init__(options)
+        self._schema_cache: Dict[Path, Optional[EventSchema]] = {}
+
+    def _schema_for(self, ctx: ModuleContext) -> Optional[EventSchema]:
+        path: Optional[Path] = None
+        if ctx.config.events_path:
+            path = Path(ctx.config.events_path)
+        elif ctx.src_root is not None:
+            events_module = self._events_module()
+            path = ctx.src_root.joinpath(
+                *events_module.split(".")).with_suffix(".py")
+        if path is None or not path.is_file():
+            return None
+        resolved = path.resolve()
+        if resolved not in self._schema_cache:
+            self._schema_cache[resolved] = load_schema(resolved)
+        return self._schema_cache[resolved]
+
+    def _events_module(self) -> str:
+        value = self.options.get("events_module")
+        return str(value) if value else DEFAULT_EVENTS_MODULE
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module == self._events_module():
+            return  # the schema itself
+        schema = self._schema_for(ctx)
+        if schema is None:
+            return
+        analysis = _ModuleAnalysis(ctx, schema, self._events_module())
+        if not analysis.event_names:
+            return
+        yield from self._check_constructors(ctx, schema, analysis)
+        reader_packages = self.option_str_list(
+            "reader_packages", DEFAULT_READER_PACKAGES)
+        if ctx.in_package(*reader_packages):
+            yield from self._check_readers(ctx, analysis)
+
+    def _check_constructors(self, ctx: ModuleContext,
+                            schema: EventSchema,
+                            analysis: _ModuleAnalysis,
+                            ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and
+                    isinstance(node.func, ast.Name) and
+                    node.func.id in analysis.event_names):
+                continue
+            class_name = analysis.event_names[node.func.id]
+            fields = schema.fields.get(class_name, set())
+            if node.args:
+                yield ctx.finding(
+                    node, self.rule_id,
+                    f"{class_name}(...) uses positional arguments; "
+                    "event fields must be passed by keyword so schema "
+                    "changes cannot silently reorder values")
+            has_star_kwargs = False
+            seen = set()
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    has_star_kwargs = True
+                    continue
+                seen.add(keyword.arg)
+                if keyword.arg not in fields:
+                    yield ctx.finding(
+                        keyword.value, self.rule_id,
+                        f"{class_name}(...) sets undeclared field "
+                        f"'{keyword.arg}'; declare it in "
+                        "repro/chain/events.py or fix the typo")
+            if "address" not in seen and not has_star_kwargs and \
+                    not node.args:
+                yield ctx.finding(
+                    node, self.rule_id,
+                    f"{class_name}(...) omits 'address' (the emitting "
+                    "contract); every event must carry its origin")
+
+    def _check_readers(self, ctx: ModuleContext,
+                       analysis: _ModuleAnalysis) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                checker = _FunctionChecker(self, ctx, analysis, node)
+                checker.collect_bindings()
+                checker.check_attributes()
+                yield from checker.findings

@@ -1,0 +1,115 @@
+"""R001 — wei-safety: no floating point in simulated EVM value math.
+
+``repro.chain.types`` declares the invariant: money is an ``int``
+denominated in wei, and floating point belongs to the analysis layer
+only.  Inside the value-bearing packages this rule therefore flags:
+
+* true division ``/`` (use floor division ``//`` — that is what the
+  EVM does);
+* ``float(...)`` conversions;
+* ``float`` literals used as operands of arithmetic.
+
+Functions whose *declared return annotation* mentions ``float`` are
+exempt: they are the explicitly marked analysis-boundary helpers (spot
+prices, health factors, human-readable conversions) where leaving exact
+integer arithmetic is the documented intent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Packages whose arithmetic is value-denominated (wei, token raw units).
+DEFAULT_PACKAGES = ("repro.chain", "repro.dex", "repro.lending",
+                    "repro.flashbots")
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+              ast.Mod, ast.Pow)
+
+
+def _annotation_mentions_float(annotation: ast.AST) -> bool:
+    return any(isinstance(node, ast.Name) and node.id == "float"
+               for node in ast.walk(annotation))
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rule: "WeiSafetyRule", ctx: ModuleContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self._float_fn_depth = 0
+
+    # -- function scoping ---------------------------------------------------
+
+    def _visit_function(self, node: ast.AST) -> None:
+        returns = getattr(node, "returns", None)
+        exempt = returns is not None and \
+            _annotation_mentions_float(returns)
+        if exempt:
+            self._float_fn_depth += 1
+        self.generic_visit(node)
+        if exempt:
+            self._float_fn_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @property
+    def _exempt(self) -> bool:
+        return self._float_fn_depth > 0
+
+    # -- checks -------------------------------------------------------------
+
+    def _emit(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            self.ctx.finding(node, self.rule.rule_id, message))
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if not self._exempt:
+            if isinstance(node.op, ast.Div):
+                self._emit(node, "true division '/' on value arithmetic; "
+                                 "use floor division '//' (wei is int)")
+            elif isinstance(node.op, _ARITH_OPS):
+                for operand in (node.left, node.right):
+                    if isinstance(operand, ast.Constant) and \
+                            isinstance(operand.value, float):
+                        self._emit(operand,
+                                   f"float literal {operand.value!r} in "
+                                   "value arithmetic; keep EVM-state "
+                                   "math in exact integers")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not self._exempt and isinstance(node.op, ast.Div):
+            self._emit(node, "true division '/=' on value arithmetic; "
+                             "use '//=' (wei is int)")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._exempt and isinstance(node.func, ast.Name) and \
+                node.func.id == "float":
+            self._emit(node, "float() conversion inside a value-layer "
+                             "module; floats belong to the analysis "
+                             "layer")
+        self.generic_visit(node)
+
+
+@register
+class WeiSafetyRule(Rule):
+    rule_id = "R001"
+    title = "wei-safety"
+    rationale = ("Simulated EVM state keeps all value as int wei; "
+                 "floating point only at the analysis layer.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        packages = self.option_str_list("packages", DEFAULT_PACKAGES)
+        if not ctx.in_package(*packages):
+            return
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

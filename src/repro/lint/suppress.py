@@ -1,0 +1,82 @@
+"""Suppression comments: ``# repro-lint: disable=R001``.
+
+Two scopes are supported:
+
+* line scope — a trailing comment disables the listed rules on its own
+  physical line; a *standalone* comment (nothing but whitespace before
+  the ``#``) also covers the line directly below it, the only ergonomic
+  spot for wrapped statements.  Trailing comments never bleed onto the
+  next line.
+* file scope — ``# repro-lint: disable-file=R003`` anywhere in the file
+  (conventionally in the module docstring region) disables the rule for
+  the whole module.
+
+``disable=all`` / ``disable-file=all`` disables every rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+#: Sentinel matching every rule id.
+ALL = "all"
+
+
+class SuppressionIndex:
+    """Which rule ids are suppressed on which lines of one file."""
+
+    def __init__(self) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+
+    def add_line(self, line: int, rules: Set[str]) -> None:
+        self.by_line.setdefault(line, set()).update(rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if ALL in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        return bool(rules and (ALL in rules or rule_id in rules))
+
+
+def build_index(source: str) -> SuppressionIndex:
+    """Scan ``source`` for suppression comments.
+
+    Tokenizing (rather than regexing raw lines) keeps directives inside
+    string literals from being honoured.  Tokenize errors fall back to an
+    empty index; the parse error surfaces elsewhere.
+    """
+    index = SuppressionIndex()
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if not match:
+                continue
+            scope, raw_rules = match.groups()
+            rules = {part.strip().upper() if part.strip().lower() != ALL
+                     else ALL
+                     for part in raw_rules.split(",") if part.strip()}
+            if scope == "disable-file":
+                index.file_wide.update(rules)
+                continue
+            comment_line, col = token.start
+            index.add_line(comment_line, rules)
+            prefix = lines[comment_line - 1][:col] \
+                if comment_line <= len(lines) else ""
+            if not prefix.strip():
+                # Standalone comment: also covers the statement below.
+                index.add_line(comment_line + 1, rules)
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        pass
+    return index

@@ -1,0 +1,83 @@
+"""R005 — public-API hygiene positives and negatives."""
+
+from tests.lint.conftest import run_lint, rule_ids
+
+
+class TestPositive:
+    def test_unannotated_public_function_flagged(self):
+        findings = run_lint(
+            """
+            def detect(node, prices):
+                return []
+            """, module="repro.core.detect", rules=["R005"])
+        assert rule_ids(findings) == ["R005"]
+        assert "node" in findings[0].message
+        assert "return" in findings[0].message
+
+    def test_missing_return_annotation_flagged(self):
+        findings = run_lint(
+            """
+            def count(records: list):
+                return len(records)
+            """, module="repro.core.countx", rules=["R005"])
+        assert rule_ids(findings) == ["R005"]
+
+    def test_public_method_flagged(self):
+        findings = run_lint(
+            """
+            class Inspector:
+                def run(self, blocks):
+                    return blocks
+            """, module="repro.core.inspectx", rules=["R005"])
+        assert rule_ids(findings) == ["R005"]
+        assert "Inspector.run" in findings[0].message
+
+    def test_all_restricts_but_still_checks_exports(self):
+        findings = run_lint(
+            """
+            __all__ = ["exported"]
+
+            def exported(x):
+                return x
+
+            def also_public_but_not_exported(y):
+                return y
+            """, module="repro.core.allx", rules=["R005"])
+        assert rule_ids(findings) == ["R005"]
+        assert "exported" in findings[0].message
+
+
+class TestNegative:
+    def test_fully_annotated_ok(self):
+        findings = run_lint(
+            """
+            from typing import List, Optional
+
+            def detect(node: object, limit: Optional[int] = None,
+                       ) -> List[int]:
+                return []
+
+            class Inspector:
+                def __init__(self, node: object) -> None:
+                    self.node = node
+
+                def run(self, blocks: int) -> int:
+                    return blocks
+            """, module="repro.core.goodapi", rules=["R005"])
+        assert findings == []
+
+    def test_private_helpers_ignored(self):
+        findings = run_lint(
+            """
+            def _helper(x):
+                return x
+            """, module="repro.core.privx", rules=["R005"])
+        assert findings == []
+
+    def test_other_packages_out_of_scope(self):
+        findings = run_lint(
+            """
+            def loose(x):
+                return x
+            """, module="repro.sim.loosey", rules=["R005"])
+        assert findings == []

@@ -1,0 +1,160 @@
+"""R004 — event-schema positives and negatives (real events.py schema)."""
+
+from tests.lint.conftest import run_lint, rule_ids
+
+
+class TestReaderPositive:
+    def test_unknown_attribute_on_annotated_param(self):
+        findings = run_lint(
+            """
+            from repro.chain.events import SwapEvent
+
+            def gain(event: SwapEvent) -> int:
+                return event.amount_inn
+            """, module="repro.core.heuristics.bad", rules=["R004"])
+        assert rule_ids(findings) == ["R004"]
+        assert "amount_inn" in findings[0].message
+
+    def test_unknown_attribute_after_isinstance(self):
+        findings = run_lint(
+            """
+            from repro.chain.events import SwapEvent
+
+            def takers(logs: list) -> list:
+                out = []
+                for log in logs:
+                    if isinstance(log, SwapEvent):
+                        out.append(log.takr)
+                return out
+            """, module="repro.core.heuristics.bad2", rules=["R004"])
+        assert rule_ids(findings) == ["R004"]
+
+    def test_unknown_attribute_via_list_iteration(self):
+        findings = run_lint(
+            """
+            from typing import List
+
+            from repro.chain.events import LiquidationEvent
+
+            def borrowers(events: List[LiquidationEvent]) -> list:
+                return [event.borower for event in events]
+            """, module="repro.core.heuristics.bad3", rules=["R004"])
+        assert rule_ids(findings) == ["R004"]
+
+    def test_unknown_attribute_via_local_helper_return(self):
+        findings = run_lint(
+            """
+            from typing import List
+
+            from repro.chain.events import SwapEvent
+
+            def _collect() -> List[SwapEvent]:
+                return []
+
+            def scan() -> int:
+                total = 0
+                for swap in _collect():
+                    total += swap.amount_out_wei
+                return total
+            """, module="repro.core.heuristics.bad4", rules=["R004"])
+        assert rule_ids(findings) == ["R004"]
+
+
+class TestEmitterPositive:
+    def test_undeclared_keyword_flagged(self):
+        findings = run_lint(
+            """
+            from repro.chain.events import SwapEvent
+
+            def emit() -> SwapEvent:
+                return SwapEvent(address="0xpool", takerr="0xbot")
+            """, module="repro.dex.badpool", rules=["R004"])
+        assert rule_ids(findings) == ["R004"]
+        assert "takerr" in findings[0].message
+
+    def test_missing_address_flagged(self):
+        findings = run_lint(
+            """
+            from repro.chain.events import TransferEvent
+
+            def emit() -> TransferEvent:
+                return TransferEvent(token="WETH", amount=1)
+            """, module="repro.chain.badtoken", rules=["R004"])
+        assert rule_ids(findings) == ["R004"]
+        assert "address" in findings[0].message
+
+    def test_positional_construction_flagged(self):
+        findings = run_lint(
+            """
+            from repro.chain.events import TransferEvent
+
+            def emit() -> TransferEvent:
+                return TransferEvent("0xtoken")
+            """, module="repro.chain.badtoken2", rules=["R004"])
+        assert rule_ids(findings) == ["R004"]
+        assert "keyword" in findings[0].message
+
+    def test_stamped_coordinates_not_constructor_fields(self):
+        # block_number is declared with field(init=False): settable by
+        # the block builder via stamp(), not at construction.
+        findings = run_lint(
+            """
+            from repro.chain.events import TransferEvent
+
+            def emit() -> TransferEvent:
+                return TransferEvent(address="0xtok", block_number=3)
+            """, module="repro.chain.badtoken3", rules=["R004"])
+        assert rule_ids(findings) == ["R004"]
+
+
+class TestNegative:
+    def test_declared_fields_and_stamp_ok(self):
+        findings = run_lint(
+            """
+            from typing import List
+
+            from repro.chain.events import SwapEvent
+
+            def emit() -> SwapEvent:
+                return SwapEvent(address="0xpool", venue="UniswapV2",
+                                 taker="0xbot", recipient="0xbot",
+                                 token_in="WETH", token_out="DAI",
+                                 amount_in=10, amount_out=9)
+
+            def read(swaps: List[SwapEvent]) -> list:
+                swaps = sorted(swaps,
+                               key=lambda s: (s.tx_index, s.log_index))
+                return [(s.taker, s.amount_in, s.tx_hash)
+                        for s in swaps]
+            """, module="repro.core.heuristics.good", rules=["R004"])
+        assert findings == []
+
+    def test_isinstance_union_and_subscript_ok(self):
+        findings = run_lint(
+            """
+            from typing import Dict, List
+
+            from repro.chain.events import SwapEvent, SyncEvent
+
+            def group() -> Dict[str, List[SwapEvent]]:
+                return {}
+
+            def last_sync(logs: list) -> int:
+                reserve = 0
+                for log in logs:
+                    if isinstance(log, (SwapEvent, SyncEvent)):
+                        reserve = log.log_index or 0
+                for pool, swaps in group().items():
+                    first = swaps[0]
+                    reserve += first.amount_in
+                return reserve
+            """, module="repro.core.heuristics.good2", rules=["R004"])
+        assert findings == []
+
+    def test_modules_without_event_imports_skipped(self):
+        findings = run_lint(
+            """
+            def unrelated(thing: object) -> object:
+                return thing.whatever
+            """, module="repro.core.heuristics.good3", rules=["R004"])
+        assert findings == []

@@ -1,0 +1,79 @@
+"""R003 — layering positives and negatives."""
+
+from tests.lint.conftest import run_lint, rule_ids
+
+
+class TestPositive:
+    def test_core_importing_sim_flagged(self):
+        findings = run_lint(
+            """
+            from repro.sim.world import World
+            """, module="repro.core.cheat", rules=["R003"])
+        assert rule_ids(findings) == ["R003"]
+        assert "ground truth" in findings[0].message
+
+    def test_core_importing_agents_flagged(self):
+        findings = run_lint(
+            """
+            import repro.agents.searcher
+            """, module="repro.core.heuristics.peek", rules=["R003"])
+        assert rule_ids(findings) == ["R003"]
+
+    def test_chain_importing_core_flagged(self):
+        findings = run_lint(
+            """
+            from repro.core.datasets import MevDataset
+            """, module="repro.chain.upward", rules=["R003"])
+        assert rule_ids(findings) == ["R003"]
+
+    def test_from_repro_import_subpackage_flagged(self):
+        # ``from repro import sim`` imports the forbidden subpackage
+        # even though the dotted target is just ``repro``.
+        findings = run_lint(
+            """
+            from repro import sim
+            """, module="repro.analysis.peek", rules=["R003"])
+        assert rule_ids(findings) == ["R003"]
+
+    def test_one_finding_per_import_statement(self):
+        findings = run_lint(
+            """
+            from repro.sim import ScenarioConfig, build_paper_scenario
+            """, module="repro.analysis.sweep", rules=["R003"])
+        assert rule_ids(findings) == ["R003"]
+
+
+class TestNegative:
+    def test_core_importing_chain_ok(self):
+        findings = run_lint(
+            """
+            from repro.chain.events import SwapEvent
+            from repro.chain.node import ArchiveNode
+            """, module="repro.core.heuristics.fine", rules=["R003"])
+        assert findings == []
+
+    def test_calendar_allowlisted(self):
+        findings = run_lint(
+            """
+            from repro.sim.calendar import StudyCalendar
+            """, module="repro.analysis.figuresx", rules=["R003"])
+        assert findings == []
+
+    def test_sim_importing_agents_ok(self):
+        # The simulator composing agents is the intended direction.
+        findings = run_lint(
+            """
+            from repro.agents.searcher import Searcher
+            """, module="repro.sim.scenariox", rules=["R003"])
+        assert findings == []
+
+    def test_custom_allow_option(self):
+        from repro.lint import LintConfig
+        config = LintConfig(enable=["R003"])
+        config.rule_options["R003"] = {
+            "allow": ["repro.sim.calendar", "repro.sim.config"]}
+        findings = run_lint(
+            """
+            from repro.sim.config import ScenarioConfig
+            """, module="repro.analysis.custom", config=config)
+        assert findings == []

@@ -1,0 +1,90 @@
+"""Suppression comments: line scope, line-above scope, file scope."""
+
+from tests.lint.conftest import run_lint, rule_ids
+
+
+def test_same_line_suppression():
+    findings = run_lint(
+        """
+        def fee(amount: int) -> int:
+            return amount / 2  # repro-lint: disable=R001
+        """, module="repro.chain.supp1", rules=["R001"])
+    assert findings == []
+
+
+def test_line_above_suppression():
+    findings = run_lint(
+        """
+        def fee(amount: int) -> int:
+            # repro-lint: disable=R001
+            return amount / 2
+        """, module="repro.chain.supp2", rules=["R001"])
+    assert findings == []
+
+
+def test_suppression_lists_multiple_rules():
+    findings = run_lint(
+        """
+        import random
+
+        def fee(amount: int) -> int:
+            return int(amount / random.random())  # repro-lint: disable=R001,R002
+        """, module="repro.chain.supp3", rules=["R001", "R002"])
+    assert findings == []
+
+
+def test_wrong_rule_id_does_not_suppress():
+    findings = run_lint(
+        """
+        def fee(amount: int) -> int:
+            return amount / 2  # repro-lint: disable=R002
+        """, module="repro.chain.supp4", rules=["R001"])
+    assert rule_ids(findings) == ["R001"]
+
+
+def test_trailing_comment_does_not_bleed_to_next_line():
+    findings = run_lint(
+        """
+        def fees(amount: int) -> tuple:
+            a = amount / 2  # repro-lint: disable=R001
+            b = amount / 3
+            return (a, b)
+        """, module="repro.chain.supp8", rules=["R001"])
+    assert rule_ids(findings) == ["R001"]
+    assert findings[0].line == 4
+
+
+def test_file_wide_suppression():
+    findings = run_lint(
+        """
+        # repro-lint: disable-file=R001
+
+        def fee(amount: int) -> int:
+            return amount / 2
+
+        def tax(amount: int) -> int:
+            return amount / 3
+        """, module="repro.chain.supp5", rules=["R001"])
+    assert findings == []
+
+
+def test_disable_all():
+    findings = run_lint(
+        """
+        import random
+
+        def fee(amount: int) -> int:
+            return int(amount / random.random())  # repro-lint: disable=all
+        """, module="repro.chain.supp6", rules=["R001", "R002"])
+    assert findings == []
+
+
+def test_directive_inside_string_ignored():
+    findings = run_lint(
+        '''
+        NOTE = "# repro-lint: disable-file=R001"
+
+        def fee(amount: int) -> int:
+            return amount / 2
+        ''', module="repro.chain.supp7", rules=["R001"])
+    assert rule_ids(findings) == ["R001"]

@@ -1,0 +1,76 @@
+"""R001 — wei-safety positives and negatives."""
+
+from tests.lint.conftest import run_lint, rule_ids
+
+
+class TestPositive:
+    def test_true_division_flagged(self):
+        findings = run_lint(
+            """
+            def fee(amount: int) -> int:
+                return amount / 2
+            """, module="repro.chain.fees", rules=["R001"])
+        assert rule_ids(findings) == ["R001"]
+        assert findings[0].line == 3
+        assert "//" in findings[0].message
+
+    def test_float_call_flagged(self):
+        findings = run_lint(
+            """
+            def widen(amount: int) -> int:
+                return int(float(amount))
+            """, module="repro.dex.math", rules=["R001"])
+        assert rule_ids(findings) == ["R001"]
+
+    def test_float_literal_in_arithmetic_flagged(self):
+        findings = run_lint(
+            """
+            def bump(amount: int) -> int:
+                return int(amount * 1.5)
+            """, module="repro.lending.rates", rules=["R001"])
+        assert rule_ids(findings) == ["R001"]
+
+    def test_aug_div_flagged(self):
+        findings = run_lint(
+            """
+            def halve(amount: int) -> int:
+                amount /= 2
+                return amount
+            """, module="repro.flashbots.tips", rules=["R001"])
+        assert rule_ids(findings) == ["R001"]
+
+
+class TestNegative:
+    def test_floor_division_ok(self):
+        findings = run_lint(
+            """
+            def fee(amount: int, bps: int) -> int:
+                return amount * bps // 10_000
+            """, module="repro.chain.fees", rules=["R001"])
+        assert findings == []
+
+    def test_float_returning_helper_exempt(self):
+        findings = run_lint(
+            """
+            ETHER = 10**18
+
+            def to_eth(amount_wei: int) -> float:
+                return amount_wei / ETHER
+            """, module="repro.chain.types", rules=["R001"])
+        assert findings == []
+
+    def test_float_in_annotation_not_flagged(self):
+        findings = run_lint(
+            """
+            def clamp(rate: float) -> int:
+                return 1 if rate else 0
+            """, module="repro.chain.params", rules=["R001"])
+        assert findings == []
+
+    def test_analysis_layer_out_of_scope(self):
+        findings = run_lint(
+            """
+            def mean(values: list) -> float:
+                return sum(values) / len(values)
+            """, module="repro.analysis.stats", rules=["R001"])
+        assert findings == []
