@@ -24,9 +24,18 @@ Quickstart::
 """
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.analysis import build_table1
 from repro.core import MevDataset, MevInspector, PriceService
+from repro.faults import (
+    FaultPlan,
+    FaultyArchiveNode,
+    FaultyFlashbotsApi,
+    FaultyMempoolObserver,
+)
+from repro.reliability import CheckpointStore, RetryPolicy, shield_sources
 from repro.sim import ScenarioConfig, SimulationResult, World, \
     build_paper_scenario
 
@@ -45,23 +54,54 @@ class Study:
         return build_table1(self.dataset)
 
 
-def run_inspector(result: SimulationResult) -> MevDataset:
-    """Run the full measurement pipeline over a simulation result."""
-    inspector = MevInspector(result.node, PriceService(result.oracle),
-                             result.flashbots_api, result.observer)
-    return inspector.run()
+def run_inspector(result: SimulationResult,
+                  fault_plan: Optional[FaultPlan] = None,
+                  retry: Optional[RetryPolicy] = None,
+                  chunk_size: Optional[int] = None,
+                  checkpoint: Union[CheckpointStore, str, Path,
+                                    None] = None,
+                  resume: bool = False) -> MevDataset:
+    """Run the full measurement pipeline over a simulation result.
+
+    ``fault_plan`` interposes the chaos transports of :mod:`repro.faults`
+    between the pipeline and the three data sources; either way every
+    source is shielded by :func:`repro.reliability.shield_sources`
+    (retries + circuit breakers), and the returned dataset carries a
+    ``quality`` report.  ``checkpoint``/``resume`` make the run
+    restartable after a crash.
+    """
+    node, observer, api = (result.node, result.observer,
+                           result.flashbots_api)
+    if fault_plan is not None:
+        node = FaultyArchiveNode(node, fault_plan)
+        observer = FaultyMempoolObserver(observer, fault_plan)
+        api = FaultyFlashbotsApi(api, fault_plan)
+    node, observer, api = shield_sources(node, observer, api,
+                                         retry=retry)
+    inspector = MevInspector(node, PriceService(result.oracle),
+                             api, observer)
+    return inspector.run(chunk_size=chunk_size, checkpoint=checkpoint,
+                         resume=resume)
 
 
 def quick_study(blocks_per_month: int = 60, seed: int = 7,
+                fault_plan: Optional[FaultPlan] = None,
+                chunk_size: Optional[int] = None,
+                checkpoint: Union[CheckpointStore, str, Path,
+                                  None] = None,
+                resume: bool = False,
                 **config_overrides) -> Study:
     """Simulate the study window and measure it, in one call."""
     config = ScenarioConfig(blocks_per_month=blocks_per_month, seed=seed,
                             **config_overrides)
     world = build_paper_scenario(config)
     result = world.run()
-    return Study(result=result, dataset=run_inspector(result))
+    dataset = run_inspector(result, fault_plan=fault_plan,
+                            chunk_size=chunk_size, checkpoint=checkpoint,
+                            resume=resume)
+    return Study(result=result, dataset=dataset)
 
 
-__all__ = ["ScenarioConfig", "SimulationResult", "Study", "World",
-           "__version__", "build_paper_scenario", "quick_study",
+__all__ = ["FaultPlan", "ScenarioConfig", "SimulationResult", "Study",
+           "World", "__version__", "build_paper_scenario", "quick_study",
            "run_inspector"]

@@ -29,8 +29,8 @@ from repro.analysis.goals import (
     negative_profits,
     profit_distribution,
 )
-from repro.analysis.report import percent, render_kv, render_series, \
-    render_table
+from repro.analysis.report import percent, render_kv, render_quality, \
+    render_series, render_table
 from repro.analysis.sensitivity import (
     ObservationSweepPoint,
     TipSweepPoint,
@@ -64,5 +64,5 @@ __all__ = [
     "monthly_block_miners", "monthly_flashbots_miners",
     "negative_profits", "pearson_correlation", "percent",
     "profit_distribution", "profits_eth",
-    "render_kv", "render_series", "render_table",
+    "render_kv", "render_quality", "render_series", "render_table",
 ]

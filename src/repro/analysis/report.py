@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.reliability.quality import DataQualityReport
 
 
 def render_table(headers: Sequence[str],
@@ -49,4 +51,15 @@ def render_kv(title: str, pairs: Sequence[Tuple[str, object]]) -> str:
     lines = [title]
     lines.extend(f"  {key.ljust(width)} : {value}" for key, value in
                  pairs)
+    return "\n".join(lines)
+
+
+def render_quality(report: Optional[DataQualityReport],
+                   title: str = "Data quality — source coverage & "
+                                "resilience") -> str:
+    """The run's :class:`DataQualityReport` as an indented text block."""
+    if report is None:
+        return title + "\n  (no quality report attached)"
+    lines = [title]
+    lines.extend(f"  {line}" for line in report.summary_lines())
     return "\n".join(lines)

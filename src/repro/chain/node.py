@@ -72,6 +72,9 @@ class ArchiveNode:
     def latest_block_number(self) -> Optional[int]:
         return self.chain.height
 
+    def earliest_block_number(self) -> Optional[int]:
+        return self.chain.blocks[0].number if self.chain.blocks else None
+
     def get_block(self, number: int) -> Optional[Block]:
         return self.chain.block_by_number(number)
 

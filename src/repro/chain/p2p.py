@@ -8,15 +8,25 @@ per-transaction observation probability (the paper assumes its node saw "the
 vast majority" of gossip), and :class:`MempoolObserver` is the measurement
 node: it only ever sees *publicly* gossiped transactions — submissions to
 Flashbots or other private pools never reach it, by construction.
+
+The observer also keeps honest books about its own blind spots: every
+in-window transaction the gossip layer offered is accounted for as either
+observed or missed, so ``observed_coverage()`` reconciles exactly, and
+``downtime_ranges`` records block spans during which the collector was
+offline (absence from the trace there means "not collected", not
+"private" — the distinction behind the ``unobserved`` privacy label).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Set
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.chain.transaction import Transaction
 from repro.chain.types import Hash32
+
+#: An inclusive ``(first_block, last_block)`` span.
+BlockRange = Tuple[int, int]
 
 
 class MempoolObserver:
@@ -25,13 +35,25 @@ class MempoolObserver:
     ``start_block``/``end_block`` bound the observation window (the paper
     observed Nov 8 2021 – Apr 9 2022); transactions gossiped outside the
     window are not recorded, mirroring the real collection.
+    ``downtime_ranges`` are block spans inside the window during which the
+    collector was offline: nothing gossiped there is recorded, and the
+    spans are reported so inference can refuse to classify absences.
     """
 
     def __init__(self, start_block: int = 0,
-                 end_block: Optional[int] = None) -> None:
+                 end_block: Optional[int] = None,
+                 downtime_ranges: Iterable[BlockRange] = ()) -> None:
         self.start_block = start_block
         self.end_block = end_block
+        self.downtime_ranges: Tuple[BlockRange, ...] = tuple(
+            sorted((int(lo), int(hi)) for lo, hi in downtime_ranges))
+        for lo, hi in self.downtime_ranges:
+            if hi < lo:
+                raise ValueError(f"bad downtime range ({lo}, {hi})")
         self._first_seen: Dict[Hash32, int] = {}
+        #: in-window transactions the gossip layer offered but this
+        #: observer failed to see (lossy sampling or downtime)
+        self._missed: Set[Hash32] = set()
 
     def in_window(self, block_number: int) -> bool:
         if block_number < self.start_block:
@@ -40,11 +62,28 @@ class MempoolObserver:
             return False
         return True
 
+    def was_down(self, block_number: int) -> bool:
+        """Whether the collector was offline at this block height."""
+        return any(lo <= block_number <= hi
+                   for lo, hi in self.downtime_ranges)
+
     def record(self, tx: Transaction, block_number: int) -> None:
         """Record a pending-transaction event if inside the window."""
         if not self.in_window(block_number):
             return
+        if self.was_down(block_number):
+            self._missed.add(tx.hash)
+            return
         self._first_seen.setdefault(tx.hash, block_number)
+        # A later successful observation supersedes an earlier miss.
+        self._missed.discard(tx.hash)
+
+    def record_missed(self, tx: Transaction, block_number: int) -> None:
+        """Account for an in-window gossip event this node failed to see."""
+        if not self.in_window(block_number):
+            return
+        if tx.hash not in self._first_seen:
+            self._missed.add(tx.hash)
 
     def was_observed(self, tx_hash: Hash32) -> bool:
         return tx_hash in self._first_seen
@@ -58,6 +97,30 @@ class MempoolObserver:
 
     def __len__(self) -> int:
         return len(self._first_seen)
+
+    # Coverage accounting -------------------------------------------------
+
+    @property
+    def observed_count(self) -> int:
+        return len(self._first_seen)
+
+    @property
+    def missed_count(self) -> int:
+        """Unique in-window transactions offered but never observed."""
+        return len(self._missed)
+
+    @property
+    def gossiped_total(self) -> int:
+        """Unique in-window transactions the gossip layer delivered.
+
+        Reconciles by construction: ``observed_count + missed_count``.
+        """
+        return len(self._first_seen) + len(self._missed)
+
+    def observed_coverage(self) -> float:
+        """Share of in-window gossip this observer actually captured."""
+        total = self.gossiped_total
+        return 1.0 if total == 0 else self.observed_count / total
 
 
 class GossipNetwork:
@@ -76,6 +139,8 @@ class GossipNetwork:
         self.rng = rng
         self.observation_rate = observation_rate
         self.observers: list[MempoolObserver] = []
+        #: in-window delivery *events* dropped (may double-count a tx
+        #: gossiped twice; per-observer sets deduplicate)
         self.missed_count = 0
 
     def attach_observer(self, observer: MempoolObserver) -> None:
@@ -90,3 +155,4 @@ class GossipNetwork:
                 observer.record(tx, block_number)
             elif observer.in_window(block_number):
                 self.missed_count += 1
+                observer.record_missed(tx, block_number)

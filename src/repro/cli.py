@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro run [--bpm N] [--seed S]        # full report
+    python -m repro run --checkpoint ck.json --resume   # resume a crash
+    python -m repro run --fault-profile chaos --fault-seed 3  # chaos run
     python -m repro table1 [--bpm N] [--seed S]     # just Table 1
     python -m repro figures [--bpm N] [--seed S]    # figure series
     python -m repro export PATH [--bpm N] [--seed S]  # JSONL dataset
@@ -27,10 +29,13 @@ from repro.analysis import (
     percent,
     profit_distribution,
     render_kv,
+    render_quality,
     render_series,
     render_table,
 )
 from repro.core.pool_attribution import attribute_private_pools
+from repro.faults import FAULT_PROFILES, FaultPlan
+from repro.sim import ScenarioConfig
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -38,6 +43,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="simulated blocks per month (default 60)")
     parser.add_argument("--seed", type=int, default=7,
                         help="scenario seed (default 7)")
+
+
+def _add_reliability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        metavar="N",
+                        help="measure N blocks per checkpointable chunk "
+                             "(default: the whole range in one chunk)")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="write completed chunks to this JSON file")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from an existing checkpoint file "
+                             "instead of starting over")
+    parser.add_argument("--fault-profile", choices=FAULT_PROFILES,
+                        default="none",
+                        help="inject seeded data-source faults "
+                             "(default: none)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the injected fault plan "
+                             "(default 0)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,15 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
             ("table1", "print Table 1 only"),
             ("figures", "print the figure series"),
             ("ablations", "run the design-choice sensitivity sweeps")):
-        _add_common(sub.add_parser(name, help=help_text))
+        command = sub.add_parser(name, help=help_text)
+        _add_common(command)
+        if name != "ablations":
+            _add_reliability(command)
     export = sub.add_parser("export",
                             help="write the detected MEV dataset as "
                                  "JSONL")
     export.add_argument("path", help="output file path")
     _add_common(export)
+    _add_reliability(export)
     lint = sub.add_parser("lint",
                           help="run the domain-invariant linter "
-                               "(R001–R005) over source paths")
+                               "(R001–R006) over source paths")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint "
                            "(default: src)")
@@ -69,10 +97,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    profile = getattr(args, "fault_profile", "none")
+    if profile == "none":
+        return None
+    total = ScenarioConfig(blocks_per_month=args.bpm,
+                           seed=args.seed).total_blocks
+    plan = FaultPlan.from_profile(profile, seed=args.fault_seed,
+                                  first_block=1, last_block=total)
+    print(f"Injecting '{profile}' faults "
+          f"(fault seed {args.fault_seed}) …", file=sys.stderr)
+    return plan
+
+
 def _study(args: argparse.Namespace) -> Study:
     print(f"Simulating 23 months at {args.bpm} blocks/month "
           f"(seed {args.seed}) …", file=sys.stderr)
-    return quick_study(blocks_per_month=args.bpm, seed=args.seed)
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint and getattr(args, "resume", False):
+        print(f"Resuming from checkpoint {checkpoint} …",
+              file=sys.stderr)
+    return quick_study(blocks_per_month=args.bpm, seed=args.seed,
+                       fault_plan=_fault_plan(args),
+                       chunk_size=getattr(args, "chunk_size", None),
+                       checkpoint=checkpoint,
+                       resume=getattr(args, "resume", False))
 
 
 def print_table1(study: Study) -> None:
@@ -157,6 +206,8 @@ def print_full_report(study: Study) -> None:
          concentration.max_miners_in_a_month),
         ("top-2 miner share of FB blocks",
          percent(concentration.top2_block_share))]))
+
+    print("\n" + render_quality(dataset.quality))
 
 
 def print_ablations(bpm: int, seed: int,

@@ -2,11 +2,13 @@
 
 from repro.core.datasets import (
     ArbitrageRecord,
+    FLASHBOTS_UNKNOWN,
     LiquidationRecord,
     MevDataset,
     PRIVACY_FLASHBOTS,
     PRIVACY_PRIVATE,
     PRIVACY_PUBLIC,
+    PRIVACY_UNOBSERVED,
     SandwichRecord,
 )
 from repro.core.flashbots_join import annotate_flashbots
@@ -16,12 +18,13 @@ from repro.core.heuristics import (
     detect_liquidations,
     detect_sandwiches,
 )
-from repro.core.pipeline import MevInspector
+from repro.core.pipeline import MevInspector, plan_chunks
 from repro.core.pool_attribution import (
     AttributionReport,
     attribute_private_pools,
 )
 from repro.core.private_inference import (
+    absence_unprovable,
     annotate_privacy,
     classify_tx,
     sandwich_privacy,
@@ -30,11 +33,13 @@ from repro.core.private_inference import (
 from repro.core.profit import PriceService, transaction_cost
 
 __all__ = [
-    "ArbitrageRecord", "AttributionReport", "LiquidationRecord",
-    "MevDataset", "MevInspector", "PRIVACY_FLASHBOTS", "PRIVACY_PRIVATE",
-    "PRIVACY_PUBLIC", "PriceService", "SandwichRecord",
-    "annotate_flashbots", "annotate_privacy",
+    "ArbitrageRecord", "AttributionReport", "FLASHBOTS_UNKNOWN",
+    "LiquidationRecord", "MevDataset", "MevInspector",
+    "PRIVACY_FLASHBOTS", "PRIVACY_PRIVATE", "PRIVACY_PUBLIC",
+    "PRIVACY_UNOBSERVED", "PriceService", "SandwichRecord",
+    "absence_unprovable", "annotate_flashbots", "annotate_privacy",
     "attribute_private_pools", "classify_tx", "detect_arbitrages",
     "detect_flash_loan_txs", "detect_liquidations", "detect_sandwiches",
-    "sandwich_privacy", "single_tx_privacy", "transaction_cost",
+    "plan_chunks", "sandwich_privacy", "single_tx_privacy",
+    "transaction_cost",
 ]

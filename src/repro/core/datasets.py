@@ -3,19 +3,45 @@
 Each record mirrors what the paper's crawling scripts store: the
 transactions involved, the extractor and miner, the gains/costs in ETH,
 and the labels added by the joins (Flashbots, flash loans, privacy).
+
+Labels are honest about missing data.  ``via_flashbots`` is tri-state:
+``True``/``False`` when the public dataset covers the record's block,
+``None`` (*unknown*) when the block falls in a known dataset gap — a gap
+must never silently read as "non-Flashbots".  Likewise ``privacy`` adds
+``'unobserved'`` for records whose classification would rest on the
+pending-tx collector's downtime.  The :class:`MevDataset` carries the
+run's :class:`~repro.reliability.quality.DataQualityReport` so degraded
+coverage travels with the data it degraded.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import IO, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    IO,
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.chain.types import Address, Hash32
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids module cycle
+    from repro.reliability.quality import DataQualityReport
 
 PRIVACY_PUBLIC = "public"
 PRIVACY_PRIVATE = "private"
 PRIVACY_FLASHBOTS = "flashbots"
+#: the pending-tx collector was down when the record's transactions
+#: would have been pending: absence from the trace proves nothing
+PRIVACY_UNOBSERVED = "unobserved"
+
+#: ``via_flashbots`` value meaning "the dataset has a gap here"
+FLASHBOTS_UNKNOWN = None
 
 
 @dataclass
@@ -40,7 +66,7 @@ class SandwichRecord:
     #: (gas fees kept + coinbase tips) — the quantity behind Figure 8a
     miner_revenue_wei: int = 0
     miner: Address = ""
-    via_flashbots: bool = False
+    via_flashbots: Optional[bool] = False
     via_flashloan: bool = False
     privacy: Optional[str] = None
 
@@ -67,7 +93,7 @@ class ArbitrageRecord:
     gain_wei: int
     cost_wei: int
     miner: Address = ""
-    via_flashbots: bool = False
+    via_flashbots: Optional[bool] = False
     via_flashloan: bool = False
     privacy: Optional[str] = None
 
@@ -92,13 +118,19 @@ class LiquidationRecord:
     gain_wei: int
     cost_wei: int
     miner: Address = ""
-    via_flashbots: bool = False
+    via_flashbots: Optional[bool] = False
     via_flashloan: bool = False
     privacy: Optional[str] = None
 
     @property
     def profit_wei(self) -> int:
         return self.gain_wei - self.cost_wei
+
+
+#: record constructors keyed by the serialized ``kind`` tag
+RECORD_KINDS = {"sandwich": SandwichRecord,
+                "arbitrage": ArbitrageRecord,
+                "liquidation": LiquidationRecord}
 
 
 @dataclass
@@ -108,6 +140,8 @@ class MevDataset:
     sandwiches: List[SandwichRecord] = field(default_factory=list)
     arbitrages: List[ArbitrageRecord] = field(default_factory=list)
     liquidations: List[LiquidationRecord] = field(default_factory=list)
+    #: coverage/resilience accounting for the run that built this dataset
+    quality: Optional["DataQualityReport"] = None
 
     def all_records(self) -> List[object]:
         return [*self.sandwiches, *self.arbitrages, *self.liquidations]
@@ -136,35 +170,51 @@ class MevDataset:
             total += 1
         return total
 
-    # Persistence ---------------------------------------------------------
+    def records_equal(self, other: "MevDataset") -> bool:
+        """Record-level equality, ignoring the quality report."""
+        return (self.sandwiches == other.sandwiches
+                and self.arbitrages == other.arbitrages
+                and self.liquidations == other.liquidations)
 
-    def dump_jsonl(self, stream: IO[str]) -> None:
-        """Write one JSON object per record, tagged with its kind."""
+    # Row serialization (shared by JSONL export and checkpoints) ----------
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Every record as a JSON-ready dict tagged with its kind."""
+        rows: List[Dict[str, object]] = []
         for kind, records in (("sandwich", self.sandwiches),
                               ("arbitrage", self.arbitrages),
                               ("liquidation", self.liquidations)):
             for record in records:
                 row = asdict(record)
                 row["kind"] = kind
-                stream.write(json.dumps(row) + "\n")
+                rows.append(row)
+        return rows
+
+    def add_row(self, row: Dict[str, object]) -> None:
+        """Append one tagged row (inverse of :meth:`to_rows`)."""
+        data = dict(row)
+        kind = data.pop("kind")
+        for key in ("venues", "token_cycle"):
+            if key in data and isinstance(data[key], list):
+                data[key] = tuple(data[key])
+        buckets = {"sandwich": self.sandwiches,
+                   "arbitrage": self.arbitrages,
+                   "liquidation": self.liquidations}
+        buckets[kind].append(RECORD_KINDS[kind](**data))
+
+    # Persistence ---------------------------------------------------------
+
+    def dump_jsonl(self, stream: IO[str]) -> None:
+        """Write one JSON object per record, tagged with its kind."""
+        for row in self.to_rows():
+            stream.write(json.dumps(row) + "\n")
 
     @classmethod
     def load_jsonl(cls, stream: IO[str]) -> "MevDataset":
         dataset = cls()
-        constructors = {"sandwich": SandwichRecord,
-                        "arbitrage": ArbitrageRecord,
-                        "liquidation": LiquidationRecord}
-        buckets = {"sandwich": dataset.sandwiches,
-                   "arbitrage": dataset.arbitrages,
-                   "liquidation": dataset.liquidations}
         for line in stream:
             line = line.strip()
             if not line:
                 continue
-            row = json.loads(line)
-            kind = row.pop("kind")
-            for key in ("venues", "token_cycle"):
-                if key in row and isinstance(row[key], list):
-                    row[key] = tuple(row[key])
-            buckets[kind].append(constructors[kind](**row))
+            dataset.add_row(json.loads(line))
         return dataset

@@ -5,22 +5,51 @@ an extraction as "via Flashbots" when its MEV transactions appear in that
 dataset (Section 3.3).  For sandwiches, *both* attacker legs must be
 Flashbots transactions; single-transaction strategies need only their one
 transaction labelled.
+
+The authors note the public dataset has gaps.  Inside a gap, absence of
+a row is *not* evidence of a non-Flashbots extraction, so records whose
+block falls in a known gap get ``via_flashbots = None`` (unknown) rather
+than a silent ``False`` — the :class:`DataQualityReport` counts them.
 """
 
 from __future__ import annotations
 
-from repro.core.datasets import MevDataset
+from typing import Optional
+
+from repro.core.datasets import FLASHBOTS_UNKNOWN, MevDataset
 from repro.flashbots.api import FlashbotsBlocksApi
+
+
+def _covered(api: FlashbotsBlocksApi, block_number: int) -> bool:
+    """Whether the dataset conclusively covers this block."""
+    has_block_data = getattr(api, "has_block_data", None)
+    return True if has_block_data is None else has_block_data(block_number)
 
 
 def annotate_flashbots(dataset: MevDataset,
                        api: FlashbotsBlocksApi) -> MevDataset:
-    """Set ``via_flashbots`` on every record, in place; returns dataset."""
+    """Set ``via_flashbots`` on every record, in place; returns dataset.
+
+    Records in blocks the dataset does not cover are labelled
+    ``None`` (unknown), never ``False``.
+    """
     for record in dataset.sandwiches:
+        if not _covered(api, record.block_number):
+            record.via_flashbots = FLASHBOTS_UNKNOWN
+            continue
         record.via_flashbots = (api.is_flashbots_tx(record.front_tx)
                                 and api.is_flashbots_tx(record.back_tx))
     for record in dataset.arbitrages:
-        record.via_flashbots = api.is_flashbots_tx(record.tx_hash)
+        record.via_flashbots = _tx_label(api, record.block_number,
+                                         record.tx_hash)
     for record in dataset.liquidations:
-        record.via_flashbots = api.is_flashbots_tx(record.tx_hash)
+        record.via_flashbots = _tx_label(api, record.block_number,
+                                         record.tx_hash)
     return dataset
+
+
+def _tx_label(api: FlashbotsBlocksApi, block_number: int,
+              tx_hash: str) -> Optional[bool]:
+    if not _covered(api, block_number):
+        return FLASHBOTS_UNKNOWN
+    return api.is_flashbots_tx(tx_hash)

@@ -5,11 +5,26 @@ collects — an archive node, the pending-transaction trace, and the public
 Flashbots blocks dataset — runs every detection heuristic over a block
 range, and applies the joins (flash loans, Flashbots labels, privacy
 inference).  It never touches simulator ground truth.
+
+The run is engineered for imperfect sources, the way the real study's
+five-month crawl had to be:
+
+* the block range is processed in **chunks**; each completed chunk is
+  written to an atomic JSON checkpoint, so a crashed run restarted with
+  ``resume=True`` skips finished work and still produces a bit-identical
+  dataset;
+* a chunk whose source data is permanently unavailable (archive
+  blackout, breaker open, retries exhausted) is recorded as a *failed
+  range* and the run continues — degradation is visible, never fatal;
+* every run attaches a :class:`DataQualityReport` covering per-source
+  coverage, retries, breaker trips, gap ranges, and the count of
+  ``unknown``/``unobserved`` labels the joins were forced to emit.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.chain.node import ArchiveNode
 from repro.chain.p2p import MempoolObserver
@@ -21,7 +36,42 @@ from repro.core.heuristics.liquidation import detect_liquidations
 from repro.core.heuristics.sandwich import detect_sandwiches
 from repro.core.private_inference import annotate_privacy
 from repro.core.profit import PriceService
+from repro.faults.errors import DataSourceError
 from repro.flashbots.api import FlashbotsBlocksApi
+from repro.reliability.checkpoint import CheckpointError, CheckpointStore
+from repro.reliability.quality import DataQualityReport, SourceQuality
+from repro.reliability.retry import RetryExhaustedError
+
+BlockRange = Tuple[int, int]
+
+#: errors that mark a chunk as permanently failed instead of crashing
+CHUNK_FAILURES = (DataSourceError, RetryExhaustedError)
+
+
+def plan_chunks(first_block: int, last_block: int,
+                chunk_size: Optional[int]) -> List[BlockRange]:
+    """Inclusive, contiguous chunk ranges covering the block span."""
+    if last_block < first_block:
+        return []
+    size = chunk_size if chunk_size and chunk_size > 0 else \
+        last_block - first_block + 1
+    return [(lo, min(lo + size - 1, last_block))
+            for lo in range(first_block, last_block + 1, size)]
+
+
+def _clip_ranges(ranges: Any, first_block: int,
+                 last_block: int) -> Tuple[BlockRange, ...]:
+    """Ranges intersected with the run span; empty intersections drop."""
+    clipped = []
+    for lo, hi in ranges or ():
+        lo, hi = max(int(lo), first_block), min(int(hi), last_block)
+        if lo <= hi:
+            clipped.append((lo, hi))
+    return tuple(sorted(clipped))
+
+
+def _blocks_in(ranges: Tuple[BlockRange, ...]) -> int:
+    return sum(hi - lo + 1 for lo, hi in ranges)
 
 
 class MevInspector:
@@ -35,29 +85,168 @@ class MevInspector:
         self.flashbots_api = flashbots_api
         self.observer = observer
 
+    # The run -------------------------------------------------------------
+
     def run(self, from_block: Optional[int] = None,
-            to_block: Optional[int] = None) -> MevDataset:
-        """Detect all MEV in the range and apply every join."""
-        dataset = MevDataset(
-            sandwiches=detect_sandwiches(self.node, self.prices,
-                                         from_block, to_block),
-            arbitrages=detect_arbitrages(self.node, self.prices,
-                                         from_block, to_block),
-            liquidations=detect_liquidations(self.node, self.prices,
-                                             from_block, to_block),
-        )
-        self._join_flash_loans(dataset, from_block, to_block)
+            to_block: Optional[int] = None,
+            chunk_size: Optional[int] = None,
+            checkpoint: Union[CheckpointStore, str, Path, None] = None,
+            resume: bool = False) -> MevDataset:
+        """Detect all MEV in the range and apply every join.
+
+        With ``chunk_size`` the range is processed in that many blocks at
+        a time; with ``checkpoint`` each completed chunk is persisted and
+        ``resume=True`` continues a crashed run from where it stopped.
+        The chunked (and resumed) run is record-identical to a one-shot
+        run over the same range.
+        """
+        store = self._store(checkpoint)
+        bounds = self._resolve_range(from_block, to_block)
+        if bounds is None:
+            dataset = MevDataset()
+            dataset.quality = DataQualityReport()
+            return dataset
+        first, last = bounds
+        chunks = plan_chunks(first, last, chunk_size)
+
+        quality = DataQualityReport(
+            from_block=first, to_block=last,
+            chunk_size=chunk_size or (last - first + 1),
+            chunks_total=len(chunks))
+        state = self._load_state(store, first, last, chunk_size, resume,
+                                 quality)
+
+        failed: List[BlockRange] = []
+        for chunk in chunks:
+            chunk_key = f"{chunk[0]}-{chunk[1]}"
+            if chunk_key in state:
+                continue
+            partial = self._detect_chunk(chunk, failed)
+            if partial is None:
+                continue
+            state[chunk_key] = partial
+            if store is not None:
+                self._save_state(store, first, last, chunk_size, state)
+
+        dataset = self._assemble(chunks, state)
+        self._apply_joins(dataset, chunks, state, quality)
+        # Quality is finalized after the joins so the snapshot of each
+        # source's retry/breaker counters includes the join traffic.
+        self._finish_quality(quality, chunks, state, failed)
+        dataset.quality = quality
+        return dataset
+
+    # Range & chunk machinery ---------------------------------------------
+
+    @staticmethod
+    def _store(checkpoint: Union[CheckpointStore, str, Path, None],
+               ) -> Optional[CheckpointStore]:
+        if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+            return checkpoint
+        return CheckpointStore(checkpoint)
+
+    def _resolve_range(self, from_block: Optional[int],
+                       to_block: Optional[int],
+                       ) -> Optional[BlockRange]:
+        first = from_block if from_block is not None else \
+            self.node.earliest_block_number()
+        last = to_block if to_block is not None else \
+            self.node.latest_block_number()
+        if first is None or last is None or last < first:
+            return None
+        return (first, last)
+
+    def _detect_chunk(self, chunk: BlockRange,
+                      failed: List[BlockRange],
+                      ) -> Optional[Dict[str, Any]]:
+        """One chunk's detections as a checkpointable payload.
+
+        Returns ``None`` (and records the failed range) when the archive
+        cannot serve the chunk even through the resilience layer.
+        """
+        lo, hi = chunk
+        try:
+            partial = MevDataset(
+                sandwiches=detect_sandwiches(self.node, self.prices,
+                                             lo, hi),
+                arbitrages=detect_arbitrages(self.node, self.prices,
+                                             lo, hi),
+                liquidations=detect_liquidations(self.node, self.prices,
+                                                 lo, hi),
+            )
+            flash_txs = detect_flash_loan_txs(self.node, lo, hi)
+        except CHUNK_FAILURES:
+            failed.append(chunk)
+            return None
+        return {"rows": partial.to_rows(),
+                "flash_txs": sorted(flash_txs)}
+
+    @staticmethod
+    def _load_state(store: Optional[CheckpointStore], first: int,
+                    last: int, chunk_size: Optional[int], resume: bool,
+                    quality: DataQualityReport) -> Dict[str, Any]:
+        if store is None or not resume:
+            return {}
+        document = store.load()
+        if document is None:
+            return {}
+        expected = {"from_block": first, "to_block": last,
+                    "chunk_size": chunk_size}
+        actual = {key: document.get(key) for key in expected}
+        if actual != expected:
+            raise CheckpointError(
+                f"checkpoint {store.path} was written for "
+                f"{actual}, cannot resume a run over {expected}")
+        state = dict(document.get("chunks") or {})
+        quality.resumed = True
+        quality.chunks_resumed = len(state)
+        return state
+
+    @staticmethod
+    def _save_state(store: CheckpointStore, first: int, last: int,
+                    chunk_size: Optional[int],
+                    state: Dict[str, Any]) -> None:
+        store.save({"from_block": first, "to_block": last,
+                    "chunk_size": chunk_size, "chunks": state})
+
+    @staticmethod
+    def _assemble(chunks: List[BlockRange],
+                  state: Dict[str, Any]) -> MevDataset:
+        """Completed chunks merged in block order."""
+        dataset = MevDataset()
+        for chunk in chunks:
+            payload = state.get(f"{chunk[0]}-{chunk[1]}")
+            if payload is None:
+                continue
+            for row in payload["rows"]:
+                dataset.add_row(row)
+        return dataset
+
+    # Joins ---------------------------------------------------------------
+
+    def _apply_joins(self, dataset: MevDataset,
+                     chunks: List[BlockRange], state: Dict[str, Any],
+                     quality: DataQualityReport) -> None:
+        flash_txs: Set[str] = set()
+        for chunk in chunks:
+            payload = state.get(f"{chunk[0]}-{chunk[1]}")
+            if payload is not None:
+                flash_txs.update(payload["flash_txs"])
+        self._join_flash_loans(dataset, flash_txs)
         if self.flashbots_api is not None:
             annotate_flashbots(dataset, self.flashbots_api)
         if self.observer is not None:
             annotate_privacy(dataset, self.observer)
-        return dataset
+        quality.unknown_flashbots_records = sum(
+            1 for record in dataset.all_records()
+            if record.via_flashbots is None)
+        quality.unobserved_records = sum(
+            1 for record in dataset.all_records()
+            if record.privacy == "unobserved")
 
-    def _join_flash_loans(self, dataset: MevDataset,
-                          from_block: Optional[int],
-                          to_block: Optional[int]) -> None:
-        flash_txs = detect_flash_loan_txs(self.node, from_block,
-                                          to_block)
+    @staticmethod
+    def _join_flash_loans(dataset: MevDataset,
+                          flash_txs: Set[str]) -> None:
         if not flash_txs:
             return
         for record in dataset.arbitrages:
@@ -69,3 +258,59 @@ class MevInspector:
         for record in dataset.sandwiches:
             record.via_flashloan = (record.front_tx in flash_txs
                                     or record.back_tx in flash_txs)
+
+    # Quality accounting --------------------------------------------------
+
+    def _finish_quality(self, quality: DataQualityReport,
+                        chunks: List[BlockRange], state: Dict[str, Any],
+                        failed: List[BlockRange]) -> None:
+        first, last = quality.from_block, quality.to_block
+        total_blocks = last - first + 1
+        quality.chunks_completed = sum(
+            1 for chunk in chunks if f"{chunk[0]}-{chunk[1]}" in state)
+        quality.failed_ranges = tuple(sorted(failed))
+
+        archive = quality.source("archive")
+        covered = total_blocks - _blocks_in(quality.failed_ranges)
+        archive.coverage = covered / total_blocks
+        archive.gap_ranges = quality.failed_ranges
+        self._apply_caller_stats(archive, self.node)
+
+        if self.flashbots_api is not None:
+            flashbots = quality.source("flashbots")
+            gaps = _clip_ranges(
+                self._coverage_gaps(self.flashbots_api), first, last)
+            flashbots.gap_ranges = gaps
+            flashbots.coverage = \
+                (total_blocks - _blocks_in(gaps)) / total_blocks
+            self._apply_caller_stats(flashbots, self.flashbots_api)
+
+        if self.observer is not None:
+            mempool = quality.source("mempool")
+            observed_coverage = getattr(self.observer,
+                                        "observed_coverage", None)
+            if observed_coverage is not None:
+                mempool.coverage = observed_coverage()
+            mempool.gap_ranges = _clip_ranges(
+                getattr(self.observer, "downtime_ranges", ()),
+                first, last)
+            self._apply_caller_stats(mempool, self.observer)
+
+    @staticmethod
+    def _coverage_gaps(api: FlashbotsBlocksApi) -> List[BlockRange]:
+        coverage_gaps = getattr(api, "coverage_gaps", None)
+        return [] if coverage_gaps is None else list(coverage_gaps())
+
+    @staticmethod
+    def _apply_caller_stats(entry: SourceQuality, source: object) -> None:
+        """Copy retry/breaker counters off a ``Reliable*`` wrapper."""
+        caller = getattr(source, "caller", None)
+        if caller is None:
+            return
+        stats = caller.stats
+        entry.requests = stats.requests
+        entry.retries = stats.retries
+        entry.failed_attempts = stats.failed_attempts
+        entry.exhausted = stats.exhausted
+        entry.simulated_backoff_s = stats.simulated_backoff_s
+        entry.breaker_trips = caller.breaker_trips

@@ -9,7 +9,13 @@ other private-pool transactions is impossible, and frontrunning Flashbots
 transactions is disallowed).
 
 Classification is only meaningful inside the observation window — outside
-it, absence from the trace means "not collected", not "private".
+it, absence from the trace means "not collected", not "private".  The same
+honesty applies to collector *downtime*: when the observer was down while
+a transaction would have been pending, its absence from the trace proves
+nothing, so absence-based labels become ``'unobserved'`` instead of a
+silent ``'private'`` (or a silently wrong ``'public'``).  Positive
+observations are still trusted — a transaction the trace *did* capture
+was public no matter what happened around it.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.core.datasets import (
     PRIVACY_FLASHBOTS,
     PRIVACY_PRIVATE,
     PRIVACY_PUBLIC,
+    PRIVACY_UNOBSERVED,
     SandwichRecord,
 )
 
@@ -39,6 +46,20 @@ def in_window(observer: MempoolObserver, block_number: int) -> bool:
     return observer.in_window(block_number)
 
 
+def absence_unprovable(observer: MempoolObserver,
+                       block_number: int) -> bool:
+    """Whether collector downtime voids absence-based inference here.
+
+    A transaction mined in ``block_number`` was pending in the blocks
+    just before it; if the collector was down anywhere in that pending
+    window, "never seen" cannot be distinguished from "not collected".
+    """
+    was_down = getattr(observer, "was_down", None)
+    if was_down is None:
+        return False
+    return was_down(block_number) or was_down(block_number - 1)
+
+
 def sandwich_privacy(record: SandwichRecord,
                      observer: MempoolObserver) -> Optional[str]:
     """Privacy label for a sandwich (paper's three-way split).
@@ -47,16 +68,21 @@ def sandwich_privacy(record: SandwichRecord,
     'private' when both legs are absent from the pending trace *and* the
     victim was publicly observed; 'public' when both legs were observed.
     Mixed observations (one leg seen) default to 'public' — the attack
-    plainly traversed the public mempool.
+    plainly traversed the public mempool.  When the collector was down
+    around the block and either attacker leg is absent from the trace,
+    the split is unprovable and the label is 'unobserved'.
     """
     if not observer.in_window(record.block_number):
         return None
     if record.via_flashbots:
         return PRIVACY_FLASHBOTS
-    front_private = not observer.was_observed(record.front_tx)
-    back_private = not observer.was_observed(record.back_tx)
-    victim_public = observer.was_observed(record.victim_tx)
-    if front_private and back_private and victim_public:
+    front_seen = observer.was_observed(record.front_tx)
+    back_seen = observer.was_observed(record.back_tx)
+    victim_seen = observer.was_observed(record.victim_tx)
+    if not (front_seen and back_seen) and \
+            absence_unprovable(observer, record.block_number):
+        return PRIVACY_UNOBSERVED
+    if not front_seen and not back_seen and victim_seen:
         return PRIVACY_PRIVATE
     return PRIVACY_PUBLIC
 
@@ -68,7 +94,11 @@ def single_tx_privacy(record: Union[ArbitrageRecord, LiquidationRecord],
         return None
     if record.via_flashbots:
         return PRIVACY_FLASHBOTS
-    return classify_tx(record.tx_hash, observer)
+    if observer.was_observed(record.tx_hash):
+        return PRIVACY_PUBLIC
+    if absence_unprovable(observer, record.block_number):
+        return PRIVACY_UNOBSERVED
+    return PRIVACY_PRIVATE
 
 
 def annotate_privacy(dataset: MevDataset,

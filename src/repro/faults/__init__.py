@@ -1,0 +1,50 @@
+"""``repro.faults`` — deterministic fault injection for the data sources.
+
+The paper's measurement ran against three imperfect sources: a
+go-ethereum archive node, a lossy ``pendingTransactions`` trace
+(Section 6.1 explicitly models missed transactions), and the public
+Flashbots blocks dataset, which the authors note has gaps.  This package
+reproduces those failure modes *on purpose*: transport facades wrap each
+source and inject transient errors, timeouts, truncated/malformed
+responses, dataset gaps, and observer downtime according to a seeded
+:class:`FaultPlan`.
+
+Every injected fault is a pure function of ``(seed, source, operation,
+key)``, so a chaos run replays bit-for-bit — the same property the rest
+of the simulator guarantees (lint rule R002).  The defenses live in
+:mod:`repro.reliability`; this package only breaks things.
+"""
+
+from repro.faults.errors import (
+    DataSourceError,
+    MalformedResponseError,
+    SourceGapError,
+    TransportError,
+    TransportTimeout,
+)
+from repro.faults.plan import (
+    FAULT_PROFILES,
+    FaultDecision,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.transports import (
+    FaultyArchiveNode,
+    FaultyFlashbotsApi,
+    FaultyMempoolObserver,
+)
+
+__all__ = [
+    "DataSourceError",
+    "FAULT_PROFILES",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyArchiveNode",
+    "FaultyFlashbotsApi",
+    "FaultyMempoolObserver",
+    "MalformedResponseError",
+    "SourceGapError",
+    "TransportError",
+    "TransportTimeout",
+]

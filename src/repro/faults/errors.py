@@ -1,0 +1,40 @@
+"""Exception taxonomy for data-source failures.
+
+The split that matters operationally is *retryable* versus not: a
+dropped connection or a garbled response is worth retrying, a block the
+source permanently lacks is not.  :mod:`repro.reliability` keys its
+retry decisions off the ``retryable`` flag rather than off concrete
+classes, so new failure modes slot in without touching the retry layer.
+"""
+
+from __future__ import annotations
+
+
+class DataSourceError(Exception):
+    """Base class for transport-level failures of a measurement source."""
+
+    #: whether a retry can plausibly succeed
+    retryable = True
+
+
+class TransportError(DataSourceError):
+    """Transient connection failure (reset, refused, 5xx)."""
+
+
+class TransportTimeout(DataSourceError):
+    """The source did not answer within the request deadline."""
+
+
+class MalformedResponseError(DataSourceError):
+    """The response arrived truncated or failed payload validation.
+
+    The paper's crawlers saw these as half-written JSON from the
+    Flashbots API and RPC responses cut mid-stream; detection happens at
+    the client, so the request is safely retryable.
+    """
+
+
+class SourceGapError(DataSourceError):
+    """The source permanently lacks the requested data (no retry helps)."""
+
+    retryable = False

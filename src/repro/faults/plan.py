@@ -1,0 +1,220 @@
+"""Seeded fault plans: *what* fails, *where*, and *how often*.
+
+A :class:`FaultPlan` is the single source of truth for a chaos run.  It
+is pure data plus a deterministic decision function: for every
+``(source, operation, key)`` triple it answers "how many attempts fail
+before one succeeds, and with which error".  The decision is derived by
+seeding a private ``random.Random`` with the string
+``"{seed}:{source}:{op}:{key}"`` — CPython seeds string inputs through
+SHA-512, so the answer is stable across processes and hash seeds, and
+independent of the order in which the pipeline happens to ask.
+
+Unrecoverable conditions are expressed as *ranges*, matching how they
+occurred in the real study: the Flashbots dataset has gap block ranges,
+the pending-transaction observer had downtime windows, and an archive
+node can lose a span of history (used by the crash/resume tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+BlockRange = Tuple[int, int]
+
+#: injected error kinds, in the order specs carve up their probability
+KIND_ERROR = "error"
+KIND_TIMEOUT = "timeout"
+KIND_MALFORMED = "malformed"
+
+#: CLI-facing preset names (see :meth:`FaultPlan.from_profile`).
+FAULT_PROFILES = ("none", "transient", "gaps", "outage", "chaos")
+
+#: the three sources the paper's pipeline depends on
+SOURCE_ARCHIVE = "archive"
+SOURCE_MEMPOOL = "mempool"
+SOURCE_FLASHBOTS = "flashbots"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """Outcome of the plan for one ``(source, op, key)`` triple."""
+
+    #: attempts that fail before the first success (0 = healthy)
+    failures: int = 0
+    #: which error class the failing attempts raise
+    kind: str = KIND_ERROR
+
+    @property
+    def faulty(self) -> bool:
+        return self.failures > 0
+
+
+#: the no-fault decision, shared to avoid allocation on the hot path
+NO_FAULT = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-source transient-fault behaviour.
+
+    ``fault_rate`` is the share of *operation keys* that misbehave at
+    all; a faulty key fails its first 1..``max_failures`` attempts and
+    then recovers — the shape a retry policy is designed to absorb.
+    ``timeout_share`` and ``malformed_share`` carve the faulty mass into
+    error kinds; the remainder raises plain transport errors.
+    """
+
+    fault_rate: float = 0.0
+    max_failures: int = 2
+    timeout_share: float = 0.25
+    malformed_share: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be within [0, 1]")
+        if self.max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        if self.timeout_share + self.malformed_share > 1.0:
+            raise ValueError("error-kind shares must sum to <= 1")
+
+
+def _normalise_ranges(ranges: Iterable[BlockRange]) -> \
+        Tuple[BlockRange, ...]:
+    """Sorted, validated ``(lo, hi)`` inclusive block ranges."""
+    cleaned: List[BlockRange] = []
+    for lo, hi in ranges:
+        if hi < lo:
+            raise ValueError(f"bad block range ({lo}, {hi})")
+        cleaned.append((int(lo), int(hi)))
+    return tuple(sorted(cleaned))
+
+
+def _in_ranges(block_number: int,
+               ranges: Tuple[BlockRange, ...]) -> bool:
+    return any(lo <= block_number <= hi for lo, hi in ranges)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of a chaos scenario."""
+
+    seed: int = 0
+    archive: FaultSpec = field(default_factory=FaultSpec)
+    mempool: FaultSpec = field(default_factory=FaultSpec)
+    flashbots: FaultSpec = field(default_factory=FaultSpec)
+    #: blocks missing from the Flashbots public dataset (inclusive)
+    flashbots_gaps: Tuple[BlockRange, ...] = ()
+    #: blocks during which the pending-tx observer was down
+    observer_downtime: Tuple[BlockRange, ...] = ()
+    #: block spans the archive node cannot serve at all (unrecoverable)
+    archive_blackouts: Tuple[BlockRange, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "flashbots_gaps",
+                           _normalise_ranges(self.flashbots_gaps))
+        object.__setattr__(self, "observer_downtime",
+                           _normalise_ranges(self.observer_downtime))
+        object.__setattr__(self, "archive_blackouts",
+                           _normalise_ranges(self.archive_blackouts))
+
+    # Transient-fault decisions -------------------------------------------
+
+    def spec_for(self, source: str) -> FaultSpec:
+        specs: Dict[str, FaultSpec] = {SOURCE_ARCHIVE: self.archive,
+                                       SOURCE_MEMPOOL: self.mempool,
+                                       SOURCE_FLASHBOTS: self.flashbots}
+        try:
+            return specs[source]
+        except KeyError:
+            raise ValueError(f"unknown fault source {source!r}")
+
+    def decide(self, source: str, op: str, key: str) -> FaultDecision:
+        """Deterministic verdict for one operation key.
+
+        Independent of call order and process: the verdict is a pure
+        function of ``(seed, source, op, key)``.
+        """
+        spec = self.spec_for(source)
+        if spec.fault_rate <= 0.0:
+            return NO_FAULT
+        rng = random.Random(f"{self.seed}:{source}:{op}:{key}")
+        if rng.random() >= spec.fault_rate:
+            return NO_FAULT
+        failures = 1 + rng.randrange(spec.max_failures)
+        roll = rng.random()
+        if roll < spec.timeout_share:
+            kind = KIND_TIMEOUT
+        elif roll < spec.timeout_share + spec.malformed_share:
+            kind = KIND_MALFORMED
+        else:
+            kind = KIND_ERROR
+        return FaultDecision(failures=failures, kind=kind)
+
+    # Unrecoverable-range queries -----------------------------------------
+
+    def in_flashbots_gap(self, block_number: int) -> bool:
+        return _in_ranges(block_number, self.flashbots_gaps)
+
+    def in_observer_downtime(self, block_number: int) -> bool:
+        return _in_ranges(block_number, self.observer_downtime)
+
+    def in_archive_blackout(self, block_number: int) -> bool:
+        return _in_ranges(block_number, self.archive_blackouts)
+
+    def blackout_overlap(self, from_block: Optional[int],
+                         to_block: Optional[int]) -> Optional[BlockRange]:
+        """First blackout range intersecting ``[from_block, to_block]``."""
+        for lo, hi in self.archive_blackouts:
+            if (from_block is None or from_block <= hi) and \
+                    (to_block is None or to_block >= lo):
+                return (lo, hi)
+        return None
+
+    # Presets ----------------------------------------------------------------
+
+    @classmethod
+    def quiet(cls, seed: int = 0) -> "FaultPlan":
+        """No faults at all (useful as the resume-after-outage plan)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def transient(cls, seed: int, fault_rate: float = 0.08,
+                  max_failures: int = 2) -> "FaultPlan":
+        """Flaky-but-recoverable sources: retries fully mask the faults."""
+        spec = FaultSpec(fault_rate=fault_rate, max_failures=max_failures)
+        return cls(seed=seed, archive=spec, mempool=spec, flashbots=spec)
+
+    @classmethod
+    def from_profile(cls, profile: str, seed: int,
+                     first_block: int, last_block: int) -> "FaultPlan":
+        """Build a named scenario over a concrete block span.
+
+        Range-shaped faults (gaps, downtime) are carved out of the span
+        deterministically from the seed, each roughly a tenth of it.
+        """
+        if profile not in FAULT_PROFILES:
+            raise ValueError(f"unknown fault profile {profile!r}; "
+                             f"expected one of {FAULT_PROFILES}")
+        if profile == "none":
+            return cls.quiet(seed)
+        if profile == "transient":
+            return cls.transient(seed)
+        span = max(1, last_block - first_block + 1)
+        width = max(1, span // 10)
+        rng = random.Random(f"{seed}:profile:{profile}")
+
+        def carve() -> BlockRange:
+            lo = first_block + rng.randrange(max(1, span - width))
+            return (lo, min(last_block, lo + width - 1))
+
+        if profile == "gaps":
+            return cls(seed=seed, flashbots_gaps=(carve(),))
+        if profile == "outage":
+            return cls(seed=seed, observer_downtime=(carve(),))
+        # chaos: everything at once
+        spec = FaultSpec(fault_rate=0.08, max_failures=2)
+        return cls(seed=seed, archive=spec, mempool=spec,
+                   flashbots=spec, flashbots_gaps=(carve(),),
+                   observer_downtime=(carve(),))

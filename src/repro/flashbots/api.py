@@ -10,10 +10,13 @@ keeps the same rows and offers the same join surface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.chain.types import Address, Hash32
 from repro.flashbots.mev_geth import IncludedBundle
+
+#: An inclusive ``(first_block, last_block)`` span.
+BlockRange = Tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -44,30 +47,72 @@ class FlashbotsBlocksApi:
     def __init__(self) -> None:
         self._blocks: Dict[int, ApiBlock] = {}
         self._tx_index: Dict[Hash32, ApiTransaction] = {}
+        self._gaps: Tuple[BlockRange, ...] = ()
 
     # Ingestion (called by the simulation when a Flashbots block lands) ---
 
     def record_block(self, block_number: int, miner: Address,
                      included: List[IncludedBundle]) -> None:
+        """Ingest one mined block's bundle rows.
+
+        Idempotent on byte-identical replays: re-recording a block with
+        the same miner and bundles is a no-op (a resumed crawl replays
+        its tail), while a *conflicting* re-record still raises.
+        """
         if not included:
             return
-        if block_number in self._blocks:
-            raise ValueError(f"block {block_number} already recorded")
         rows: List[ApiTransaction] = []
         reward = 0
         for bundle_index, item in enumerate(included):
             reward += item.miner_payment
             for tx_index, tx in enumerate(item.bundle.transactions):
-                row = ApiTransaction(tx_hash=tx.hash,
-                                     bundle_id=item.bundle.bundle_id,
-                                     bundle_type=item.bundle.bundle_type,
-                                     bundle_index=bundle_index,
-                                     tx_index_in_bundle=tx_index)
-                rows.append(row)
-                self._tx_index[tx.hash] = row
-        self._blocks[block_number] = ApiBlock(
+                rows.append(ApiTransaction(
+                    tx_hash=tx.hash,
+                    bundle_id=item.bundle.bundle_id,
+                    bundle_type=item.bundle.bundle_type,
+                    bundle_index=bundle_index,
+                    tx_index_in_bundle=tx_index))
+        block = ApiBlock(
             block_number=block_number, miner=miner, miner_reward=reward,
             bundle_count=len(included), transactions=tuple(rows))
+        existing = self._blocks.get(block_number)
+        if existing is not None:
+            if existing == block:
+                return
+            raise ValueError(
+                f"block {block_number} already recorded with "
+                "different contents")
+        self._blocks[block_number] = block
+        for row in rows:
+            self._tx_index[row.tx_hash] = row
+
+    # Coverage ------------------------------------------------------------
+
+    def declare_gaps(self, ranges: Iterable[BlockRange]) -> None:
+        """Mark block spans the dataset is known to be missing.
+
+        The paper notes the public dataset has holes; a declared gap
+        makes ``has_block_data`` honest: inside it, "no row" means
+        "unknown", not "non-Flashbots".
+        """
+        merged = list(self._gaps)
+        for lo, hi in ranges:
+            if hi < lo:
+                raise ValueError(f"bad gap range ({lo}, {hi})")
+            merged.append((int(lo), int(hi)))
+        self._gaps = tuple(sorted(set(merged)))
+
+    def has_block_data(self, block_number: int) -> bool:
+        """Whether the dataset's coverage includes this block.
+
+        ``True`` means absence of a row is conclusive (the block was not
+        a Flashbots block); ``False`` means the block falls in a known
+        gap and nothing can be said either way.
+        """
+        return not any(lo <= block_number <= hi for lo, hi in self._gaps)
+
+    def coverage_gaps(self) -> List[BlockRange]:
+        return list(self._gaps)
 
     # Public dataset queries ---------------------------------------------------
 

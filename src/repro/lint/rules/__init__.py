@@ -5,6 +5,7 @@ from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.layering import LayeringRule
 from repro.lint.rules.event_schema import EventSchemaRule
 from repro.lint.rules.api_hygiene import ApiHygieneRule
+from repro.lint.rules.silent_except import SilentExceptRule
 
 __all__ = [
     "WeiSafetyRule",
@@ -12,4 +13,5 @@ __all__ = [
     "LayeringRule",
     "EventSchemaRule",
     "ApiHygieneRule",
+    "SilentExceptRule",
 ]

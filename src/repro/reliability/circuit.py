@@ -1,0 +1,80 @@
+"""Per-source circuit breaker with half-open probing.
+
+A breaker stops a persistently failing source from dragging the whole
+run through its full retry schedule on every single operation.  After
+``failure_threshold`` consecutive failed attempts it *opens*: calls fail
+fast with :class:`CircuitOpenError`.  Cooldown is measured in rejected
+*calls* rather than wall-clock seconds — the reproduction has no clock
+to burn (lint rule R002), and call counts replay deterministically.
+After ``cooldown_calls`` rejections the breaker goes *half-open* and
+lets exactly one probe through; a successful probe closes the breaker,
+a failed one re-opens it for another cooldown.
+"""
+
+from __future__ import annotations
+
+from repro.faults.errors import DataSourceError
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(DataSourceError):
+    """Fail-fast rejection while the breaker is open.
+
+    Not retryable *within* the current operation: the breaker exists to
+    stop retry storms, so the retry layer must give up immediately and
+    let the pipeline degrade (skip the chunk, report the gap).
+    """
+
+    retryable = False
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker, cooled down in call counts."""
+
+    def __init__(self, source: str, failure_threshold: int = 5,
+                 cooldown_calls: int = 10) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_calls < 1:
+            raise ValueError("cooldown_calls must be >= 1")
+        self.source = source
+        self.failure_threshold = failure_threshold
+        self.cooldown_calls = cooldown_calls
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.trip_count = 0
+        self._rejections_left = 0
+
+    def before_call(self) -> None:
+        """Gate one attempt: raises :class:`CircuitOpenError` when open."""
+        if self.state != STATE_OPEN:
+            return
+        if self._rejections_left <= 0:
+            self.state = STATE_HALF_OPEN
+            return  # let this probe attempt through
+        self._rejections_left -= 1
+        raise CircuitOpenError(
+            f"circuit for source {self.source!r} is open "
+            f"({self._rejections_left + 1} rejections before probe)")
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state == STATE_HALF_OPEN:
+            self.state = STATE_CLOSED
+
+    def record_failure(self) -> None:
+        if self.state == STATE_HALF_OPEN:
+            self._trip()
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = STATE_OPEN
+        self.trip_count += 1
+        self.consecutive_failures = 0
+        self._rejections_left = self.cooldown_calls

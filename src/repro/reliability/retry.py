@@ -1,0 +1,106 @@
+"""Retry with exponential backoff and seeded jitter.
+
+Backoff delays are *simulated*: the policy computes and records the
+schedule (so the :class:`DataQualityReport` can state how much waiting a
+real deployment would have done) but does not sleep by default — a
+deterministic reproduction has no wall clock to burn (lint rule R002).
+A production deployment injects a real ``sleeper`` callable.
+
+Jitter is drawn from a ``random.Random`` seeded with
+``"retry:{seed}:{key}"``, never from ambient entropy, so the exact
+backoff schedule — like everything else in a seeded run — replays
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.faults.errors import DataSourceError
+
+
+class RetryExhaustedError(Exception):
+    """Every attempt failed; carries the final underlying error."""
+
+    def __init__(self, key: str, attempts: int,
+                 last_error: Optional[BaseException]) -> None:
+        super().__init__(
+            f"operation {key!r} failed after {attempts} attempts: "
+            f"{last_error!r}")
+        self.key = key
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a retry can plausibly succeed for this failure."""
+    if isinstance(error, DataSourceError):
+        return error.retryable
+    return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: ``base_delay * multiplier**n``, jittered.
+
+    ``jitter`` is the +/- fraction applied to each delay; the draw is
+    seeded per operation key, keeping retried runs deterministic.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def backoff_delays(self, key: str) -> List[float]:
+        """The full jittered backoff schedule for one operation key.
+
+        ``len(result) == max_attempts - 1`` — one delay between each
+        pair of consecutive attempts.
+        """
+        rng = random.Random(f"retry:{self.seed}:{key}")
+        delays: List[float] = []
+        for attempt in range(self.max_attempts - 1):
+            raw = min(self.max_delay,
+                      self.base_delay * (self.multiplier ** attempt))
+            spread = raw * self.jitter
+            delays.append(raw + rng.uniform(-spread, spread))
+        return delays
+
+    def call(self, key: str, operation: Callable[[], object],
+             on_retry: Optional[Callable[[BaseException, float], None]]
+             = None,
+             sleeper: Optional[Callable[[float], None]] = None) -> object:
+        """Run ``operation`` under this policy.
+
+        Non-retryable errors propagate immediately; retryable ones are
+        re-attempted along the backoff schedule.  ``on_retry(error,
+        delay)`` fires before each re-attempt (stats hooks);
+        ``sleeper(delay)`` actually waits, when provided.
+        """
+        delays = self.backoff_delays(key)
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return operation()
+            except DataSourceError as error:
+                if not is_retryable(error):
+                    raise
+                last_error = error
+            if attempt < len(delays):
+                delay = delays[attempt]
+                if on_retry is not None:
+                    on_retry(last_error, delay)
+                if sleeper is not None:
+                    sleeper(delay)
+        raise RetryExhaustedError(key, self.max_attempts, last_error)

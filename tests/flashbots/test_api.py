@@ -45,12 +45,24 @@ class TestRecording:
         api.record_block(5, MINER, [])
         assert not api.is_flashbots_block(5)
 
-    def test_double_record_rejected(self):
+    def test_identical_replay_is_idempotent(self):
+        """A resumed crawl replays its tail; byte-identical re-records
+        must be accepted silently."""
+        api = FlashbotsBlocksApi()
+        included = mined_bundles()
+        api.record_block(5, MINER, included)
+        api.record_block(5, MINER, included)
+        assert api.block_count() == 1
+        assert api.bundle_count() == 2
+
+    def test_conflicting_record_rejected(self):
         api = FlashbotsBlocksApi()
         included = mined_bundles()
         api.record_block(5, MINER, included)
         with pytest.raises(ValueError):
-            api.record_block(5, MINER, included)
+            api.record_block(5, "0x" + "99" * 20, included)
+        with pytest.raises(ValueError):
+            api.record_block(5, MINER, included[:1])
 
     def test_miner_reward_totals_bundle_payments(self):
         api = FlashbotsBlocksApi()

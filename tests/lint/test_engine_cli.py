@@ -100,14 +100,16 @@ allow = ["repro.sim.calendar"]
             ["repro.sim.calendar"]
 
     def test_missing_section_yields_defaults(self, tmp_path):
+        from repro.lint.config import DEFAULT_RULES
         (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
         config = load_config(search_from=tmp_path)
-        assert config.enable == ["R001", "R002", "R003", "R004", "R005"]
+        assert config.enable == list(DEFAULT_RULES)
 
     def test_repo_pyproject_enables_all_rules(self):
+        from repro.lint.config import DEFAULT_RULES
         from tests.lint.conftest import REPO_ROOT
         config = load_config(pyproject=REPO_ROOT / "pyproject.toml")
-        assert config.enable == ["R001", "R002", "R003", "R004", "R005"]
+        assert config.enable == list(DEFAULT_RULES)
 
 
 class TestCli:

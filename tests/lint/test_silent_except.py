@@ -1,0 +1,111 @@
+"""R006 — silent-exception-swallow positives and negatives."""
+
+from tests.lint.conftest import run_lint, rule_ids
+
+
+class TestPositive:
+    def test_bare_except_flagged(self):
+        findings = run_lint(
+            """
+            def load(path: str) -> str:
+                try:
+                    return open(path).read()
+                except:
+                    return ""
+            """, module="repro.core.loader", rules=["R006"])
+        assert rule_ids(findings) == ["R006"]
+        assert "bare 'except:'" in findings[0].message
+
+    def test_broad_pass_flagged(self):
+        findings = run_lint(
+            """
+            def fetch(source: object) -> None:
+                try:
+                    source.pull()
+                except Exception:
+                    pass
+            """, module="repro.chain.fetch", rules=["R006"])
+        assert rule_ids(findings) == ["R006"]
+        assert "silently discards" in findings[0].message
+
+    def test_base_exception_ellipsis_flagged(self):
+        findings = run_lint(
+            """
+            def poll(source: object) -> None:
+                try:
+                    source.poll()
+                except BaseException:
+                    ...
+            """, module="repro.flashbots.poll", rules=["R006"])
+        assert rule_ids(findings) == ["R006"]
+
+    def test_broad_in_tuple_with_noop_body_flagged(self):
+        findings = run_lint(
+            """
+            def probe(source: object) -> None:
+                try:
+                    source.probe()
+                except (ValueError, Exception):
+                    pass
+            """, module="repro.core.probe", rules=["R006"])
+        assert rule_ids(findings) == ["R006"]
+
+
+class TestNegative:
+    def test_narrow_handler_ok(self):
+        findings = run_lint(
+            """
+            def clear(path: object) -> None:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    return
+            """, module="repro.reliability.cleanup", rules=["R006"])
+        assert findings == []
+
+    def test_broad_handler_that_acts_ok(self):
+        findings = run_lint(
+            """
+            def guarded(op: object, stats: object) -> object:
+                try:
+                    return op()
+                except Exception:
+                    stats.failures += 1
+                    raise
+            """, module="repro.reliability.calls", rules=["R006"])
+        assert findings == []
+
+    def test_narrow_pass_ok(self):
+        """Swallowing a *specific* exception is a judgement call the
+        rule leaves to review; only broad swallows are mechanical."""
+        findings = run_lint(
+            """
+            def tidy(queue: object) -> None:
+                try:
+                    queue.drain()
+                except KeyError:
+                    pass
+            """, module="repro.chain.queues", rules=["R006"])
+        assert findings == []
+
+    def test_outside_package_ignored(self):
+        findings = run_lint(
+            """
+            def anything() -> None:
+                try:
+                    raise ValueError
+                except:
+                    pass
+            """, module="scripts.helper", rules=["R006"])
+        assert findings == []
+
+    def test_suppression_comment_honoured(self):
+        findings = run_lint(
+            """
+            def best_effort(op: object) -> None:
+                try:
+                    op()
+                except Exception:  # repro-lint: disable=R006
+                    pass
+            """, module="repro.core.opt", rules=["R006"])
+        assert findings == []

@@ -1,0 +1,79 @@
+"""CheckpointStore: atomic replace, version header, loud staleness."""
+
+import json
+
+import pytest
+
+from repro.reliability import CheckpointError, CheckpointStore
+from repro.reliability.checkpoint import CHECKPOINT_VERSION
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "run.ckpt.json")
+
+
+class TestRoundTrip:
+    def test_save_load(self, store):
+        store.save({"from_block": 1, "chunks": {"1-5": {"rows": []}}})
+        document = store.load()
+        assert document["from_block"] == 1
+        assert document["chunks"] == {"1-5": {"rows": []}}
+        assert document["version"] == CHECKPOINT_VERSION
+
+    def test_missing_file_loads_none(self, store):
+        assert store.load() is None
+        assert not store.exists()
+
+    def test_save_overwrites(self, store):
+        store.save({"generation": 1})
+        store.save({"generation": 2})
+        assert store.load()["generation"] == 2
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        nested = CheckpointStore(tmp_path / "a" / "b" / "run.json")
+        nested.save({"ok": True})
+        assert nested.load()["ok"] is True
+
+    def test_clear(self, store):
+        store.save({"x": 1})
+        store.clear()
+        assert store.load() is None
+        store.clear()  # clearing a missing checkpoint is a no-op
+
+
+class TestAtomicity:
+    def test_no_temp_file_left_behind(self, store):
+        store.save({"x": 1})
+        siblings = [p.name for p in store.path.parent.iterdir()]
+        assert siblings == [store.path.name]
+
+    def test_payload_not_mutated(self, store):
+        payload = {"x": 1}
+        store.save(payload)
+        assert payload == {"x": 1}  # version header goes into a copy
+
+
+class TestStaleness:
+    def test_corrupt_json_fails_loudly(self, store):
+        store.path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_non_object_document_rejected(self, store):
+        store.path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_version_mismatch_rejected(self, store):
+        document = {"version": CHECKPOINT_VERSION + 1, "chunks": {}}
+        store.path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(CheckpointError) as excinfo:
+            store.load()
+        assert "version" in str(excinfo.value)
+
+    def test_missing_version_rejected(self, store):
+        store.path.write_text(json.dumps({"chunks": {}}),
+                              encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            store.load()

@@ -1,0 +1,106 @@
+"""CircuitBreaker state machine: closed → open → half-open → closed."""
+
+import pytest
+
+from repro.reliability import CircuitBreaker, CircuitOpenError
+from repro.reliability.circuit import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
+
+
+def make_breaker(threshold=3, cooldown=2):
+    return CircuitBreaker("archive", failure_threshold=threshold,
+                          cooldown_calls=cooldown)
+
+
+class TestClosed:
+    def test_starts_closed_and_permissive(self):
+        breaker = make_breaker()
+        breaker.before_call()  # no raise
+        assert breaker.state == STATE_CLOSED
+        assert breaker.trip_count == 0
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = make_breaker(threshold=3)
+        for _ in range(2):
+            breaker.before_call()
+            breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+    def test_success_resets_consecutive_count(self):
+        breaker = make_breaker(threshold=3)
+        for _ in range(20):  # 2 failures, then a success, forever
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.trip_count == 0
+
+
+class TestTripAndCooldown:
+    def test_threshold_consecutive_failures_trip(self):
+        breaker = make_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.trip_count == 1
+
+    def test_open_breaker_fails_fast(self):
+        breaker = make_breaker(threshold=1, cooldown=5)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_rejection_is_not_retryable(self):
+        """The retry layer must give up immediately on an open breaker
+        — a breaker that gets retried is a breaker that does nothing."""
+        breaker = make_breaker(threshold=1, cooldown=5)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.retryable is False
+
+    def test_cooldown_counted_in_rejected_calls(self):
+        breaker = make_breaker(threshold=1, cooldown=2)
+        breaker.record_failure()
+        for _ in range(2):  # exactly cooldown_calls rejections
+            with pytest.raises(CircuitOpenError):
+                breaker.before_call()
+        breaker.before_call()  # the probe is let through
+        assert breaker.state == STATE_HALF_OPEN
+
+
+class TestHalfOpen:
+    def open_then_probe(self):
+        breaker = make_breaker(threshold=1, cooldown=1)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        breaker.before_call()  # probe admitted
+        assert breaker.state == STATE_HALF_OPEN
+        return breaker
+
+    def test_successful_probe_closes(self):
+        breaker = self.open_then_probe()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+
+    def test_failed_probe_reopens_for_another_cooldown(self):
+        breaker = self.open_then_probe()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.trip_count == 2
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("archive", failure_threshold=0)
+
+    def test_cooldown_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("archive", cooldown_calls=0)

@@ -1,0 +1,121 @@
+"""ResilientCaller + RetryPolicy: retries, breakers, stats accounting."""
+
+import pytest
+
+from repro.faults.errors import SourceGapError, TransportError
+from repro.reliability import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientCaller,
+    RetryExhaustedError,
+    RetryPolicy,
+)
+
+
+class Flaky:
+    """Operation that fails its first ``failures`` calls, then heals."""
+
+    def __init__(self, failures, result="payload"):
+        self.failures = failures
+        self.result = result
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise TransportError(f"injected failure #{self.calls}")
+        return self.result
+
+
+def make_caller(max_attempts=4, threshold=5, cooldown=10):
+    return ResilientCaller(
+        "archive",
+        retry=RetryPolicy(max_attempts=max_attempts, seed=0),
+        breaker=CircuitBreaker("archive", failure_threshold=threshold,
+                               cooldown_calls=cooldown))
+
+
+class TestRetries:
+    def test_transient_failures_are_absorbed(self):
+        caller = make_caller()
+        operation = Flaky(failures=2)
+        assert caller.call("get_block", "17", operation) == "payload"
+        assert operation.calls == 3
+        assert caller.stats.requests == 1
+        assert caller.stats.retries == 2
+        assert caller.stats.failed_attempts == 2
+        assert caller.stats.exhausted == 0
+        assert caller.stats.simulated_backoff_s > 0.0
+
+    def test_exhaustion_surfaces_and_is_counted(self):
+        caller = make_caller(max_attempts=3)
+        with pytest.raises(RetryExhaustedError):
+            caller.call("get_block", "17", Flaky(failures=99))
+        assert caller.stats.exhausted == 1
+        assert caller.stats.failed_attempts == 3
+
+    def test_non_retryable_error_propagates_immediately(self):
+        caller = make_caller()
+        calls = []
+
+        def gapped():
+            calls.append(1)
+            raise SourceGapError("no history here")
+
+        with pytest.raises(SourceGapError):
+            caller.call("iter_blocks", "1-9", gapped)
+        assert len(calls) == 1  # not retried
+        assert caller.stats.exhausted == 1
+
+    def test_backoff_schedule_is_seeded_per_key(self):
+        policy = RetryPolicy(max_attempts=4, seed=3)
+        first = policy.backoff_delays("archive.get_block:17")
+        again = policy.backoff_delays("archive.get_block:17")
+        other = policy.backoff_delays("archive.get_block:18")
+        assert first == again  # deterministic replay
+        assert first != other  # jitter varies by key
+        assert len(first) == 3  # one delay between consecutive attempts
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1,
+                             multiplier=2.0, jitter=0.25, seed=1)
+        for index, delay in enumerate(policy.backoff_delays("k")):
+            raw = min(policy.max_delay, 0.1 * (2.0 ** index))
+            assert raw * 0.75 <= delay <= raw * 1.25
+
+
+class TestBreakerIntegration:
+    def test_persistent_failure_trips_the_breaker(self):
+        """Tripping mid-retry-schedule cuts the schedule short: the
+        next attempt's gate raises the non-retryable rejection."""
+        caller = make_caller(max_attempts=4, threshold=3)
+        operation = Flaky(failures=99)
+        with pytest.raises(CircuitOpenError):
+            caller.call("get_block", "17", operation)
+        assert caller.breaker_trips == 1
+        assert operation.calls == 3  # threshold, not max_attempts
+
+    def test_open_breaker_fails_fast_without_retries(self):
+        caller = make_caller(max_attempts=4, threshold=2, cooldown=10)
+        with pytest.raises(CircuitOpenError):
+            caller.call("get_block", "17", Flaky(failures=99))
+        operation = Flaky(failures=0)
+        before = caller.stats.retries
+        with pytest.raises(CircuitOpenError):
+            caller.call("get_block", "18", operation)
+        assert operation.calls == 0  # rejected before reaching the source
+        assert caller.stats.retries == before  # no retry storm
+        assert caller.stats.exhausted == 2
+
+    def test_probe_after_cooldown_heals_the_source(self):
+        caller = make_caller(max_attempts=1, threshold=1, cooldown=2)
+        with pytest.raises(TransportError):
+            caller.call("get_block", "1", Flaky(failures=99))
+        for key in ("2", "3"):  # burn the cooldown rejections
+            with pytest.raises(CircuitOpenError):
+                caller.call("get_block", key, Flaky(failures=0))
+        # next call is the half-open probe; it succeeds and closes
+        assert caller.call("get_block", "4", Flaky(failures=0)) \
+            == "payload"
+        assert caller.call("get_block", "5", Flaky(failures=0)) \
+            == "payload"
