@@ -1,0 +1,44 @@
+"""Smoke test for the benchmark harness (quick scenario).
+
+Asserts the report's schema and the identity invariant, not any
+wall-clock number — speed depends on the machine, correctness never
+does.
+"""
+
+import json
+
+from repro.bench import BENCH_VERSION, render_report, run_bench, \
+    write_report
+
+
+class TestBenchSmoke:
+    def test_quick_bench_report(self, tmp_path):
+        report = run_bench(quick=True, workers=(1, 2))
+
+        assert report["version"] == BENCH_VERSION
+        assert report["parallel_identical"] is True
+        assert report["machine"]["cpu_count"] >= 1
+
+        scenario = report["scenario"]
+        assert scenario["quick"] is True
+        assert scenario["blocks"] > 0
+        assert scenario["chunks"] > 1
+
+        stages = {s["stage"] for s in report["stages"]}
+        assert stages == {"detection", "joins"}
+        for stage in report["stages"]:
+            assert stage["blocks"] == scenario["blocks"]
+            assert stage["elapsed_s"] >= 0
+
+        by_workers = {e["workers"]: e for e in report["end_to_end"]}
+        assert set(by_workers) == {1, 2}
+        assert all(e["identical_to_serial"]
+                   for e in report["end_to_end"])
+        assert by_workers[1]["speedup_vs_serial"] == 1.0
+
+        out = tmp_path / "BENCH_pipeline.json"
+        write_report(report, out)
+        assert json.loads(out.read_text(encoding="utf-8")) == report
+
+        summary = render_report(report)
+        assert "parallel identical to serial: yes" in summary

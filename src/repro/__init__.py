@@ -13,6 +13,8 @@ The package is organized as:
   simulation and the calibrated study-window scenario;
 * :mod:`repro.core` — the paper's measurement pipeline (detection
   heuristics, joins, privacy inference, pool attribution);
+* :mod:`repro.engine` — pluggable chunk execution (serial, parallel,
+  cached) behind one :class:`~repro.engine.RunConfig`;
 * :mod:`repro.analysis` — table/figure builders and the goal audits.
 
 Quickstart::
@@ -29,17 +31,18 @@ from typing import Optional, Union
 
 from repro.analysis import build_table1
 from repro.core import MevDataset, MevInspector, PriceService
+from repro.engine import RunConfig
 from repro.faults import (
     FaultPlan,
     FaultyArchiveNode,
     FaultyFlashbotsApi,
     FaultyMempoolObserver,
 )
-from repro.reliability import CheckpointStore, RetryPolicy, shield_sources
+from repro.reliability import CheckpointStore, RetryPolicy, shield
 from repro.sim import ScenarioConfig, SimulationResult, World, \
     build_paper_scenario
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 @dataclass
@@ -54,34 +57,55 @@ class Study:
         return build_table1(self.dataset)
 
 
+def _plan_from_config(config: Optional[RunConfig],
+                      node: object) -> Optional[FaultPlan]:
+    """The fault plan a run configuration implies, if any."""
+    if config is None or config.fault_profile == "none":
+        return None
+    return FaultPlan.from_profile(
+        config.fault_profile, config.fault_seed,
+        node.earliest_block_number(), node.latest_block_number())
+
+
 def run_inspector(result: SimulationResult,
                   fault_plan: Optional[FaultPlan] = None,
                   retry: Optional[RetryPolicy] = None,
                   chunk_size: Optional[int] = None,
                   checkpoint: Union[CheckpointStore, str, Path,
                                     None] = None,
-                  resume: bool = False) -> MevDataset:
+                  resume: bool = False,
+                  workers: int = 1,
+                  cache_dir: Union[str, Path, None] = None,
+                  cache_key: Optional[str] = None,
+                  config: Optional[RunConfig] = None) -> MevDataset:
     """Run the full measurement pipeline over a simulation result.
 
     ``fault_plan`` interposes the chaos transports of :mod:`repro.faults`
     between the pipeline and the three data sources; either way every
-    source is shielded by :func:`repro.reliability.shield_sources`
-    (retries + circuit breakers), and the returned dataset carries a
-    ``quality`` report.  ``checkpoint``/``resume`` make the run
-    restartable after a crash.
+    source is shielded by :func:`repro.reliability.shield` (retries +
+    circuit breakers), and the returned dataset carries a ``quality``
+    report.  ``checkpoint``/``resume`` make the run restartable after a
+    crash; ``workers``/``cache_dir`` select the execution strategy (see
+    :mod:`repro.engine`) without changing any output bit.  A
+    :class:`RunConfig` may be passed instead of the loose keyword
+    arguments; its ``fault_profile``/``fault_seed`` build the fault plan
+    when ``fault_plan`` is not given explicitly.
     """
     node, observer, api = (result.node, result.observer,
                            result.flashbots_api)
+    if fault_plan is None:
+        fault_plan = _plan_from_config(config, node)
     if fault_plan is not None:
         node = FaultyArchiveNode(node, fault_plan)
         observer = FaultyMempoolObserver(observer, fault_plan)
         api = FaultyFlashbotsApi(api, fault_plan)
-    node, observer, api = shield_sources(node, observer, api,
-                                         retry=retry)
+    node, observer, api = shield(node, observer, api, retry=retry)
     inspector = MevInspector(node, PriceService(result.oracle),
                              api, observer)
     return inspector.run(chunk_size=chunk_size, checkpoint=checkpoint,
-                         resume=resume)
+                         resume=resume, workers=workers,
+                         cache_dir=cache_dir, cache_key=cache_key,
+                         config=config)
 
 
 def quick_study(blocks_per_month: int = 60, seed: int = 7,
@@ -90,6 +114,10 @@ def quick_study(blocks_per_month: int = 60, seed: int = 7,
                 checkpoint: Union[CheckpointStore, str, Path,
                                   None] = None,
                 resume: bool = False,
+                workers: int = 1,
+                cache_dir: Union[str, Path, None] = None,
+                cache_key: Optional[str] = None,
+                run_config: Optional[RunConfig] = None,
                 **config_overrides) -> Study:
     """Simulate the study window and measure it, in one call."""
     config = ScenarioConfig(blocks_per_month=blocks_per_month, seed=seed,
@@ -98,10 +126,12 @@ def quick_study(blocks_per_month: int = 60, seed: int = 7,
     result = world.run()
     dataset = run_inspector(result, fault_plan=fault_plan,
                             chunk_size=chunk_size, checkpoint=checkpoint,
-                            resume=resume)
+                            resume=resume, workers=workers,
+                            cache_dir=cache_dir, cache_key=cache_key,
+                            config=run_config)
     return Study(result=result, dataset=dataset)
 
 
-__all__ = ["FaultPlan", "ScenarioConfig", "SimulationResult", "Study",
-           "World", "__version__", "build_paper_scenario", "quick_study",
-           "run_inspector"]
+__all__ = ["FaultPlan", "RunConfig", "ScenarioConfig", "SimulationResult",
+           "Study", "World", "__version__", "build_paper_scenario",
+           "quick_study", "run_inspector"]

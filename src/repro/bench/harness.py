@@ -1,0 +1,179 @@
+"""Seeded wall-clock benchmarks for the measurement pipeline.
+
+The harness builds one simulated study window, then times the three
+layers the paper's crawl spends its time in — detection heuristics,
+the labelling joins, and the end-to-end pipeline — reporting each as
+blocks/second.  The end-to-end stage runs at several worker counts and
+*verifies* (not just assumes) that every parallel run is bit-identical
+to the serial one before reporting a speedup.
+
+Wall-clock measurement is the one legitimate use of ambient time in
+this codebase: the numbers describe the machine, never the simulated
+world, so determinism rule R002 is suppressed locally instead of
+weakened globally.  Everything that shapes the *workload* (world seed,
+chunk plan, worker counts) is pinned in the emitted scenario block, so
+two runs on the same machine benchmark the same work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pipeline import plan_chunks
+from repro.core.profit import PriceService
+from repro.engine import ChunkRunner, SerialExecutor
+from repro.reliability import shield
+from repro.sim import ScenarioConfig, build_paper_scenario
+
+#: Schema version of BENCH_pipeline.json.
+BENCH_VERSION = 1
+
+#: Worker counts the end-to-end stage sweeps.
+DEFAULT_WORKERS: Tuple[int, ...] = (1, 2, 4)
+
+
+def _clock() -> float:
+    """Monotonic wall-clock seconds (machine time, not simulated)."""
+    return time.perf_counter()  # repro-lint: disable=R002
+
+
+def _fingerprint(dataset: Any) -> Tuple[str, str]:
+    """The identity of a run: its rows and its quality ledger."""
+    return (json.dumps(dataset.to_rows(), sort_keys=True),
+            json.dumps(dataset.quality.to_dict(), sort_keys=True))
+
+
+def _timed(label: str, blocks: int, elapsed_s: float) -> Dict[str, Any]:
+    return {
+        "stage": label,
+        "blocks": blocks,
+        "elapsed_s": round(elapsed_s, 6),
+        "blocks_per_s": round(blocks / elapsed_s, 3) if elapsed_s > 0
+        else None,
+    }
+
+
+def run_bench(bpm: int = 60, seed: int = 7,
+              workers: Sequence[int] = DEFAULT_WORKERS,
+              chunk_size: Optional[int] = None,
+              quick: bool = False) -> Dict[str, Any]:
+    """Benchmark the pipeline; returns the BENCH_pipeline.json document.
+
+    ``quick`` shrinks the scenario for CI smoke runs.  ``chunk_size``
+    defaults to an eighth of the range so every worker count in the
+    sweep has chunks to parallelize over.
+    """
+    from repro import run_inspector  # lazy: repro imports the engine
+
+    if quick:
+        bpm = min(bpm, 10)
+    config = ScenarioConfig(blocks_per_month=bpm, seed=seed)
+    total_blocks = config.total_blocks
+    if chunk_size is None:
+        chunk_size = max(1, total_blocks // 8)
+
+    started = _clock()
+    result = build_paper_scenario(config).run()
+    simulate_s = _clock() - started
+    first = result.node.earliest_block_number()
+    last = result.node.latest_block_number()
+    blocks = last - first + 1
+    chunks = plan_chunks(first, last, chunk_size)
+
+    stages: List[Dict[str, Any]] = []
+
+    # Detection only: the heuristics over every chunk, serial,
+    # chunk-isolated exactly as the pipeline runs them.
+    node, _, _ = shield(result.node)
+    runner = ChunkRunner.for_pipeline(node, PriceService(result.oracle))
+    started = _clock()
+    detection_results = list(SerialExecutor().execute(runner, chunks))
+    stages.append(_timed("detection", blocks, _clock() - started))
+    assert not any(r.failed for r in detection_results)
+
+    # Joins: everything downstream of detection (merge, flash-loan /
+    # Flashbots / privacy labelling, quality accounting).  Timed as a
+    # serial end-to-end pass minus the detection stage above, so the
+    # two stage numbers decompose one and the same run.
+    started = _clock()
+    serial_dataset = run_inspector(result, chunk_size=chunk_size,
+                                   workers=1)
+    serial_s = _clock() - started
+    detection_s = stages[0]["elapsed_s"]
+    stages.append(_timed("joins", blocks,
+                         max(serial_s - detection_s, 0.0)))
+
+    serial_print = _fingerprint(serial_dataset)
+    end_to_end: List[Dict[str, Any]] = []
+    parallel_identical = True
+    for count in workers:
+        if count == 1:
+            elapsed, identical = serial_s, True
+        else:
+            started = _clock()
+            dataset = run_inspector(result, chunk_size=chunk_size,
+                                    workers=count)
+            elapsed = _clock() - started
+            identical = _fingerprint(dataset) == serial_print
+            parallel_identical = parallel_identical and identical
+        entry = _timed(f"end_to_end[workers={count}]", blocks, elapsed)
+        entry["workers"] = count
+        entry["identical_to_serial"] = identical
+        entry["speedup_vs_serial"] = round(serial_s / elapsed, 3) \
+            if elapsed > 0 else None
+        end_to_end.append(entry)
+
+    return {
+        "version": BENCH_VERSION,
+        "scenario": {
+            "blocks_per_month": bpm,
+            "seed": seed,
+            "blocks": blocks,
+            "chunk_size": chunk_size,
+            "chunks": len(chunks),
+            "quick": quick,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+        },
+        "simulate_s": round(simulate_s, 6),
+        "stages": stages,
+        "end_to_end": end_to_end,
+        "parallel_identical": parallel_identical,
+    }
+
+
+def write_report(report: Dict[str, Any],
+                 path: Union[str, Path]) -> None:
+    """Write the benchmark document as stable, diffable JSON."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """A short human summary of one benchmark document."""
+    scenario = report["scenario"]
+    lines = [
+        f"pipeline benchmark — {scenario['blocks']} blocks "
+        f"(bpm={scenario['blocks_per_month']}, seed={scenario['seed']}, "
+        f"{scenario['chunks']} chunks of {scenario['chunk_size']}), "
+        f"{report['machine']['cpu_count']} cpu(s)",
+    ]
+    for stage in report["stages"]:
+        lines.append(f"  {stage['stage']:<12} "
+                     f"{stage['elapsed_s']:>9.3f}s  "
+                     f"{stage['blocks_per_s'] or 0:>10.1f} blocks/s")
+    for entry in report["end_to_end"]:
+        check = "ok" if entry["identical_to_serial"] else "DIVERGED"
+        lines.append(f"  workers={entry['workers']:<4} "
+                     f"{entry['elapsed_s']:>9.3f}s  "
+                     f"{entry['speedup_vs_serial']:>5.2f}x  [{check}]")
+    lines.append("  parallel identical to serial: "
+                 + ("yes" if report["parallel_identical"] else "NO"))
+    return "\n".join(lines)

@@ -7,7 +7,9 @@ Usage::
     python -m repro run --fault-profile chaos --fault-seed 3  # chaos run
     python -m repro table1 [--bpm N] [--seed S]     # just Table 1
     python -m repro figures [--bpm N] [--seed S]    # figure series
+    python -m repro run --workers 4 --cache-dir .cache  # parallel + cached
     python -m repro export PATH [--bpm N] [--seed S]  # JSONL dataset
+    python -m repro bench [--quick]                 # wall-clock benchmark
     python -m repro lint [PATHS ...]                # invariant linter
 """
 
@@ -18,7 +20,7 @@ import random
 import sys
 from typing import List, Optional
 
-from repro import Study, quick_study
+from repro import RunConfig, Study, quick_study
 from repro.analysis import (
     bundle_stats,
     democratization,
@@ -34,8 +36,7 @@ from repro.analysis import (
     render_table,
 )
 from repro.core.pool_attribution import attribute_private_pools
-from repro.faults import FAULT_PROFILES, FaultPlan
-from repro.sim import ScenarioConfig
+from repro.faults import FAULT_PROFILES
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -62,6 +63,14 @@ def _add_reliability(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed for the injected fault plan "
                              "(default 0)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="run chunks across N worker processes "
+                             "(default 1; output is bit-identical at "
+                             "any worker count)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="memoize per-chunk detection artifacts in "
+                             "DIR, keyed to the scenario and fault "
+                             "configuration")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("path", help="output file path")
     _add_common(export)
     _add_reliability(export)
+    bench = sub.add_parser("bench",
+                           help="benchmark the pipeline (detection, "
+                                "joins, end-to-end at several worker "
+                                "counts) and write BENCH_pipeline.json")
+    _add_common(bench)
+    bench.add_argument("--quick", action="store_true",
+                       help="small scenario for CI smoke runs")
+    bench.add_argument("--workers", type=int, nargs="+",
+                       default=None, metavar="N",
+                       help="worker counts to sweep (default: 1 2 4)")
+    bench.add_argument("--chunk-size", type=int, default=None,
+                       metavar="N",
+                       help="blocks per chunk (default: range/8)")
+    bench.add_argument("--output", default="BENCH_pipeline.json",
+                       metavar="PATH",
+                       help="where to write the JSON report "
+                            "(default: BENCH_pipeline.json)")
     lint = sub.add_parser("lint",
                           help="run the domain-invariant linter "
                                "(R001–R006) over source paths")
@@ -97,31 +123,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
-    profile = getattr(args, "fault_profile", "none")
-    if profile == "none":
-        return None
-    total = ScenarioConfig(blocks_per_month=args.bpm,
-                           seed=args.seed).total_blocks
-    plan = FaultPlan.from_profile(profile, seed=args.fault_seed,
-                                  first_block=1, last_block=total)
-    print(f"Injecting '{profile}' faults "
-          f"(fault seed {args.fault_seed}) …", file=sys.stderr)
-    return plan
+def _run_config(args: argparse.Namespace) -> RunConfig:
+    """The one :class:`RunConfig` a CLI invocation describes.
+
+    ``cache_key`` is derived from everything that shapes the cached
+    artifacts' world — scenario and fault selection — so two CLI runs
+    share cache entries exactly when they measure the same world.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    cache_key = None
+    if cache_dir is not None:
+        cache_key = (f"bpm={args.bpm}:seed={args.seed}"
+                     f":faults={getattr(args, 'fault_profile', 'none')}"
+                     f":fseed={getattr(args, 'fault_seed', 0)}")
+    return RunConfig(
+        chunk_size=getattr(args, "chunk_size", None),
+        checkpoint=getattr(args, "checkpoint", None),
+        resume=getattr(args, "resume", False),
+        fault_profile=getattr(args, "fault_profile", "none"),
+        fault_seed=getattr(args, "fault_seed", 0),
+        workers=getattr(args, "workers", 1),
+        cache_dir=cache_dir,
+        cache_key=cache_key)
 
 
 def _study(args: argparse.Namespace) -> Study:
     print(f"Simulating 23 months at {args.bpm} blocks/month "
           f"(seed {args.seed}) …", file=sys.stderr)
-    checkpoint = getattr(args, "checkpoint", None)
-    if checkpoint and getattr(args, "resume", False):
-        print(f"Resuming from checkpoint {checkpoint} …",
+    config = _run_config(args)
+    if config.fault_profile != "none":
+        print(f"Injecting '{config.fault_profile}' faults "
+              f"(fault seed {config.fault_seed}) …", file=sys.stderr)
+    if config.checkpoint and config.resume:
+        print(f"Resuming from checkpoint {config.checkpoint} …",
+              file=sys.stderr)
+    if config.workers > 1:
+        print(f"Running chunks across {config.workers} workers …",
               file=sys.stderr)
     return quick_study(blocks_per_month=args.bpm, seed=args.seed,
-                       fault_plan=_fault_plan(args),
-                       chunk_size=getattr(args, "chunk_size", None),
-                       checkpoint=checkpoint,
-                       resume=getattr(args, "resume", False))
+                       run_config=config)
 
 
 def print_table1(study: Study) -> None:
@@ -243,6 +283,30 @@ def print_ablations(bpm: int, seed: int,
          percent(result.sealed_miner_share))]))
 
 
+def run_bench_command(args: argparse.Namespace) -> int:
+    """Run the wall-clock benchmark; nonzero exit on divergence.
+
+    A parallel run that is not bit-identical to the serial one is a
+    correctness failure, not a performance number — CI gates on it.
+    """
+    from repro.bench import DEFAULT_WORKERS, render_report, run_bench, \
+        write_report
+    workers = tuple(args.workers) if args.workers else DEFAULT_WORKERS
+    print(f"Benchmarking (bpm={args.bpm}, seed={args.seed}, "
+          f"workers={list(workers)}"
+          + (", quick" if args.quick else "") + ") …", file=sys.stderr)
+    report = run_bench(bpm=args.bpm, seed=args.seed, workers=workers,
+                       chunk_size=args.chunk_size, quick=args.quick)
+    write_report(report, args.output)
+    print(render_report(report))
+    print(f"wrote {args.output}")
+    if not report["parallel_identical"]:
+        print("ERROR: parallel run diverged from serial run",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
@@ -252,6 +316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "ablations":
         print_ablations(args.bpm, args.seed)
         return 0
+    if args.command == "bench":
+        return run_bench_command(args)
     study = _study(args)
     if args.command == "table1":
         print_table1(study)

@@ -13,16 +13,26 @@ five-month crawl had to be:
   written to an atomic JSON checkpoint, so a crashed run restarted with
   ``resume=True`` skips finished work and still produces a bit-identical
   dataset;
+* chunks execute through a pluggable :mod:`repro.engine` executor —
+  serial, process-parallel (``workers=N``), or disk-cached
+  (``cache_dir``) — and every executor is guaranteed to produce the
+  same dataset and quality ledger, because each chunk runs under
+  chunk-isolated resilience state and results merge in chunk order;
 * a chunk whose source data is permanently unavailable (archive
   blackout, breaker open, retries exhausted) is recorded as a *failed
   range* and the run continues — degradation is visible, never fatal;
 * every run attaches a :class:`DataQualityReport` covering per-source
   coverage, retries, breaker trips, gap ranges, and the count of
   ``unknown``/``unobserved`` labels the joins were forced to emit.
+
+The execution contract can be passed as loose keyword arguments (the
+historical surface) or as one frozen :class:`RunConfig` — the CLI
+builds a config once and threads it through unchanged.
 """
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
@@ -30,31 +40,40 @@ from repro.chain.node import ArchiveNode
 from repro.chain.p2p import MempoolObserver
 from repro.core.datasets import MevDataset
 from repro.core.flashbots_join import annotate_flashbots
-from repro.core.heuristics.arbitrage import detect_arbitrages
-from repro.core.heuristics.flashloan import detect_flash_loan_txs
-from repro.core.heuristics.liquidation import detect_liquidations
-from repro.core.heuristics.sandwich import detect_sandwiches
 from repro.core.private_inference import annotate_privacy
 from repro.core.profit import PriceService
-from repro.faults.errors import DataSourceError
+from repro.engine.config import RunConfig, ensure_unmixed
+from repro.engine.executors import ChunkStats, Executor, make_executor
+from repro.engine.merge import (
+    chunk_key,
+    merge_flash_txs,
+    merge_rows,
+    sum_chunk_stats,
+)
+from repro.engine.runner import CHUNK_FAILURES, ChunkRunner
 from repro.flashbots.api import FlashbotsBlocksApi
 from repro.reliability.checkpoint import CheckpointError, CheckpointStore
 from repro.reliability.quality import DataQualityReport, SourceQuality
-from repro.reliability.retry import RetryExhaustedError
+
+__all__ = ["CHUNK_FAILURES", "MevInspector", "plan_chunks"]
 
 BlockRange = Tuple[int, int]
-
-#: errors that mark a chunk as permanently failed instead of crashing
-CHUNK_FAILURES = (DataSourceError, RetryExhaustedError)
 
 
 def plan_chunks(first_block: int, last_block: int,
                 chunk_size: Optional[int]) -> List[BlockRange]:
-    """Inclusive, contiguous chunk ranges covering the block span."""
+    """Inclusive, contiguous chunk ranges covering the block span.
+
+    ``chunk_size=None`` and ``chunk_size=0`` both mean "the whole range
+    in one chunk"; negative sizes are a caller bug and rejected loudly
+    instead of being silently coerced.
+    """
+    if chunk_size is not None and chunk_size < 0:
+        raise ValueError(
+            f"chunk_size must be >= 0 or None, got {chunk_size}")
     if last_block < first_block:
         return []
-    size = chunk_size if chunk_size and chunk_size > 0 else \
-        last_block - first_block + 1
+    size = chunk_size or (last_block - first_block + 1)
     return [(lo, min(lo + size - 1, last_block))
             for lo in range(first_block, last_block + 1, size)]
 
@@ -91,52 +110,89 @@ class MevInspector:
             to_block: Optional[int] = None,
             chunk_size: Optional[int] = None,
             checkpoint: Union[CheckpointStore, str, Path, None] = None,
-            resume: bool = False) -> MevDataset:
+            resume: bool = False,
+            workers: int = 1,
+            cache_dir: Union[str, Path, None] = None,
+            cache_key: Optional[str] = None,
+            config: Optional[RunConfig] = None) -> MevDataset:
         """Detect all MEV in the range and apply every join.
 
-        With ``chunk_size`` the range is processed in that many blocks at
-        a time; with ``checkpoint`` each completed chunk is persisted and
-        ``resume=True`` continues a crashed run from where it stopped.
-        The chunked (and resumed) run is record-identical to a one-shot
-        run over the same range.
+        With ``chunk_size`` the range is processed in that many blocks
+        at a time; with ``checkpoint`` each completed chunk is persisted
+        and ``resume=True`` continues a crashed run from where it
+        stopped.  ``workers=N`` fans chunks out over N worker processes
+        and ``cache_dir`` memoizes per-chunk artifacts on disk — both
+        are guaranteed bit-identical to the serial, uncached run.  A
+        :class:`RunConfig` may be passed instead of (never alongside)
+        the loose keyword arguments.
         """
-        store = self._store(checkpoint)
-        bounds = self._resolve_range(from_block, to_block)
+        ensure_unmixed(config, from_block=from_block, to_block=to_block,
+                       chunk_size=chunk_size, checkpoint=checkpoint,
+                       resume=resume, workers=workers,
+                       cache_dir=cache_dir, cache_key=cache_key)
+        if config is None:
+            config = RunConfig(
+                from_block=from_block, to_block=to_block,
+                chunk_size=chunk_size, checkpoint=checkpoint,
+                resume=resume, workers=workers, cache_dir=cache_dir,
+                cache_key=cache_key)
+
+        store = self._store(config.checkpoint)
+        bounds = self._resolve_range(config.from_block, config.to_block)
         if bounds is None:
             dataset = MevDataset()
             dataset.quality = DataQualityReport()
             return dataset
         first, last = bounds
-        chunks = plan_chunks(first, last, chunk_size)
+        chunks = plan_chunks(first, last, config.chunk_size)
 
         quality = DataQualityReport(
             from_block=first, to_block=last,
-            chunk_size=chunk_size or (last - first + 1),
+            chunk_size=config.chunk_size or (last - first + 1),
             chunks_total=len(chunks))
-        state = self._load_state(store, first, last, chunk_size, resume,
-                                 quality)
+        state = self._load_state(store, first, last, config.chunk_size,
+                                 config.resume, quality)
 
         failed: List[BlockRange] = []
-        for chunk in chunks:
-            chunk_key = f"{chunk[0]}-{chunk[1]}"
-            if chunk_key in state:
+        chunk_stats: Dict[str, ChunkStats] = {}
+        pending = [chunk for chunk in chunks
+                   if chunk_key(chunk) not in state]
+        runner = ChunkRunner.for_pipeline(self.node, self.prices)
+        executor = self._executor(config, runner)
+        for result in executor.execute(runner, pending):
+            key = chunk_key(result.chunk)
+            chunk_stats[key] = result.stats
+            if result.failed:
+                failed.append(result.chunk)
                 continue
-            partial = self._detect_chunk(chunk, failed)
-            if partial is None:
-                continue
-            state[chunk_key] = partial
+            state[key] = result.payload
             if store is not None:
-                self._save_state(store, first, last, chunk_size, state)
+                self._save_state(store, first, last, config.chunk_size,
+                                 state)
 
-        dataset = self._assemble(chunks, state)
+        dataset = merge_rows(MevDataset(), chunks, state)
         self._apply_joins(dataset, chunks, state, quality)
         # Quality is finalized after the joins so the snapshot of each
         # source's retry/breaker counters includes the join traffic.
-        self._finish_quality(quality, chunks, state, failed)
+        self._finish_quality(quality, chunks, state, failed,
+                             sum_chunk_stats(chunks, chunk_stats))
         dataset.quality = quality
         return dataset
 
     # Range & chunk machinery ---------------------------------------------
+
+    def _executor(self, config: RunConfig,
+                  runner: ChunkRunner) -> Executor:
+        digest = None
+        if config.cache_dir is not None:
+            retry = None if runner.retry is None else \
+                asdict(runner.retry)
+            digest = config.artifact_digest(extra={
+                "retry": retry,
+                "breaker": [runner.failure_threshold,
+                            runner.cooldown_calls]})
+        return make_executor(workers=config.workers,
+                             cache_dir=config.cache_dir, digest=digest)
 
     @staticmethod
     def _store(checkpoint: Union[CheckpointStore, str, Path, None],
@@ -155,31 +211,6 @@ class MevInspector:
         if first is None or last is None or last < first:
             return None
         return (first, last)
-
-    def _detect_chunk(self, chunk: BlockRange,
-                      failed: List[BlockRange],
-                      ) -> Optional[Dict[str, Any]]:
-        """One chunk's detections as a checkpointable payload.
-
-        Returns ``None`` (and records the failed range) when the archive
-        cannot serve the chunk even through the resilience layer.
-        """
-        lo, hi = chunk
-        try:
-            partial = MevDataset(
-                sandwiches=detect_sandwiches(self.node, self.prices,
-                                             lo, hi),
-                arbitrages=detect_arbitrages(self.node, self.prices,
-                                             lo, hi),
-                liquidations=detect_liquidations(self.node, self.prices,
-                                                 lo, hi),
-            )
-            flash_txs = detect_flash_loan_txs(self.node, lo, hi)
-        except CHUNK_FAILURES:
-            failed.append(chunk)
-            return None
-        return {"rows": partial.to_rows(),
-                "flash_txs": sorted(flash_txs)}
 
     @staticmethod
     def _load_state(store: Optional[CheckpointStore], first: int,
@@ -209,30 +240,12 @@ class MevInspector:
         store.save({"from_block": first, "to_block": last,
                     "chunk_size": chunk_size, "chunks": state})
 
-    @staticmethod
-    def _assemble(chunks: List[BlockRange],
-                  state: Dict[str, Any]) -> MevDataset:
-        """Completed chunks merged in block order."""
-        dataset = MevDataset()
-        for chunk in chunks:
-            payload = state.get(f"{chunk[0]}-{chunk[1]}")
-            if payload is None:
-                continue
-            for row in payload["rows"]:
-                dataset.add_row(row)
-        return dataset
-
     # Joins ---------------------------------------------------------------
 
     def _apply_joins(self, dataset: MevDataset,
                      chunks: List[BlockRange], state: Dict[str, Any],
                      quality: DataQualityReport) -> None:
-        flash_txs: Set[str] = set()
-        for chunk in chunks:
-            payload = state.get(f"{chunk[0]}-{chunk[1]}")
-            if payload is not None:
-                flash_txs.update(payload["flash_txs"])
-        self._join_flash_loans(dataset, flash_txs)
+        self._join_flash_loans(dataset, merge_flash_txs(chunks, state))
         if self.flashbots_api is not None:
             annotate_flashbots(dataset, self.flashbots_api)
         if self.observer is not None:
@@ -263,11 +276,12 @@ class MevInspector:
 
     def _finish_quality(self, quality: DataQualityReport,
                         chunks: List[BlockRange], state: Dict[str, Any],
-                        failed: List[BlockRange]) -> None:
+                        failed: List[BlockRange],
+                        detection_stats: ChunkStats) -> None:
         first, last = quality.from_block, quality.to_block
         total_blocks = last - first + 1
         quality.chunks_completed = sum(
-            1 for chunk in chunks if f"{chunk[0]}-{chunk[1]}" in state)
+            1 for chunk in chunks if chunk_key(chunk) in state)
         quality.failed_ranges = tuple(sorted(failed))
 
         archive = quality.source("archive")
@@ -275,6 +289,15 @@ class MevInspector:
         archive.coverage = covered / total_blocks
         archive.gap_ranges = quality.failed_ranges
         self._apply_caller_stats(archive, self.node)
+        # Detection traffic ran inside the executor (possibly in worker
+        # processes) under chunk-isolated state; fold its ledger into
+        # the parent's own (range resolution + joins) counters.
+        archive.requests += detection_stats.requests
+        archive.retries += detection_stats.retries
+        archive.failed_attempts += detection_stats.failed_attempts
+        archive.exhausted += detection_stats.exhausted
+        archive.simulated_backoff_s += detection_stats.simulated_backoff_s
+        archive.breaker_trips += detection_stats.breaker_trips
 
         if self.flashbots_api is not None:
             flashbots = quality.source("flashbots")

@@ -21,7 +21,7 @@ from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
-DEFAULT_PACKAGES = ("repro.core",)
+DEFAULT_PACKAGES = ("repro.core", "repro.engine")
 
 _IMPLICIT = {"self", "cls"}
 

@@ -33,6 +33,8 @@ from repro.lint.registry import Rule, register
 DEFAULT_EDGES: Tuple[Tuple[str, str], ...] = (
     ("repro.core", "repro.sim"),
     ("repro.core", "repro.agents"),
+    ("repro.engine", "repro.sim"),
+    ("repro.engine", "repro.agents"),
     ("repro.analysis", "repro.sim"),
     ("repro.analysis", "repro.agents"),
     ("repro.chain", "repro.core"),

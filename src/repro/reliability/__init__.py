@@ -15,7 +15,11 @@ survive it:
   trips and gap ranges, attached to every :class:`MevDataset` so
   degraded runs are *visibly* degraded, never silently wrong;
 * ``Reliable*`` source wrappers — the retry/breaker plumbing applied to
-  the archive node, mempool observer and Flashbots API surfaces.
+  the archive node, mempool observer and Flashbots API surfaces;
+* :class:`DataSource` — the unified protocol (``name``, ``fetch(op,
+  key)``, ``coverage_gaps()``) all three sources adapt to, so the armor
+  above composes against one surface via :class:`ReliableSource`
+  instead of three ad-hoc ones.
 """
 
 from repro.reliability.checkpoint import CheckpointError, CheckpointStore
@@ -26,26 +30,43 @@ from repro.reliability.circuit import (
     STATE_HALF_OPEN,
     STATE_OPEN,
 )
+from repro.reliability.datasource import (
+    ArchiveNodeSource,
+    DataSource,
+    FlashbotsApiSource,
+    MempoolObserverSource,
+    OpKey,
+    ReliableSource,
+    ResilientCaller,
+    SourceStats,
+    adapt,
+    render_key,
+)
 from repro.reliability.quality import DataQualityReport, SourceQuality
 from repro.reliability.retry import RetryExhaustedError, RetryPolicy
 from repro.reliability.sources import (
     ReliableArchiveNode,
     ReliableFlashbotsApi,
     ReliableMempoolObserver,
-    ResilientCaller,
-    SourceStats,
+    shield,
     shield_sources,
 )
 
 __all__ = [
+    "ArchiveNodeSource",
     "CheckpointError",
     "CheckpointStore",
     "CircuitBreaker",
     "CircuitOpenError",
     "DataQualityReport",
+    "DataSource",
+    "FlashbotsApiSource",
+    "MempoolObserverSource",
+    "OpKey",
     "ReliableArchiveNode",
     "ReliableFlashbotsApi",
     "ReliableMempoolObserver",
+    "ReliableSource",
     "ResilientCaller",
     "RetryExhaustedError",
     "RetryPolicy",
@@ -54,5 +75,8 @@ __all__ = [
     "STATE_OPEN",
     "SourceQuality",
     "SourceStats",
+    "adapt",
+    "render_key",
+    "shield",
     "shield_sources",
 ]

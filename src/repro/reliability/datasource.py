@@ -1,0 +1,227 @@
+"""The unified ``DataSource`` protocol and its generic armor.
+
+PR 2 grew three parallel wrapper families — ``Faulty*`` facades,
+``Reliable*`` wrappers — each hand-written against a different query
+surface (archive node, mempool observer, Flashbots API).  This module
+extracts the one surface they all actually need:
+
+* ``name`` — the ledger/breaker identity of the source;
+* ``fetch(op, key)`` — run one named operation; ``key`` is the tuple of
+  operation arguments, rendered to a stable string for retry seeding
+  and stats;
+* ``coverage_gaps()`` — the block ranges the source is known not to
+  serve.
+
+:class:`ArchiveNodeSource`, :class:`MempoolObserverSource`, and
+:class:`FlashbotsApiSource` adapt the three concrete surfaces to the
+protocol; :class:`ReliableSource` is then *one* retry/breaker/stats
+wrapper instead of three, and the typed ``Reliable*`` classes in
+:mod:`repro.reliability.sources` become thin facades over it.  New
+executors (``repro.engine``) and future sources compose against this
+protocol rather than growing a fourth ad-hoc wrapper family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    Optional,
+    Protocol,
+    Tuple,
+    TypeVar,
+    runtime_checkable,
+)
+
+from repro.faults.errors import DataSourceError
+from repro.reliability.circuit import CircuitBreaker
+from repro.reliability.retry import RetryPolicy
+
+T = TypeVar("T")
+
+BlockRange = Tuple[int, int]
+
+#: an operation's positional arguments, e.g. ``(123,)`` for a block
+#: number or ``(SwapEvent, 10, 20)`` for a typed log query
+OpKey = Tuple[Any, ...]
+
+
+@runtime_checkable
+class DataSource(Protocol):
+    """One measurement data source behind a uniform query surface."""
+
+    name: str
+
+    def fetch(self, op: str, key: OpKey = ()) -> Any: ...
+
+    def coverage_gaps(self) -> Tuple[BlockRange, ...]: ...
+
+
+def render_key(key: OpKey) -> str:
+    """A stable string form of an operation key.
+
+    Matches the historical per-wrapper key formats (retry jitter is
+    seeded per rendered key, so the format is part of the replay
+    contract): no arguments → ``"-"``; a leading type renders as
+    ``"Name:rest"`` (event-log queries); everything else joins with
+    ``"-"`` (``(10, 20)`` → ``"10-20"``).
+    """
+    if not key:
+        return "-"
+    parts = [part.__name__ if isinstance(part, type) else str(part)
+             for part in key]
+    if isinstance(key[0], type) and len(parts) > 1:
+        return f"{parts[0]}:{'-'.join(parts[1:])}"
+    return "-".join(parts)
+
+
+@dataclass
+class SourceStats:
+    """Raw resilience counters for one source."""
+
+    requests: int = 0
+    retries: int = 0
+    failed_attempts: int = 0
+    exhausted: int = 0
+    simulated_backoff_s: float = 0.0
+
+
+class ResilientCaller:
+    """Retry + breaker + stats around one source's operations."""
+
+    def __init__(self, source: str,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
+        self.source = source
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker(source)
+        self.stats = SourceStats()
+
+    def call(self, op: str, key: str, operation: Callable[[], T]) -> T:
+        """Run one operation under retry + breaker discipline."""
+        self.stats.requests += 1
+
+        def attempt() -> T:
+            self.breaker.before_call()
+            try:
+                result = operation()
+            except DataSourceError:
+                self.breaker.record_failure()
+                self.stats.failed_attempts += 1
+                raise
+            self.breaker.record_success()
+            return result
+
+        def on_retry(error: BaseException, delay: float) -> None:
+            self.stats.retries += 1
+            self.stats.simulated_backoff_s += delay
+
+        try:
+            return attempt() if self.retry.max_attempts == 1 else \
+                self.retry.call(f"{self.source}.{op}:{key}", attempt,
+                                on_retry=on_retry)
+        except Exception:
+            self.stats.exhausted += 1
+            raise
+
+    @property
+    def breaker_trips(self) -> int:
+        return self.breaker.trip_count
+
+
+# -- adapters ----------------------------------------------------------------
+
+
+class _AdapterBase:
+    """Shared ``fetch`` plumbing: dispatch by name, materialize lazies.
+
+    Generators are drained eagerly so a transport fault surfaces inside
+    the guarded call, not later at iteration time in the caller.
+    """
+
+    name = "source"
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+
+    def fetch(self, op: str, key: OpKey = ()) -> Any:
+        result = getattr(self.inner, op)(*key)
+        if isinstance(result, Iterator):
+            return list(result)
+        return result
+
+    def coverage_gaps(self) -> Tuple[BlockRange, ...]:
+        return ()
+
+
+class ArchiveNodeSource(_AdapterBase):
+    """The go-ethereum-archive stand-in behind the protocol.
+
+    Archive gaps are not knowable a priori (a blackout announces itself
+    by failing), so ``coverage_gaps`` is empty; the pipeline derives
+    archive gaps from failed chunk ranges instead.
+    """
+
+    name = "archive"
+
+
+class MempoolObserverSource(_AdapterBase):
+    """The pending-transaction trace behind the protocol."""
+
+    name = "mempool"
+
+    def coverage_gaps(self) -> Tuple[BlockRange, ...]:
+        return tuple(self.inner.downtime_ranges)
+
+
+class FlashbotsApiSource(_AdapterBase):
+    """The public Flashbots blocks dataset behind the protocol."""
+
+    name = "flashbots"
+
+    def coverage_gaps(self) -> Tuple[BlockRange, ...]:
+        return tuple(self.inner.coverage_gaps())
+
+
+def adapt(inner: Any, name: Optional[str] = None) -> DataSource:
+    """Wrap a raw source object in the adapter matching its surface."""
+    if name is None:
+        name = ("archive" if hasattr(inner, "iter_blocks") else
+                "mempool" if hasattr(inner, "was_observed") else
+                "flashbots" if hasattr(inner, "is_flashbots_block") else
+                None)
+    adapters = {"archive": ArchiveNodeSource,
+                "mempool": MempoolObserverSource,
+                "flashbots": FlashbotsApiSource}
+    if name not in adapters:
+        raise TypeError(
+            f"cannot adapt {type(inner).__name__!r} to a DataSource; "
+            f"expected an archive-node, mempool-observer, or "
+            f"flashbots-api surface")
+    return adapters[name](inner)
+
+
+class ReliableSource:
+    """Retry/breaker/stats armor over *any* :class:`DataSource`.
+
+    This is the single composition point that used to be triplicated
+    across ``ReliableArchiveNode`` / ``ReliableMempoolObserver`` /
+    ``ReliableFlashbotsApi``; those classes are now typed facades over
+    one of these.
+    """
+
+    def __init__(self, source: DataSource,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
+        self.source = source
+        self.name = source.name
+        self.caller = ResilientCaller(source.name, retry, breaker)
+
+    def fetch(self, op: str, key: OpKey = ()) -> Any:
+        return self.caller.call(op, render_key(key),
+                                lambda: self.source.fetch(op, key))
+
+    def coverage_gaps(self) -> Tuple[BlockRange, ...]:
+        return self.source.coverage_gaps()

@@ -1,98 +1,53 @@
-"""Retry/breaker plumbing applied to the three measurement sources.
+"""Typed facades applying :class:`ReliableSource` armor to the sources.
 
-``Reliable*`` wrappers present the exact query surface of the source
-they guard (real or fault-injected — the pipeline cannot tell), routing
-every remote-shaped call through a :class:`ResilientCaller`: a seeded
-:class:`RetryPolicy` absorbs transient faults, a per-source
-:class:`CircuitBreaker` stops retry storms when a source is down hard,
-and a :class:`SourceStats` ledger feeds the run's
-:class:`~repro.reliability.quality.DataQualityReport`.
+The retry/breaker/stats composition lives in one place —
+:class:`~repro.reliability.datasource.ReliableSource`, wrapped around a
+:class:`~repro.reliability.datasource.DataSource` adapter.  The classes
+here only restore the *typed* query surface the pipeline and the
+detection heuristics program against: every remote-shaped method is a
+one-line ``fetch(op, key)`` delegation, while cheap local metadata
+(observation windows, downtime ranges, coverage queries) forwards
+directly — there is no transport to fail.
 
-Cheap, local metadata (observation windows, downtime ranges, coverage
-queries) is forwarded directly — there is no transport to fail.
+``shield`` wraps the pipeline's three sources at once;
+``shield_sources`` is the PR 2 name for it, kept as a deprecated shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import (
-    Callable,
-    List,
-    Optional,
-    Set,
-    Tuple,
-    Type,
-    TypeVar,
-)
+import warnings
+from typing import List, Optional, Set, Tuple, Type, TypeVar
 
 from repro.chain.block import Block
 from repro.chain.events import EventLog
 from repro.chain.receipt import Receipt
 from repro.chain.transaction import Transaction
 from repro.chain.types import Hash32
-from repro.faults.errors import DataSourceError
 from repro.flashbots.api import ApiBlock, ApiTransaction
 from repro.reliability.circuit import CircuitBreaker
+from repro.reliability.datasource import (
+    ArchiveNodeSource,
+    FlashbotsApiSource,
+    MempoolObserverSource,
+    ReliableSource,
+    ResilientCaller,
+    SourceStats,
+)
 from repro.reliability.retry import RetryPolicy
 
 E = TypeVar("E", bound=EventLog)
-T = TypeVar("T")
 
 BlockRange = Tuple[int, int]
 
-
-@dataclass
-class SourceStats:
-    """Raw resilience counters for one source."""
-
-    requests: int = 0
-    retries: int = 0
-    failed_attempts: int = 0
-    exhausted: int = 0
-    simulated_backoff_s: float = 0.0
-
-
-class ResilientCaller:
-    """Retry + breaker + stats around one source's operations."""
-
-    def __init__(self, source: str,
-                 retry: Optional[RetryPolicy] = None,
-                 breaker: Optional[CircuitBreaker] = None) -> None:
-        self.source = source
-        self.retry = retry or RetryPolicy()
-        self.breaker = breaker or CircuitBreaker(source)
-        self.stats = SourceStats()
-
-    def call(self, op: str, key: str, operation: Callable[[], T]) -> T:
-        """Run one operation under retry + breaker discipline."""
-        self.stats.requests += 1
-
-        def attempt() -> T:
-            self.breaker.before_call()
-            try:
-                result = operation()
-            except DataSourceError:
-                self.breaker.record_failure()
-                self.stats.failed_attempts += 1
-                raise
-            self.breaker.record_success()
-            return result
-
-        def on_retry(error: BaseException, delay: float) -> None:
-            self.stats.retries += 1
-            self.stats.simulated_backoff_s += delay
-
-        try:
-            return attempt() if self.retry.max_attempts == 1 else \
-                self.retry.call(f"{self.source}.{op}:{key}", attempt,
-                                on_retry=on_retry)
-        except Exception:
-            self.stats.exhausted += 1
-            raise
-
-    @property
-    def breaker_trips(self) -> int:
-        return self.breaker.trip_count
+__all__ = [
+    "ReliableArchiveNode",
+    "ReliableFlashbotsApi",
+    "ReliableMempoolObserver",
+    "ResilientCaller",
+    "SourceStats",
+    "shield",
+    "shield_sources",
+]
 
 
 class ReliableArchiveNode:
@@ -102,58 +57,45 @@ class ReliableArchiveNode:
                  retry: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None) -> None:
         self.inner = inner
-        self.caller = ResilientCaller("archive", retry, breaker)
-
-    def _call(self, op: str, key: str,
-              operation: Callable[[], T]) -> T:
-        return self.caller.call(op, key, operation)
+        self.source = ReliableSource(ArchiveNodeSource(inner),
+                                     retry, breaker)
+        self.caller = self.source.caller
 
     # Block-level queries -----------------------------------------------------
 
     def latest_block_number(self) -> Optional[int]:
-        return self._call("latest_block_number", "-",
-                          self.inner.latest_block_number)
+        return self.source.fetch("latest_block_number")
 
     def earliest_block_number(self) -> Optional[int]:
-        return self._call("earliest_block_number", "-",
-                          self.inner.earliest_block_number)
+        return self.source.fetch("earliest_block_number")
 
     def get_block(self, number: int) -> Optional[Block]:
-        return self._call("get_block", str(number),
-                          lambda: self.inner.get_block(number))
+        return self.source.fetch("get_block", (number,))
 
     def iter_blocks(self, from_block: Optional[int] = None,
                     to_block: Optional[int] = None) -> List[Block]:
-        return self._call(
-            "iter_blocks", f"{from_block}-{to_block}",
-            lambda: list(self.inner.iter_blocks(from_block, to_block)))
+        return self.source.fetch("iter_blocks", (from_block, to_block))
 
     # Transaction-level queries -----------------------------------------------
 
     def get_transaction(self, tx_hash: Hash32) -> Optional[Transaction]:
-        return self._call("get_transaction", tx_hash,
-                          lambda: self.inner.get_transaction(tx_hash))
+        return self.source.fetch("get_transaction", (tx_hash,))
 
     def get_receipt(self, tx_hash: Hash32) -> Optional[Receipt]:
-        return self._call("get_receipt", tx_hash,
-                          lambda: self.inner.get_receipt(tx_hash))
+        return self.source.fetch("get_receipt", (tx_hash,))
 
     # Log queries ---------------------------------------------------------
 
     def get_logs(self, event_type: Type[E],
                  from_block: Optional[int] = None,
                  to_block: Optional[int] = None) -> List[E]:
-        return self._call(
-            "get_logs",
-            f"{event_type.__name__}:{from_block}-{to_block}",
-            lambda: list(self.inner.get_logs(event_type, from_block,
-                                             to_block)))
+        return self.source.fetch("get_logs",
+                                 (event_type, from_block, to_block))
 
     def iter_receipts(self, from_block: Optional[int] = None,
                       to_block: Optional[int] = None) -> List[Receipt]:
-        return self._call(
-            "iter_receipts", f"{from_block}-{to_block}",
-            lambda: list(self.inner.iter_receipts(from_block, to_block)))
+        return self.source.fetch("iter_receipts",
+                                 (from_block, to_block))
 
 
 class ReliableMempoolObserver:
@@ -163,7 +105,9 @@ class ReliableMempoolObserver:
                  retry: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None) -> None:
         self.inner = inner
-        self.caller = ResilientCaller("mempool", retry, breaker)
+        self.source = ReliableSource(MempoolObserverSource(inner),
+                                     retry, breaker)
+        self.caller = self.source.caller
 
     # Window / downtime metadata (local, never faulted) -------------------
 
@@ -180,14 +124,10 @@ class ReliableMempoolObserver:
     # Trace queries -------------------------------------------------------
 
     def was_observed(self, tx_hash: Hash32) -> bool:
-        return self.caller.call(
-            "was_observed", tx_hash,
-            lambda: self.inner.was_observed(tx_hash))
+        return self.source.fetch("was_observed", (tx_hash,))
 
     def first_seen(self, tx_hash: Hash32) -> Optional[int]:
-        return self.caller.call(
-            "first_seen", tx_hash,
-            lambda: self.inner.first_seen(tx_hash))
+        return self.source.fetch("first_seen", (tx_hash,))
 
     @property
     def observed_hashes(self) -> Set[Hash32]:
@@ -221,7 +161,9 @@ class ReliableFlashbotsApi:
                  retry: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None) -> None:
         self.inner = inner
-        self.caller = ResilientCaller("flashbots", retry, breaker)
+        self.source = ReliableSource(FlashbotsApiSource(inner),
+                                     retry, breaker)
+        self.caller = self.source.caller
 
     # Coverage (local metadata) -------------------------------------------
 
@@ -229,62 +171,47 @@ class ReliableFlashbotsApi:
         return self.inner.has_block_data(block_number)
 
     def coverage_gaps(self) -> List[BlockRange]:
-        return list(self.inner.coverage_gaps())
+        return list(self.source.coverage_gaps())
 
     # Public dataset queries ---------------------------------------------------
 
     def all_blocks(self) -> List[ApiBlock]:
-        return self.caller.call("all_blocks", "-",
-                                lambda: list(self.inner.all_blocks()))
+        return list(self.source.fetch("all_blocks"))
 
     def blocks_until(self, block_number: int) -> List[ApiBlock]:
-        return self.caller.call(
-            "blocks_until", str(block_number),
-            lambda: list(self.inner.blocks_until(block_number)))
+        return list(self.source.fetch("blocks_until", (block_number,)))
 
     def get_block(self, block_number: int) -> Optional[ApiBlock]:
-        return self.caller.call(
-            "get_block", str(block_number),
-            lambda: self.inner.get_block(block_number))
+        return self.source.fetch("get_block", (block_number,))
 
     def is_flashbots_block(self, block_number: int) -> bool:
-        return self.caller.call(
-            "is_flashbots_block", str(block_number),
-            lambda: self.inner.is_flashbots_block(block_number))
+        return self.source.fetch("is_flashbots_block", (block_number,))
 
     def is_flashbots_tx(self, tx_hash: Hash32) -> bool:
-        return self.caller.call(
-            "is_flashbots_tx", tx_hash,
-            lambda: self.inner.is_flashbots_tx(tx_hash))
+        return self.source.fetch("is_flashbots_tx", (tx_hash,))
 
     def tx_label(self, tx_hash: Hash32) -> Optional[ApiTransaction]:
-        return self.caller.call(
-            "tx_label", tx_hash,
-            lambda: self.inner.tx_label(tx_hash))
+        return self.source.fetch("tx_label", (tx_hash,))
 
     def flashbots_tx_hashes(self) -> Set[Hash32]:
-        return self.caller.call(
-            "flashbots_tx_hashes", "-",
-            lambda: set(self.inner.flashbots_tx_hashes()))
+        return set(self.source.fetch("flashbots_tx_hashes"))
 
     def block_count(self) -> int:
-        return self.caller.call("block_count", "-",
-                                self.inner.block_count)
+        return self.source.fetch("block_count")
 
     def bundle_count(self) -> int:
-        return self.caller.call("bundle_count", "-",
-                                self.inner.bundle_count)
+        return self.source.fetch("bundle_count")
 
 
-def shield_sources(node: object,
-                   observer: Optional[object] = None,
-                   flashbots_api: Optional[object] = None,
-                   retry: Optional[RetryPolicy] = None,
-                   failure_threshold: int = 5,
-                   cooldown_calls: int = 10,
-                   ) -> Tuple[ReliableArchiveNode,
-                              Optional[ReliableMempoolObserver],
-                              Optional[ReliableFlashbotsApi]]:
+def shield(node: object,
+           observer: Optional[object] = None,
+           flashbots_api: Optional[object] = None,
+           retry: Optional[RetryPolicy] = None,
+           failure_threshold: int = 5,
+           cooldown_calls: int = 10,
+           ) -> Tuple[ReliableArchiveNode,
+                      Optional[ReliableMempoolObserver],
+                      Optional[ReliableFlashbotsApi]]:
     """Wrap the pipeline's sources in retry/breaker armor.
 
     Each source gets its *own* breaker (one flaky source must not trip
@@ -303,3 +230,22 @@ def shield_sources(node: object,
     shielded_api = None if flashbots_api is None else \
         ReliableFlashbotsApi(flashbots_api, retry, breaker("flashbots"))
     return shielded_node, shielded_observer, shielded_api
+
+
+def shield_sources(node: object,
+                   observer: Optional[object] = None,
+                   flashbots_api: Optional[object] = None,
+                   retry: Optional[RetryPolicy] = None,
+                   failure_threshold: int = 5,
+                   cooldown_calls: int = 10,
+                   ) -> Tuple[ReliableArchiveNode,
+                              Optional[ReliableMempoolObserver],
+                              Optional[ReliableFlashbotsApi]]:
+    """Deprecated PR 2 spelling of :func:`shield` (same semantics)."""
+    warnings.warn(
+        "shield_sources() is deprecated; use "
+        "repro.reliability.shield() (same arguments and return)",
+        DeprecationWarning, stacklevel=2)
+    return shield(node, observer, flashbots_api, retry=retry,
+                  failure_threshold=failure_threshold,
+                  cooldown_calls=cooldown_calls)

@@ -1,0 +1,106 @@
+"""The unified ``DataSource`` protocol, its adapters, and the shims."""
+
+import pytest
+
+from repro.chain.events import SwapEvent
+from repro.reliability import (
+    ArchiveNodeSource,
+    DataSource,
+    FlashbotsApiSource,
+    MempoolObserverSource,
+    ReliableSource,
+    adapt,
+    render_key,
+    shield,
+    shield_sources,
+)
+
+
+class TestRenderKey:
+    """The rendered key seeds retry jitter: its format is frozen."""
+
+    def test_no_args(self):
+        assert render_key(()) == "-"
+
+    def test_single_arg(self):
+        assert render_key((123,)) == "123"
+
+    def test_range(self):
+        assert render_key((10, 20)) == "10-20"
+
+    def test_typed_log_query(self):
+        assert render_key((SwapEvent, 1, 5)) == "SwapEvent:1-5"
+
+    def test_none_bounds(self):
+        assert render_key((None, None)) == "None-None"
+
+
+class TestAdapters:
+    def test_archive_adapter(self, sim_result):
+        source = ArchiveNodeSource(sim_result.node)
+        assert source.name == "archive"
+        assert isinstance(source, DataSource)
+        latest = source.fetch("latest_block_number")
+        assert latest == sim_result.node.latest_block_number()
+        assert source.coverage_gaps() == ()
+
+    def test_archive_adapter_materializes_iterators(self, sim_result):
+        source = ArchiveNodeSource(sim_result.node)
+        blocks = source.fetch("iter_blocks", (1, 5))
+        assert isinstance(blocks, list) and len(blocks) == 5
+
+    def test_mempool_adapter_reports_downtime(self, sim_result):
+        source = MempoolObserverSource(sim_result.observer)
+        assert source.name == "mempool"
+        assert source.coverage_gaps() == \
+            tuple(sim_result.observer.downtime_ranges)
+
+    def test_flashbots_adapter(self, sim_result):
+        source = FlashbotsApiSource(sim_result.flashbots_api)
+        assert source.name == "flashbots"
+        count = source.fetch("block_count")
+        assert count == sim_result.flashbots_api.block_count()
+
+    def test_adapt_duck_types(self, sim_result):
+        assert adapt(sim_result.node).name == "archive"
+        assert adapt(sim_result.observer).name == "mempool"
+        assert adapt(sim_result.flashbots_api).name == "flashbots"
+
+    def test_adapt_rejects_unknown_surfaces(self):
+        with pytest.raises(TypeError, match="DataSource"):
+            adapt(object())
+
+
+class TestReliableSource:
+    def test_fetch_counts_requests(self, sim_result):
+        source = ReliableSource(ArchiveNodeSource(sim_result.node))
+        source.fetch("get_block", (1,))
+        source.fetch("get_block", (2,))
+        assert source.caller.stats.requests == 2
+        assert isinstance(source, DataSource)
+
+    def test_facades_share_one_composition(self, sim_result):
+        node, observer, api = shield(sim_result.node,
+                                     sim_result.observer,
+                                     sim_result.flashbots_api)
+        for wrapper in (node, observer, api):
+            assert isinstance(wrapper.source, ReliableSource)
+            assert wrapper.caller is wrapper.source.caller
+
+    def test_facade_results_match_bare_source(self, sim_result):
+        node, _, _ = shield(sim_result.node)
+        assert node.get_block(1).number == \
+            sim_result.node.get_block(1).number
+        assert [b.number for b in node.iter_blocks(1, 3)] == \
+            [b.number for b in sim_result.node.iter_blocks(1, 3)]
+
+
+class TestDeprecatedShim:
+    def test_shield_sources_warns_and_delegates(self, sim_result):
+        with pytest.warns(DeprecationWarning, match="shield"):
+            node, observer, api = shield_sources(
+                sim_result.node, sim_result.observer,
+                sim_result.flashbots_api)
+        assert node.inner is sim_result.node
+        assert observer.inner is sim_result.observer
+        assert api.inner is sim_result.flashbots_api

@@ -1,0 +1,80 @@
+"""The engine's core invariant: every executor, same bits.
+
+For a fixed world, fault plan, and chunk plan, serial / parallel /
+cached execution must produce byte-identical datasets and identical
+``DataQualityReport`` ledgers — ``--workers 4`` buys wall-clock time,
+never different numbers.
+"""
+
+import pytest
+
+from repro import run_inspector
+from repro.engine import (
+    CachedExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.faults import FaultPlan
+
+from tests.engine.conftest import fingerprint
+
+
+class TestParallelIdentity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_serial_bit_for_bit(self, sim_result,
+                                                 serial_baseline,
+                                                 workers):
+        dataset = run_inspector(sim_result, chunk_size=25,
+                                workers=workers)
+        assert fingerprint(dataset) == fingerprint(serial_baseline)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_identity_holds_under_faults(self, sim_result, span,
+                                         workers):
+        plan = FaultPlan.from_profile("transient", 3, *span)
+        serial = run_inspector(sim_result, fault_plan=plan,
+                               chunk_size=25, workers=1)
+        dataset = run_inspector(sim_result, fault_plan=plan,
+                                chunk_size=25, workers=workers)
+        assert fingerprint(dataset) == fingerprint(serial)
+        assert dataset.quality.source("archive").retries > 0
+
+    def test_identity_holds_with_failed_ranges(self, sim_result, span):
+        plan = FaultPlan.from_profile("outage", 2, *span)
+        serial = run_inspector(sim_result, fault_plan=plan,
+                               chunk_size=10, workers=1)
+        parallel = run_inspector(sim_result, fault_plan=plan,
+                                 chunk_size=10, workers=4)
+        assert fingerprint(parallel) == fingerprint(serial)
+        assert parallel.quality.failed_ranges == \
+            serial.quality.failed_ranges
+
+    def test_worker_crash_propagates(self, sim_result):
+        class Boom:
+            def run_chunk(self, chunk):
+                raise RuntimeError("worker crashed")
+
+        executor = ParallelExecutor(workers=2)
+        with pytest.raises(RuntimeError, match="worker crashed"):
+            list(executor.execute(Boom(), [(1, 10), (11, 20)]))
+
+
+class TestExecutorFactory:
+    def test_serial_by_default(self):
+        assert isinstance(make_executor(), SerialExecutor)
+
+    def test_parallel_for_many_workers(self):
+        executor = make_executor(workers=4)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 4
+
+    def test_cache_wraps_inner_executor(self, tmp_path):
+        executor = make_executor(workers=4, cache_dir=tmp_path,
+                                 digest="abc123")
+        assert isinstance(executor, CachedExecutor)
+        assert isinstance(executor.inner, ParallelExecutor)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelExecutor(workers=0)

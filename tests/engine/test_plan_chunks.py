@@ -1,0 +1,27 @@
+"""``plan_chunks`` contract: whole-range defaults, loud rejection."""
+
+import pytest
+
+from repro.core.pipeline import plan_chunks
+
+
+class TestPlanChunks:
+    def test_none_means_whole_range(self):
+        assert plan_chunks(10, 99, None) == [(10, 99)]
+
+    def test_zero_means_whole_range(self):
+        assert plan_chunks(10, 99, 0) == [(10, 99)]
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            plan_chunks(10, 99, -1)
+
+    def test_chunks_cover_range_exactly(self):
+        chunks = plan_chunks(1, 100, 30)
+        assert chunks == [(1, 30), (31, 60), (61, 90), (91, 100)]
+
+    def test_empty_range(self):
+        assert plan_chunks(10, 9, 5) == []
+
+    def test_single_block(self):
+        assert plan_chunks(5, 5, 3) == [(5, 5)]

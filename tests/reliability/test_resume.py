@@ -15,7 +15,7 @@ from repro.core import MevInspector, PriceService
 from repro.reliability import (
     CheckpointError,
     CheckpointStore,
-    shield_sources,
+    shield,
 )
 
 CHUNK = 50  # 460 study blocks → 10 chunks
@@ -64,7 +64,7 @@ class CrashingProxy:
 
 
 def make_inspector(sim_result, node=None):
-    shielded, observer, api = shield_sources(
+    shielded, observer, api = shield(
         node if node is not None else sim_result.node,
         sim_result.observer, sim_result.flashbots_api)
     return MevInspector(shielded, PriceService(sim_result.oracle),
