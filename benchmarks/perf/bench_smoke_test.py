@@ -1,14 +1,17 @@
 """Smoke test for the benchmark harness (quick scenario).
 
-Asserts the report's schema and the identity invariant, not any
-wall-clock number — speed depends on the machine, correctness never
-does.
+Asserts the report's schema and the identity invariants — parallel ≡
+serial, indexed reads ≡ linear scan — not any wall-clock number:
+speed depends on the machine, correctness never does.
 """
 
 import json
 
 from repro.bench import BENCH_VERSION, render_report, run_bench, \
     write_report
+
+EXPECTED_STAGES = {"detection", "detection_indexed",
+                   "detection_linear", "joins"}
 
 
 class TestBenchSmoke:
@@ -17,7 +20,9 @@ class TestBenchSmoke:
 
         assert report["version"] == BENCH_VERSION
         assert report["parallel_identical"] is True
+        assert report["indexed_matches_linear"] is True
         assert report["machine"]["cpu_count"] >= 1
+        assert report["world_cache"] is None  # no cache configured
 
         scenario = report["scenario"]
         assert scenario["quick"] is True
@@ -25,7 +30,7 @@ class TestBenchSmoke:
         assert scenario["chunks"] > 1
 
         stages = {s["stage"] for s in report["stages"]}
-        assert stages == {"detection", "joins"}
+        assert stages == EXPECTED_STAGES
         for stage in report["stages"]:
             assert stage["blocks"] == scenario["blocks"]
             assert stage["elapsed_s"] >= 0
@@ -35,6 +40,8 @@ class TestBenchSmoke:
         assert all(e["identical_to_serial"]
                    for e in report["end_to_end"])
         assert by_workers[1]["speedup_vs_serial"] == 1.0
+        for entry in report["end_to_end"]:
+            assert 1 <= entry["workers_effective"] <= entry["workers"]
 
         out = tmp_path / "BENCH_pipeline.json"
         write_report(report, out)
@@ -42,3 +49,19 @@ class TestBenchSmoke:
 
         summary = render_report(report)
         assert "parallel identical to serial: yes" in summary
+        assert "indexed reads identical to linear: yes" in summary
+
+    def test_world_cache_round_trip(self, tmp_path):
+        cache = tmp_path / "worlds"
+        cold = run_bench(quick=True, workers=(1,), world_cache=cache)
+        assert cold["world_cache"]["hit"] is False
+        warm = run_bench(quick=True, workers=(1,), world_cache=cache)
+        assert warm["world_cache"]["hit"] is True
+        assert warm["world_cache"]["digest"] == \
+            cold["world_cache"]["digest"]
+        # A replayed world benchmarks the same workload and passes the
+        # same identity gates.
+        assert warm["scenario"] == cold["scenario"]
+        assert warm["parallel_identical"] is True
+        assert warm["indexed_matches_linear"] is True
+        assert "world cache: hit" in render_report(warm)

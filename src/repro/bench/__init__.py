@@ -9,15 +9,21 @@ bit) on every benchmark run.
 from repro.bench.harness import (
     BENCH_VERSION,
     DEFAULT_WORKERS,
+    load_world,
     render_report,
     run_bench,
+    store_world,
+    world_digest,
     write_report,
 )
 
 __all__ = [
     "BENCH_VERSION",
     "DEFAULT_WORKERS",
+    "load_world",
     "render_report",
     "run_bench",
+    "store_world",
+    "world_digest",
     "write_report",
 ]

@@ -1,11 +1,21 @@
 """Seeded wall-clock benchmarks for the measurement pipeline.
 
-The harness builds one simulated study window, then times the three
-layers the paper's crawl spends its time in — detection heuristics,
-the labelling joins, and the end-to-end pipeline — reporting each as
-blocks/second.  The end-to-end stage runs at several worker counts and
-*verifies* (not just assumes) that every parallel run is bit-identical
-to the serial one before reporting a speedup.
+The harness builds one simulated study window, then times the layers
+the paper's crawl spends its time in — detection heuristics (through
+the pipeline's chunk runner, and again as bare indexed vs. linear
+archive reads), the labelling joins, and the end-to-end pipeline —
+reporting each as blocks/second.  The end-to-end stage runs at several
+worker counts and *verifies* (not just assumes) that every parallel
+run is bit-identical to the serial one before reporting a speedup; the
+indexed read path is likewise verified row-for-row against the linear
+reference on every run.
+
+Because the simulated world dwarfs everything else (~98% of a quick
+run is ``build_paper_scenario``), the harness can snapshot it: pass
+``world_cache`` and the :class:`SimulationResult` is pickled under a
+scenario digest, then replayed on later runs after a content
+fingerprint check — a stale or corrupt snapshot silently falls back to
+a fresh simulation, never into wrong numbers.
 
 Wall-clock measurement is the one legitimate use of ambient time in
 this codebase: the numbers describe the machine, never the simulated
@@ -17,20 +27,29 @@ two runs on the same machine benchmark the same work.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
+import pickle
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.chain.events import FlashLoanEvent
+from repro.chain.node import ArchiveNode
+from repro.core.datasets import MevDataset
 from repro.core.pipeline import plan_chunks
 from repro.core.profit import PriceService
 from repro.engine import ChunkRunner, SerialExecutor
 from repro.reliability import shield
-from repro.sim import ScenarioConfig, build_paper_scenario
+from repro.sim import ScenarioConfig, SimulationResult, \
+    build_paper_scenario
 
-#: Schema version of BENCH_pipeline.json.
-BENCH_VERSION = 1
+#: Schema version of BENCH_pipeline.json.  Version 2 added the
+#: ``detection_indexed`` / ``detection_linear`` stages, per-entry
+#: ``workers_effective``, and the ``world_cache`` block.
+BENCH_VERSION = 2
 
 #: Worker counts the end-to-end stage sweeps.
 DEFAULT_WORKERS: Tuple[int, ...] = (1, 2, 4)
@@ -57,17 +76,135 @@ def _timed(label: str, blocks: int, elapsed_s: float) -> Dict[str, Any]:
     }
 
 
+# -- world-snapshot cache --------------------------------------------------
+
+
+def world_digest(config: ScenarioConfig) -> str:
+    """Cache key for one scenario: every config field plus the package
+    version, so a calibration change or a release invalidates cleanly."""
+    from repro import __version__  # lazy: repro imports the engine
+
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True,
+                         default=repr)
+    digest = hashlib.sha256(
+        f"{__version__}:{payload}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _world_fingerprint(result: SimulationResult) -> str:
+    """Content fingerprint of a simulated world: block numbers, header
+    hashes, and transaction counts.  Cheap to recompute on load, and
+    any truncated/bit-rotted snapshot that still unpickles will not
+    match it."""
+    digest = hashlib.sha256()
+    for block in result.blockchain.blocks:
+        digest.update(f"{block.number}:{block.hash}:"
+                      f"{len(block.transactions)};".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _world_path(cache_dir: Union[str, Path],
+                config: ScenarioConfig) -> Path:
+    return Path(cache_dir) / f"world-{world_digest(config)}.pkl"
+
+
+def store_world(cache_dir: Union[str, Path], config: ScenarioConfig,
+                result: SimulationResult) -> Path:
+    """Snapshot one simulated world under its scenario digest."""
+    path = _world_path(cache_dir, config)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {"fingerprint": _world_fingerprint(result),
+                "result": result}
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "wb") as stream:
+        pickle.dump(document, stream, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_world(cache_dir: Union[str, Path],
+               config: ScenarioConfig) -> Optional[SimulationResult]:
+    """Replay a snapshotted world, or ``None`` for any kind of miss.
+
+    A missing file, an unreadable/unpicklable snapshot, a snapshot of
+    the wrong shape, and a fingerprint mismatch all count the same:
+    the caller re-simulates.  The cache can only save time, never
+    change what gets benchmarked.
+    """
+    path = _world_path(cache_dir, config)
+    try:
+        with open(path, "rb") as stream:
+            document = pickle.load(stream)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    result = document.get("result")
+    if not isinstance(result, SimulationResult):
+        return None
+    if document.get("fingerprint") != _world_fingerprint(result):
+        return None
+    return result
+
+
+# -- benchmark -------------------------------------------------------------
+
+
+def _simulate(config: ScenarioConfig,
+              world_cache: Union[str, Path, None],
+              ) -> Tuple[SimulationResult, float, Optional[Dict[str, Any]]]:
+    """The world to benchmark, from snapshot when possible."""
+    cache_info: Optional[Dict[str, Any]] = None
+    if world_cache is not None:
+        cache_info = {"dir": str(world_cache),
+                      "digest": world_digest(config),
+                      "hit": False}
+        started = _clock()
+        cached = load_world(world_cache, config)
+        if cached is not None:
+            cache_info["hit"] = True
+            return cached, _clock() - started, cache_info
+    started = _clock()
+    result = build_paper_scenario(config).run()
+    elapsed = _clock() - started
+    if world_cache is not None:
+        try:
+            store_world(world_cache, config, result)
+        except OSError:
+            pass  # a read-only cache dir must not fail the benchmark
+    return result, elapsed, cache_info
+
+
+def _rows_of(dataset: MevDataset, flash_txs: Any) -> str:
+    """Canonical serialization of one chunk's detection output, for
+    the indexed-vs-linear identity check."""
+    return json.dumps({"rows": dataset.to_rows(),
+                       "flash_txs": sorted(flash_txs)}, sort_keys=True)
+
+
 def run_bench(bpm: int = 60, seed: int = 7,
               workers: Sequence[int] = DEFAULT_WORKERS,
               chunk_size: Optional[int] = None,
-              quick: bool = False) -> Dict[str, Any]:
+              quick: bool = False,
+              world_cache: Union[str, Path, None] = None,
+              ) -> Dict[str, Any]:
     """Benchmark the pipeline; returns the BENCH_pipeline.json document.
 
     ``quick`` shrinks the scenario for CI smoke runs.  ``chunk_size``
     defaults to an eighth of the range so every worker count in the
-    sweep has chunks to parallelize over.
+    sweep has chunks to parallelize over.  ``world_cache`` names a
+    directory of world snapshots (see :func:`store_world`); when the
+    scenario digest hits, simulation is replaced by an unpickle.
     """
     from repro import run_inspector  # lazy: repro imports the engine
+    from repro.core.heuristics import (
+        detect_arbitrages,
+        detect_flash_loan_txs,
+        detect_liquidations,
+        detect_sandwiches,
+    )
+    from repro.core.scan import scan_range
 
     if quick:
         bpm = min(bpm, 10)
@@ -76,24 +213,55 @@ def run_bench(bpm: int = 60, seed: int = 7,
     if chunk_size is None:
         chunk_size = max(1, total_blocks // 8)
 
-    started = _clock()
-    result = build_paper_scenario(config).run()
-    simulate_s = _clock() - started
+    result, simulate_s, cache_info = _simulate(config, world_cache)
     first = result.node.earliest_block_number()
     last = result.node.latest_block_number()
     blocks = last - first + 1
     chunks = plan_chunks(first, last, chunk_size)
+    prices = PriceService(result.oracle)
 
     stages: List[Dict[str, Any]] = []
 
     # Detection only: the heuristics over every chunk, serial,
-    # chunk-isolated exactly as the pipeline runs them.
+    # chunk-isolated exactly as the pipeline runs them (resilience
+    # shield included) — the number an operator's --workers 1 run pays.
     node, _, _ = shield(result.node)
-    runner = ChunkRunner.for_pipeline(node, PriceService(result.oracle))
+    runner = ChunkRunner.for_pipeline(node, prices)
+    runner.warm_index()
     started = _clock()
     detection_results = list(SerialExecutor().execute(runner, chunks))
     stages.append(_timed("detection", blocks, _clock() - started))
     assert not any(r.failed for r in detection_results)
+
+    # The same chunks through the bare read paths, no shield: the
+    # single-pass scan over the warm index vs. the four standalone
+    # detectors re-walking the chain linearly.  The gap between these
+    # two stages is what the index buys.
+    indexed_node = ArchiveNode(result.blockchain)
+    indexed_node.warm_index()
+    indexed_rows: List[str] = []
+    started = _clock()
+    for lo, hi in chunks:
+        partial, flash_txs = scan_range(indexed_node, prices, lo, hi)
+        indexed_rows.append(_rows_of(partial, flash_txs))
+    stages.append(_timed("detection_indexed", blocks,
+                         _clock() - started))
+
+    linear_node = ArchiveNode(result.blockchain, indexed=False)
+    linear_rows: List[str] = []
+    started = _clock()
+    for lo, hi in chunks:
+        partial = MevDataset(
+            sandwiches=detect_sandwiches(linear_node, prices, lo, hi),
+            arbitrages=detect_arbitrages(linear_node, prices, lo, hi),
+            liquidations=detect_liquidations(linear_node, prices,
+                                             lo, hi),
+        )
+        flash_txs = detect_flash_loan_txs(linear_node, lo, hi)
+        linear_rows.append(_rows_of(partial, flash_txs))
+    stages.append(_timed("detection_linear", blocks,
+                         _clock() - started))
+    indexed_matches_linear = indexed_rows == linear_rows
 
     # Joins: everything downstream of detection (merge, flash-loan /
     # Flashbots / privacy labelling, quality accounting).  Timed as a
@@ -107,6 +275,7 @@ def run_bench(bpm: int = 60, seed: int = 7,
     stages.append(_timed("joins", blocks,
                          max(serial_s - detection_s, 0.0)))
 
+    cpu_count = os.cpu_count() or 1
     serial_print = _fingerprint(serial_dataset)
     end_to_end: List[Dict[str, Any]] = []
     parallel_identical = True
@@ -122,6 +291,7 @@ def run_bench(bpm: int = 60, seed: int = 7,
             parallel_identical = parallel_identical and identical
         entry = _timed(f"end_to_end[workers={count}]", blocks, elapsed)
         entry["workers"] = count
+        entry["workers_effective"] = max(1, min(count, cpu_count))
         entry["identical_to_serial"] = identical
         entry["speedup_vs_serial"] = round(serial_s / elapsed, 3) \
             if elapsed > 0 else None
@@ -141,9 +311,11 @@ def run_bench(bpm: int = 60, seed: int = 7,
             "cpu_count": os.cpu_count(),
         },
         "simulate_s": round(simulate_s, 6),
+        "world_cache": cache_info,
         "stages": stages,
         "end_to_end": end_to_end,
         "parallel_identical": parallel_identical,
+        "indexed_matches_linear": indexed_matches_linear,
     }
 
 
@@ -165,8 +337,13 @@ def render_report(report: Dict[str, Any]) -> str:
         f"{scenario['chunks']} chunks of {scenario['chunk_size']}), "
         f"{report['machine']['cpu_count']} cpu(s)",
     ]
+    cache_info = report.get("world_cache")
+    if cache_info is not None:
+        state = "hit" if cache_info["hit"] else "miss"
+        lines.append(f"  world cache: {state} "
+                     f"(digest {cache_info['digest']})")
     for stage in report["stages"]:
-        lines.append(f"  {stage['stage']:<12} "
+        lines.append(f"  {stage['stage']:<18} "
                      f"{stage['elapsed_s']:>9.3f}s  "
                      f"{stage['blocks_per_s'] or 0:>10.1f} blocks/s")
     for entry in report["end_to_end"]:
@@ -176,4 +353,6 @@ def render_report(report: Dict[str, Any]) -> str:
                      f"{entry['speedup_vs_serial']:>5.2f}x  [{check}]")
     lines.append("  parallel identical to serial: "
                  + ("yes" if report["parallel_identical"] else "NO"))
+    lines.append("  indexed reads identical to linear: "
+                 + ("yes" if report["indexed_matches_linear"] else "NO"))
     return "\n".join(lines)

@@ -22,6 +22,7 @@ from repro.chain.execution import (
 )
 from repro.chain.fork import MAINNET_FORKS, ForkSchedule
 from repro.chain.gas import BLOCK_GAS_LIMIT, BLOCK_REWARD, next_base_fee
+from repro.chain.index import ChainIndex, Posting
 from repro.chain.intents import (
     CoinbaseTipIntent,
     FailingIntent,
@@ -54,11 +55,11 @@ from repro.chain.types import (
 __all__ = [
     "AuctionBidEvent", "AuctionSettledEvent", "AuctionStartedEvent",
     "Address", "ArchiveNode", "Block", "BlockBuilder", "Blockchain",
-    "BorrowEvent", "BLOCK_GAS_LIMIT", "BLOCK_REWARD", "CoinbaseTipIntent",
+    "BorrowEvent", "BLOCK_GAS_LIMIT", "BLOCK_REWARD", "ChainIndex", "CoinbaseTipIntent",
     "EIP1559", "ETHER", "EventLog", "ExecutionContext", "ExecutionOutcome",
     "FailingIntent", "FlashLoanEvent", "ForkSchedule", "GossipNetwork",
     "GWEI", "Hash32", "InsufficientBalance", "LEGACY", "LiquidationEvent",
-    "MAINNET_FORKS", "Mempool", "MempoolObserver", "OracleUpdateEvent",
+    "MAINNET_FORKS", "Mempool", "MempoolObserver", "OracleUpdateEvent", "Posting",
     "Receipt", "Revert", "SequenceIntent", "SwapEvent", "SyncEvent",
     "TokenTransferIntent",
     "Transaction", "TransferEvent", "TxIntent", "WEI", "WorldState",

@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Type, TypeVar
 
 from repro.chain.block import Block
 from repro.chain.events import EventLog
+from repro.chain.index import ChainIndex
 from repro.chain.receipt import Receipt
 from repro.chain.transaction import Transaction
 from repro.chain.types import Hash32
@@ -26,6 +27,19 @@ class Blockchain:
     def __init__(self) -> None:
         self.blocks: List[Block] = []
         self._tx_index: Dict[Hash32, Tuple[int, int]] = {}
+        self._index: Optional[ChainIndex] = None
+
+    @property
+    def index(self) -> ChainIndex:
+        """The chain's read index (see :mod:`repro.chain.index`).
+
+        Built lazily, exactly once per chain, and shared by every
+        reader; appends are folded in incrementally on the next query,
+        so the index is never stale and never rebuilt.
+        """
+        if self._index is None:
+            self._index = ChainIndex(self)
+        return self._index
 
     def append(self, block: Block) -> None:
         if self.blocks and block.number != self.blocks[-1].number + 1:
@@ -62,10 +76,27 @@ class Blockchain:
 
 
 class ArchiveNode:
-    """Query API over a :class:`Blockchain` (the paper's data source)."""
+    """Query API over a :class:`Blockchain` (the paper's data source).
 
-    def __init__(self, chain: Blockchain) -> None:
+    Ranged queries (``iter_blocks``, ``get_logs``) resolve through the
+    chain's :class:`~repro.chain.index.ChainIndex` by default — O(range)
+    bisected slices instead of O(chain) scans from genesis.
+    ``indexed=False`` keeps the historical linear-scan implementation,
+    preserved as a reference (benchmark baselines and equivalence tests
+    compare the two paths element for element).
+    """
+
+    def __init__(self, chain: Blockchain, indexed: bool = True) -> None:
         self.chain = chain
+        self.indexed = indexed
+
+    def warm_index(self) -> None:
+        """Build the read index eagerly (both block positions and log
+        postings) — e.g. once in the parent process before worker
+        fan-out, so forked workers inherit it instead of each paying
+        the first-query build."""
+        if self.indexed:
+            self.chain.index.warm()
 
     # Block-level queries -----------------------------------------------------
 
@@ -80,7 +111,29 @@ class ArchiveNode:
 
     def iter_blocks(self, from_block: Optional[int] = None,
                     to_block: Optional[int] = None) -> Iterator[Block]:
-        """Yield blocks in ``[from_block, to_block]`` (inclusive bounds)."""
+        """Yield blocks in ``[from_block, to_block]`` (inclusive bounds).
+
+        Empty ranges — ``from_block`` past the tip, or
+        ``from_block > to_block`` — yield nothing *without scanning*.
+        """
+        height = self.chain.height
+        if height is None:
+            return
+        if from_block is not None:
+            if from_block > height:
+                return
+            if to_block is not None and from_block > to_block:
+                return
+        if not self.indexed:
+            yield from self._linear_iter_blocks(from_block, to_block)
+            return
+        start, stop = self.chain.index.block_positions(from_block,
+                                                       to_block)
+        yield from self.chain.blocks[start:stop]
+
+    def _linear_iter_blocks(self, from_block: Optional[int],
+                            to_block: Optional[int]) -> Iterator[Block]:
+        """The historical O(chain) scan, kept as the reference path."""
         for block in self.chain.blocks:
             if from_block is not None and block.number < from_block:
                 continue
@@ -110,8 +163,19 @@ class ArchiveNode:
                  from_block: Optional[int] = None,
                  to_block: Optional[int] = None) -> List[E]:
         """All logs of ``event_type`` in the block range, chain order."""
+        if not self.indexed:
+            return self._linear_get_logs(event_type, from_block,
+                                         to_block)
+        logs = self.chain.index.logs_in_range(event_type, from_block,
+                                              to_block)
+        return logs  # type: ignore[return-value]
+
+    def _linear_get_logs(self, event_type: Type[E],
+                         from_block: Optional[int],
+                         to_block: Optional[int]) -> List[E]:
+        """The historical ``isinstance``-filtering scan (reference)."""
         found: List[E] = []
-        for block in self.iter_blocks(from_block, to_block):
+        for block in self._linear_iter_blocks(from_block, to_block):
             for receipt in block.receipts:
                 for log in receipt.logs:
                     if isinstance(log, event_type):

@@ -112,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PATH",
                        help="where to write the JSON report "
                             "(default: BENCH_pipeline.json)")
+    bench.add_argument("--world-cache", default=None, metavar="DIR",
+                       help="directory of world snapshots keyed by "
+                            "scenario digest; hits skip the expensive "
+                            "simulation step (content-verified, falls "
+                            "back to a fresh sim on any mismatch)")
     lint = sub.add_parser("lint",
                           help="run the domain-invariant linter "
                                "(R001–R006) over source paths")
@@ -296,12 +301,17 @@ def run_bench_command(args: argparse.Namespace) -> int:
           f"workers={list(workers)}"
           + (", quick" if args.quick else "") + ") …", file=sys.stderr)
     report = run_bench(bpm=args.bpm, seed=args.seed, workers=workers,
-                       chunk_size=args.chunk_size, quick=args.quick)
+                       chunk_size=args.chunk_size, quick=args.quick,
+                       world_cache=args.world_cache)
     write_report(report, args.output)
     print(render_report(report))
     print(f"wrote {args.output}")
     if not report["parallel_identical"]:
         print("ERROR: parallel run diverged from serial run",
+              file=sys.stderr)
+        return 1
+    if not report["indexed_matches_linear"]:
+        print("ERROR: indexed read path diverged from linear scan",
               file=sys.stderr)
         return 1
     return 0

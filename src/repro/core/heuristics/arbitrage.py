@@ -13,13 +13,14 @@ SushiSwap and Uniswap (everything the venue registry deploys).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Container, List, Optional, Sequence
 
 from repro.chain.events import SwapEvent
 from repro.chain.node import ArchiveNode
 from repro.chain.receipt import Receipt
 from repro.core.datasets import ArbitrageRecord
 from repro.core.profit import PriceService, transaction_cost
+from repro.core.scan import BlockView
 
 DEFAULT_VENUES = ("0x", "Balancer", "Bancor", "Curve", "SushiSwap",
                   "UniswapV2", "UniswapV3")
@@ -47,8 +48,21 @@ def _record_from_receipt(receipt: Receipt, prices: PriceService,
                          miner: str,
                          venues: Sequence[str],
                          ) -> Optional[ArbitrageRecord]:
-    swaps = [log for log in receipt.logs
-             if isinstance(log, SwapEvent) and log.venue in venues]
+    swaps = [log for log in receipt.logs if isinstance(log, SwapEvent)]
+    return _record_from_swaps(receipt, swaps, prices, miner, venues)
+
+
+def _record_from_swaps(receipt: Receipt, swaps: List[SwapEvent],
+                       prices: PriceService, miner: str,
+                       venues: Container[str],
+                       ) -> Optional[ArbitrageRecord]:
+    # A cycle takes at least two covered swaps; most receipts carry a
+    # single ordinary swap, so bail before filtering and sorting.
+    if len(swaps) < 2:
+        return None
+    swaps = [log for log in swaps if log.venue in venues]
+    if len(swaps) < 2:
+        return None
     swaps.sort(key=lambda s: s.log_index)
     cycle = _cycle_of(swaps)
     if cycle is None:
@@ -70,19 +84,45 @@ def _record_from_receipt(receipt: Receipt, prices: PriceService,
         gain_wei=gain_wei, cost_wei=cost_wei, miner=miner)
 
 
+class ArbitrageVisitor:
+    """Per-block arbitrage detector for :class:`~repro.core.scan.BlockScan`.
+
+    Entirely local: a cyclic arbitrage is decided from one receipt's
+    swap events, so records are complete at ``visit`` time and
+    ``finalize`` just hands them back — no archive traffic at all.
+    """
+
+    def __init__(self, prices: PriceService,
+                 venues: Sequence[str] = DEFAULT_VENUES) -> None:
+        self.prices = prices
+        self.venues = venues
+        self._venue_set = frozenset(venues)
+        self._records: List[ArbitrageRecord] = []
+
+    def visit(self, view: BlockView) -> None:
+        for receipt, swaps in view.swap_receipts:
+            if len(swaps) < 2:  # a cycle takes at least two swaps
+                continue
+            record = _record_from_swaps(receipt, swaps, self.prices,
+                                        view.block.miner,
+                                        self._venue_set)
+            if record is not None:
+                self._records.append(record)
+
+    def finalize(self) -> List[ArbitrageRecord]:
+        return self._records
+
+
 def detect_arbitrages(node: ArchiveNode, prices: PriceService,
                       from_block: Optional[int] = None,
                       to_block: Optional[int] = None,
                       venues: Sequence[str] = DEFAULT_VENUES,
                       ) -> List[ArbitrageRecord]:
-    """Scan a block range and return every detected cyclic arbitrage."""
-    records: List[ArbitrageRecord] = []
+    """Scan a block range and return every detected cyclic arbitrage.
+
+    Thin wrapper over :class:`ArbitrageVisitor` (one block pass).
+    """
+    visitor = ArbitrageVisitor(prices, venues)
     for block in node.iter_blocks(from_block, to_block):
-        for receipt in block.receipts:
-            if not receipt.status:
-                continue
-            record = _record_from_receipt(receipt, prices, block.miner,
-                                          venues)
-            if record is not None:
-                records.append(record)
-    return records
+        visitor.visit(BlockView.of(block))
+    return visitor.finalize()

@@ -12,14 +12,46 @@ direct crawl.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.chain.events import LiquidationEvent
 from repro.chain.node import ArchiveNode
+from repro.chain.types import Address
 from repro.core.datasets import LiquidationRecord
 from repro.core.profit import PriceService, transaction_cost
+from repro.core.scan import BlockView
 
 DEFAULT_PLATFORMS = ("AaveV1", "AaveV2", "Compound")
+
+
+class LiquidationVisitor:
+    """Per-block liquidation detector for
+    :class:`~repro.core.scan.BlockScan`.
+
+    ``visit`` collects the platform-covered liquidation events;
+    ``finalize`` builds the records — price checks, then the liquidating
+    transaction's receipt — in discovery order, the same archive-fetch
+    order the standalone scan performed.
+    """
+
+    def __init__(self, prices: PriceService,
+                 platforms: Sequence[str] = DEFAULT_PLATFORMS) -> None:
+        self.prices = prices
+        self.platforms = platforms
+        self._pending: List[Tuple[LiquidationEvent, Address]] = []
+
+    def visit(self, view: BlockView) -> None:
+        for event in view.liquidations:
+            if event.platform in self.platforms:
+                self._pending.append((event, view.block.miner))
+
+    def finalize(self, node: ArchiveNode) -> List[LiquidationRecord]:
+        records: List[LiquidationRecord] = []
+        for event, miner in self._pending:
+            record = _build_record(node, self.prices, miner, event)
+            if record is not None:
+                records.append(record)
+        return records
 
 
 def detect_liquidations(node: ArchiveNode, prices: PriceService,
@@ -27,21 +59,15 @@ def detect_liquidations(node: ArchiveNode, prices: PriceService,
                         to_block: Optional[int] = None,
                         platforms: Sequence[str] = DEFAULT_PLATFORMS,
                         ) -> List[LiquidationRecord]:
-    """Scan a block range and return every detected liquidation."""
-    records: List[LiquidationRecord] = []
+    """Scan a block range and return every detected liquidation.
+
+    Thin wrapper over :class:`LiquidationVisitor`: one block pass, then
+    record construction in discovery order.
+    """
+    visitor = LiquidationVisitor(prices, platforms)
     for block in node.iter_blocks(from_block, to_block):
-        for receipt in block.receipts:
-            if not receipt.status:
-                continue
-            for log in receipt.logs:
-                if not isinstance(log, LiquidationEvent):
-                    continue
-                if log.platform not in platforms:
-                    continue
-                record = _build_record(node, prices, block.miner, log)
-                if record is not None:
-                    records.append(record)
-    return records
+        visitor.visit(BlockView.of(block))
+    return visitor.finalize(node)
 
 
 def _build_record(node: ArchiveNode, prices: PriceService, miner: str,

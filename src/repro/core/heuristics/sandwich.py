@@ -24,6 +24,7 @@ from repro.chain.events import SwapEvent
 from repro.chain.node import ArchiveNode
 from repro.core.datasets import SandwichRecord
 from repro.core.profit import PriceService, transaction_cost
+from repro.core.scan import BlockView
 
 #: Venues the sandwich script covers (paper Section 3.1.1).
 DEFAULT_VENUES = ("Bancor", "SushiSwap", "UniswapV1", "UniswapV2",
@@ -108,24 +109,69 @@ def _pick_victim(swaps: List[SwapEvent], front_index: int,
     return best
 
 
+class SandwichVisitor:
+    """Per-block sandwich detector for :class:`~repro.core.scan.BlockScan`.
+
+    ``visit`` finds the (front, victim, back) triples from the view's
+    pre-bucketed swaps; ``finalize`` builds the records — the price
+    checks plus the two attacker-receipt lookups — in discovery order,
+    which is exactly the archive-fetch order the standalone scan
+    performed.
+    """
+
+    def __init__(self, prices: PriceService,
+                 venues: Sequence[str] = DEFAULT_VENUES) -> None:
+        self.prices = prices
+        self.venues = venues
+        self._venue_set = frozenset(venues)
+        self._pending: List[Tuple[Block, str, SwapEvent, SwapEvent,
+                                  SwapEvent]] = []
+
+    def visit(self, view: BlockView) -> None:
+        venues = self._venue_set
+        matched: List[SwapEvent] = []
+        for _, swaps in view.swap_receipts:
+            for log in swaps:
+                if log.venue in venues:
+                    matched.append(log)
+        # A sandwich needs three swaps in one pool; fewer than three in
+        # the whole block cannot group into one.
+        if len(matched) < 3:
+            return
+        grouped: Dict[str, List[SwapEvent]] = defaultdict(list)
+        for log in matched:
+            grouped[log.address].append(log)
+        for pool_address, swaps in grouped.items():
+            if len(swaps) < 3:
+                continue
+            for front, victim, back in _find_in_pool(swaps):
+                self._pending.append((view.block, pool_address, front,
+                                      victim, back))
+
+    def finalize(self, node: ArchiveNode) -> List[SandwichRecord]:
+        records: List[SandwichRecord] = []
+        for block, pool_address, front, victim, back in self._pending:
+            record = _build_record(node, self.prices, block,
+                                   pool_address, front, victim, back)
+            if record is not None:
+                records.append(record)
+        return records
+
+
 def detect_sandwiches(node: ArchiveNode, prices: PriceService,
                       from_block: Optional[int] = None,
                       to_block: Optional[int] = None,
                       venues: Sequence[str] = DEFAULT_VENUES,
                       ) -> List[SandwichRecord]:
-    """Scan a block range and return every detected sandwich."""
-    records: List[SandwichRecord] = []
+    """Scan a block range and return every detected sandwich.
+
+    Thin wrapper over :class:`SandwichVisitor`: one block pass, then
+    record construction in discovery order.
+    """
+    visitor = SandwichVisitor(prices, venues)
     for block in node.iter_blocks(from_block, to_block):
-        for pool_address, swaps in _swaps_by_pool(block,
-                                                  venues).items():
-            if len(swaps) < 3:
-                continue
-            for front, victim, back in _find_in_pool(swaps):
-                record = _build_record(node, prices, block, pool_address,
-                                       front, victim, back)
-                if record is not None:
-                    records.append(record)
-    return records
+        visitor.visit(BlockView.of(block))
+    return visitor.finalize(node)
 
 
 def _build_record(node: ArchiveNode, prices: PriceService, block: Block,

@@ -1,0 +1,257 @@
+"""Single-pass detection: one walk of a block range feeds every heuristic.
+
+Historically each heuristic (sandwich, arbitrage, liquidation, flash
+loan) made its own full pass over the range, so a chunk cost four scans.
+:class:`BlockScan` walks the blocks exactly once: every block is
+bucketed into a :class:`BlockView` (swaps per successful receipt,
+liquidation events, flash-loan events) and each registered visitor
+consumes that view.  The per-heuristic visitors live next to their
+standalone entry points in :mod:`repro.core.heuristics`; the standalone
+``detect_*`` functions are now thin wrappers over them.
+
+**Scan contract.**  Visitors see blocks in ascending order, exactly
+once each, and must not fetch from the archive during ``visit`` — any
+follow-up archive reads (e.g. the attacker receipts a sandwich record
+needs) belong in ``finalize``, in discovery order, so the scan itself
+stays one pure pass and the resulting archive-fetch sequence is
+deterministic.
+
+Bucketing mirrors the heuristics' historical filters bit for bit:
+swap and liquidation events are taken from *successful* receipts only,
+while flash-loan events are status-blind (``get_logs`` never filtered
+on receipt status).  Venue/platform filtering stays inside each
+visitor — the buckets are shared, the coverage policies are not.
+"""
+
+from __future__ import annotations
+
+from typing import (Dict, Iterable, List, Optional, Protocol, Sequence, Set,
+                    Tuple)
+
+from repro.chain.block import Block
+from repro.chain.events import (EventLog, FlashLoanEvent, LiquidationEvent,
+                                SwapEvent)
+from repro.chain.index import ChainIndex
+from repro.chain.node import ArchiveNode
+from repro.chain.receipt import Receipt
+from repro.chain.types import Hash32
+from repro.core.datasets import MevDataset
+from repro.core.profit import PriceService
+
+__all__ = ["BlockScan", "BlockView", "BlockVisitor", "scan_range",
+           "views_from_index"]
+
+# Log classification, memoized per concrete event class: the bucketing
+# below is the scan's innermost loop, and one dict probe beats a chain
+# of isinstance checks.  Classification still *is* isinstance (so
+# subclasses bucket exactly as before) — it just runs once per class.
+_KIND_OTHER = 0
+_KIND_SWAP = 1
+_KIND_LIQUIDATION = 2
+_KIND_FLASH_LOAN = 3
+
+_LOG_KINDS: dict = {}
+
+
+def _classify(log_class: type) -> int:
+    if issubclass(log_class, SwapEvent):
+        kind = _KIND_SWAP
+    elif issubclass(log_class, LiquidationEvent):
+        kind = _KIND_LIQUIDATION
+    elif issubclass(log_class, FlashLoanEvent):
+        kind = _KIND_FLASH_LOAN
+    else:
+        kind = _KIND_OTHER
+    _LOG_KINDS[log_class] = kind
+    return kind
+
+
+class BlockView:
+    """One block's receipts and logs, pre-bucketed for the visitors."""
+
+    __slots__ = ("block", "swap_receipts", "liquidations", "flash_loans")
+
+    def __init__(self, block: Block,
+                 swap_receipts: List[Tuple[Receipt, List[SwapEvent]]],
+                 liquidations: List[LiquidationEvent],
+                 flash_loans: List[FlashLoanEvent]) -> None:
+        self.block = block
+        #: ``(receipt, its swap events)`` for successful receipts that
+        #: emitted at least one swap, in block order
+        self.swap_receipts = swap_receipts
+        #: liquidation events from successful receipts, in block order
+        self.liquidations = liquidations
+        #: flash-loan events from *all* receipts (status-blind, matching
+        #: the ``get_logs`` crawl), in block order
+        self.flash_loans = flash_loans
+
+    @classmethod
+    def of(cls, block: Block) -> "BlockView":
+        """Bucket one block's logs in a single receipts walk."""
+        swap_receipts: List[Tuple[Receipt, List[SwapEvent]]] = []
+        liquidations: List[LiquidationEvent] = []
+        flash_loans: List[FlashLoanEvent] = []
+        kinds = _LOG_KINDS
+        for receipt in block.receipts:
+            if receipt.status:
+                swaps: List[SwapEvent] = []
+                for log in receipt.logs:
+                    kind = kinds.get(type(log))
+                    if kind is None:
+                        kind = _classify(type(log))
+                    if kind == _KIND_SWAP:
+                        swaps.append(log)
+                    elif kind == _KIND_LIQUIDATION:
+                        liquidations.append(log)
+                    elif kind == _KIND_FLASH_LOAN:
+                        flash_loans.append(log)
+                if swaps:
+                    swap_receipts.append((receipt, swaps))
+            else:
+                for log in receipt.logs:
+                    if isinstance(log, FlashLoanEvent):
+                        flash_loans.append(log)
+        return cls(block, swap_receipts, liquidations, flash_loans)
+
+
+def _by_block(logs: List[EventLog]) -> Dict[int, List[EventLog]]:
+    """Group an ordered ``logs_in_range`` result by block number,
+    preserving traversal order inside each block."""
+    grouped: Dict[int, List[EventLog]] = {}
+    for log in logs:
+        bucket = grouped.get(log.block_number)
+        if bucket is None:
+            bucket = grouped[log.block_number] = []
+        bucket.append(log)
+    return grouped
+
+
+def _view_from_buckets(block: Block,
+                       swaps: Optional[List[EventLog]],
+                       liquidations: Optional[List[EventLog]],
+                       flash_loans: Optional[List[EventLog]],
+                       ) -> BlockView:
+    receipts = block.receipts
+    swap_receipts: List[Tuple[Receipt, List[SwapEvent]]] = []
+    if swaps:
+        # Within a block the postings run in receipt order, so one
+        # receipt's swaps are consecutive: group on tx_index change.
+        current_index: Optional[int] = None
+        current: Optional[List[SwapEvent]] = None
+        for log in swaps:
+            tx_index = log.tx_index
+            if tx_index != current_index:
+                current_index = tx_index
+                receipt = receipts[tx_index]
+                current = [] if receipt.status else None
+                if current is not None:
+                    swap_receipts.append((receipt, current))
+            if current is not None:
+                current.append(log)
+    kept_liquidations: List[LiquidationEvent] = []
+    if liquidations:
+        kept_liquidations = [log for log in liquidations
+                             if receipts[log.tx_index].status]
+    return BlockView(block, swap_receipts, kept_liquidations,
+                     flash_loans or [])
+
+
+def views_from_index(index: ChainIndex,
+                     blocks: Sequence[Block]) -> List[BlockView]:
+    """Pre-bucketed views for already-fetched blocks, read from the
+    chain index's postings instead of walking every receipt log.
+
+    Equivalent to ``[BlockView.of(b) for b in blocks]`` — same log
+    objects, same order, same status filtering — but O(matching
+    events): the postings already separate the swap, liquidation and
+    flash-loan logs, so the far more numerous transfer/sync events are
+    never touched.  Sealed logs carry positional coordinates
+    (``log.tx_index`` indexes ``block.receipts``); any block whose
+    logs lack them falls back to the plain receipts walk.
+    """
+    if not blocks:
+        return []
+    lo, hi = blocks[0].number, blocks[-1].number
+    swaps_by = _by_block(index.logs_in_range(SwapEvent, lo, hi))
+    liquidations_by = _by_block(
+        index.logs_in_range(LiquidationEvent, lo, hi))
+    flash_by = _by_block(index.logs_in_range(FlashLoanEvent, lo, hi))
+    if None in swaps_by or None in liquidations_by or None in flash_by:
+        # Unstamped block coordinates cannot be placed — walk receipts.
+        return [BlockView.of(block) for block in blocks]
+    views: List[BlockView] = []
+    for block in blocks:
+        number = block.number
+        try:
+            views.append(_view_from_buckets(
+                block, swaps_by.get(number), liquidations_by.get(number),
+                flash_by.get(number)))
+        except (IndexError, TypeError):
+            views.append(BlockView.of(block))
+    return views
+
+
+class BlockVisitor(Protocol):
+    """A per-block heuristic consumer fed by :class:`BlockScan`."""
+
+    def visit(self, view: BlockView) -> None: ...
+
+
+class BlockScan:
+    """Walk blocks once, feeding every visitor from shared buckets."""
+
+    def __init__(self, visitors: Sequence[BlockVisitor]) -> None:
+        self.visitors = list(visitors)
+
+    def scan(self, blocks: Iterable[Block]) -> None:
+        """One pass: each block is bucketed once and offered to every
+        visitor in registration order."""
+        self.scan_views(BlockView.of(block) for block in blocks)
+
+    def scan_views(self, views: Iterable[BlockView]) -> None:
+        """Feed pre-built views (e.g. from :func:`views_from_index`) to
+        every visitor, in order, each exactly once."""
+        visitors = self.visitors
+        for view in views:
+            for visitor in visitors:
+                visitor.visit(view)
+
+
+def scan_range(node: ArchiveNode, prices: PriceService,
+               from_block: Optional[int] = None,
+               to_block: Optional[int] = None,
+               ) -> Tuple[MevDataset, Set[Hash32]]:
+    """All four heuristics over a block range in one pass.
+
+    Returns the partial dataset (sandwiches, arbitrages, liquidations —
+    no joins applied) and the flash-loan transaction hashes.  The only
+    archive traffic is one ranged block read plus the per-record receipt
+    lookups the sandwich/liquidation records require.
+    """
+    # Imported here, not at module top: the heuristics import this
+    # module for BlockView/BlockScan, so the one-stop helper reaches
+    # back lazily to keep the import DAG acyclic.
+    from repro.core.heuristics.arbitrage import ArbitrageVisitor
+    from repro.core.heuristics.flashloan import FlashLoanVisitor
+    from repro.core.heuristics.liquidation import LiquidationVisitor
+    from repro.core.heuristics.sandwich import SandwichVisitor
+
+    sandwich = SandwichVisitor(prices)
+    arbitrage = ArbitrageVisitor(prices)
+    liquidation = LiquidationVisitor(prices)
+    flash = FlashLoanVisitor()
+    scan = BlockScan([sandwich, arbitrage, liquidation, flash])
+    chain = getattr(node, "chain", None)
+    if chain is not None and getattr(node, "indexed", False):
+        # Indexed surface: bucket from the shared postings lists so the
+        # pass never touches a non-MEV log.
+        scan.scan_views(views_from_index(
+            chain.index, list(node.iter_blocks(from_block, to_block))))
+    else:
+        scan.scan(node.iter_blocks(from_block, to_block))
+    dataset = MevDataset(
+        sandwiches=sandwich.finalize(node),
+        arbitrages=arbitrage.finalize(),
+        liquidations=liquidation.finalize(node),
+    )
+    return dataset, flash.finalize()

@@ -283,11 +283,25 @@ class CachedExecutor:
         os.replace(tmp_path, path)
 
 
+def _available_cpus() -> int:
+    """CPUs the host can actually run worker processes on."""
+    return os.cpu_count() or 1
+
+
 def make_executor(workers: int = 1,
                   cache_dir: Union[str, Path, None] = None,
                   digest: Optional[str] = None) -> Executor:
-    """The executor stack a run configuration asks for."""
-    executor: Executor = ParallelExecutor(workers) if workers > 1 \
+    """The executor stack a run configuration asks for.
+
+    ``workers`` is capped to the host's CPU count: every executor is
+    bit-identical, so oversubscribing a small machine buys nothing but
+    fork/IPC overhead — ``--workers 4`` on a 1-CPU box quietly runs
+    serial.  This is policy, applied here and only here; constructing
+    :class:`ParallelExecutor` directly honors the exact count asked
+    for.
+    """
+    effective = max(1, min(workers, _available_cpus()))
+    executor: Executor = ParallelExecutor(effective) if effective > 1 \
         else SerialExecutor()
     if cache_dir is not None:
         executor = CachedExecutor(executor, cache_dir,

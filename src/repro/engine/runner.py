@@ -76,27 +76,94 @@ class ChunkRunner:
             cooldown_calls=self.cooldown_calls)
         return ReliableArchiveNode(self.node, self.retry, breaker)
 
+    def warm_index(self) -> None:
+        """Build the chain's read index once, here in the parent,
+        before any fan-out: forked workers inherit the built index
+        copy-on-write instead of each paying the first-query build.
+        Walks wrapper facades (``.inner``) down to whatever exposes
+        ``warm_index``; a no-op for surfaces that don't."""
+        node = self.node
+        while node is not None:
+            warm = getattr(node, "warm_index", None)
+            if warm is not None:
+                warm()
+                return
+            node = getattr(node, "inner", None)
+
+    def _read_index(self) -> Any:
+        """The chain's shared read index, when the underlying archive
+        surface is an indexed ``ArchiveNode``; ``None`` for linear
+        surfaces (then the scan walks receipts directly).  Wrappers
+        (fault transports, facades) are unwrapped via ``.inner``."""
+        node = self.node
+        while node is not None:
+            chain = getattr(node, "chain", None)
+            if chain is not None:
+                return chain.index if getattr(node, "indexed",
+                                              False) else None
+            node = getattr(node, "inner", None)
+        return None
+
     def run_chunk(self, chunk: BlockRange) -> ChunkResult:
-        """One chunk's detections as a checkpointable artifact."""
+        """One chunk's detections as a checkpointable artifact.
+
+        Single pass: one ranged block read feeds all four heuristics
+        through :class:`~repro.core.scan.BlockScan`, instead of the four
+        independent range scans the heuristics historically made.
+
+        **Transport compatibility.**  The historical per-heuristic scans
+        produced a fixed archive-op sequence per chunk — three
+        ``iter_blocks`` fetches, the sandwich/liquidation receipt
+        lookups, one ``get_logs`` — and injected faults, retries, and
+        breaker state are all keyed to that sequence.  The fused pass
+        replays it exactly (the two extra ``iter_blocks`` fetches are
+        issued and discarded; under the chain index they are O(range)
+        slices, not rescans), so the rows *and* the resilience ledger —
+        the ``DataQualityReport`` — stay bit-identical to the pre-fusion
+        pipeline under any fault plan.
+        """
         # Imported here, not at module top: repro.core imports the
         # engine (pipeline → executors/runner), so the runner reaches
         # back into repro.core lazily to keep the import DAG acyclic.
+        from repro.chain.events import FlashLoanEvent
         from repro.core.datasets import MevDataset
-        from repro.core.heuristics.arbitrage import detect_arbitrages
-        from repro.core.heuristics.flashloan import detect_flash_loan_txs
-        from repro.core.heuristics.liquidation import detect_liquidations
-        from repro.core.heuristics.sandwich import detect_sandwiches
+        from repro.core.heuristics.arbitrage import ArbitrageVisitor
+        from repro.core.heuristics.flashloan import flash_loan_hashes
+        from repro.core.heuristics.liquidation import LiquidationVisitor
+        from repro.core.heuristics.sandwich import SandwichVisitor
+        from repro.core.scan import BlockScan, views_from_index
 
         node = self._chunk_node()
+        index = self._read_index()
         lo, hi = chunk
         try:
+            sandwich = SandwichVisitor(self.prices)
+            arbitrage = ArbitrageVisitor(self.prices)
+            liquidation = LiquidationVisitor(self.prices)
+            scan = BlockScan([sandwich, arbitrage, liquidation])
+            if index is not None:
+                # Bucket from the shared postings lists: the fetched
+                # blocks are the chain's own sealed objects, so the
+                # index coordinates address them exactly, and reading
+                # the index issues no archive ops — the transport
+                # sequence below is unchanged.
+                scan.scan_views(views_from_index(
+                    index, list(node.iter_blocks(lo, hi))))
+            else:
+                scan.scan(node.iter_blocks(lo, hi))
+            sandwiches = sandwich.finalize(node)
+            # Replay the arbitrage and liquidation scans' ranged
+            # fetches (results discarded — the single pass above
+            # already consumed the data they would have returned).
+            node.iter_blocks(lo, hi)
+            node.iter_blocks(lo, hi)
             partial = MevDataset(
-                sandwiches=detect_sandwiches(node, self.prices, lo, hi),
-                arbitrages=detect_arbitrages(node, self.prices, lo, hi),
-                liquidations=detect_liquidations(node, self.prices,
-                                                 lo, hi),
+                sandwiches=sandwiches,
+                arbitrages=arbitrage.finalize(),
+                liquidations=liquidation.finalize(node),
             )
-            flash_txs = detect_flash_loan_txs(node, lo, hi)
+            flash_txs = flash_loan_hashes(
+                node.get_logs(FlashLoanEvent, lo, hi))
         except CHUNK_FAILURES:
             return ChunkResult(chunk=chunk, payload=None,
                                stats=self._stats_of(node))

@@ -5,6 +5,9 @@ programs against, and its values are dimensionful — wei, block heights,
 permille tolerances.  Unannotated parameters there are where int/float
 confusion sneaks back in.  The rule requires every *public* function in
 the configured packages to annotate all parameters and the return type.
+``repro.chain.index`` is held to the same bar: it is the read path the
+whole measurement layer leans on, and its coordinates (block numbers,
+tx/log indices) invite exactly that confusion.
 
 Public means: listed in ``__all__`` when the module defines one,
 otherwise any top-level or public-class method whose name has no
@@ -21,7 +24,7 @@ from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
-DEFAULT_PACKAGES = ("repro.core", "repro.engine")
+DEFAULT_PACKAGES = ("repro.core", "repro.engine", "repro.chain.index")
 
 _IMPLICIT = {"self", "cls"}
 

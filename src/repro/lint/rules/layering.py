@@ -11,8 +11,13 @@ Forbidden edges (importer package → imported package)::
 
     repro.core      ↛ repro.sim, repro.agents
     repro.analysis  ↛ repro.sim, repro.agents
-    repro.chain     ↛ repro.core, repro.analysis, repro.sim,
-                      repro.agents, repro.flashbots
+    repro.chain     ↛ repro.core, repro.engine, repro.analysis,
+                      repro.sim, repro.agents, repro.flashbots
+
+The ``repro.chain`` edges also keep the read-optimized index
+(``repro.chain.index``) a pure substrate service: it may be *used* by
+the detection and engine layers, but must never reach back up into
+them.
 
 ``allow`` lists modules that are exempt as import *targets* (default:
 ``repro.sim.calendar``, a pure block-height→month mapping with no
@@ -38,6 +43,7 @@ DEFAULT_EDGES: Tuple[Tuple[str, str], ...] = (
     ("repro.analysis", "repro.sim"),
     ("repro.analysis", "repro.agents"),
     ("repro.chain", "repro.core"),
+    ("repro.chain", "repro.engine"),
     ("repro.chain", "repro.analysis"),
     ("repro.chain", "repro.sim"),
     ("repro.chain", "repro.agents"),

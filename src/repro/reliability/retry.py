@@ -88,7 +88,11 @@ class RetryPolicy:
         delay)`` fires before each re-attempt (stats hooks);
         ``sleeper(delay)`` actually waits, when provided.
         """
-        delays = self.backoff_delays(key)
+        # The schedule is pure in (seed, key), so computing it lazily —
+        # only once a first attempt has actually failed — changes no
+        # delay; it just keeps the seeded-jitter setup cost off the
+        # success path, which is nearly every call.
+        delays: Optional[List[float]] = None
         last_error: Optional[BaseException] = None
         for attempt in range(self.max_attempts):
             try:
@@ -97,6 +101,8 @@ class RetryPolicy:
                 if not is_retryable(error):
                     raise
                 last_error = error
+            if delays is None:
+                delays = self.backoff_delays(key)
             if attempt < len(delays):
                 delay = delays[attempt]
                 if on_retry is not None:

@@ -1,0 +1,239 @@
+"""Tests for the read-optimized chain index (``repro.chain.index``).
+
+The index's contract is strong: every ranged query through it must be
+*element-for-element* identical to the historical linear scan (which
+``ArchiveNode`` keeps as ``_linear_iter_blocks`` / ``_linear_get_logs``
+reference paths), including subclass-matching semantics and traversal
+order across event types — while appends stay visible without ever
+rebuilding.
+"""
+
+import random
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.events import (
+    AuctionSettledEvent,
+    EventLog,
+    FlashLoanEvent,
+    LiquidationEvent,
+    SwapEvent,
+    TransferEvent,
+)
+from repro.chain.index import ChainIndex, Posting
+from repro.chain.node import ArchiveNode, Blockchain
+from repro.chain.receipt import Receipt
+from repro.chain.types import address_from_label
+
+MINER = address_from_label("index-miner")
+SENDER = address_from_label("index-sender")
+POOL = address_from_label("index-pool")
+
+
+def make_receipt(block_number, tx_index, logs, status=True):
+    """A synthetic receipt carrying ``logs``, stamped like the block
+    builder stamps them."""
+    tx_hash = f"0x{block_number:032x}{tx_index:032x}"
+    for log_index, log in enumerate(logs):
+        log.stamp(block_number, tx_hash, tx_index, log_index)
+    return Receipt(tx_hash=tx_hash, block_number=block_number,
+                   tx_index=tx_index, sender=SENDER, to=POOL,
+                   status=status, gas_used=21_000,
+                   effective_gas_price=1, miner_tip_per_gas=1,
+                   coinbase_transfer=0, logs=logs)
+
+
+def make_block(number, receipts=()):
+    return Block(number=number, timestamp=13 * number, miner=MINER,
+                 base_fee=0, gas_limit=30_000_000,
+                 receipts=list(receipts))
+
+
+def chain_of(*blocks_logs):
+    """One chain from per-block log lists: ``chain_of([log, ...], ...)``
+    numbers blocks 1..n, one receipt per log list."""
+    chain = Blockchain()
+    for offset, logs in enumerate(blocks_logs):
+        number = offset + 1
+        chain.append(make_block(
+            number, [make_receipt(number, 0, list(logs))]))
+    return chain
+
+
+class TestChainIndex:
+    def test_block_positions_bisect(self):
+        chain = chain_of([], [], [], [], [])
+        index = chain.index
+        assert index.block_positions(2, 4) == (1, 4)
+        assert index.block_positions(None, None) == (0, 5)
+        assert index.block_positions(6, None) == (5, 5)
+        assert index.block_positions(4, 2) == (3, 3)  # empty, clamped
+
+    def test_postings_carry_inclusion_coordinates(self):
+        chain = chain_of([TransferEvent(POOL, amount=1)],
+                         [SwapEvent(POOL, venue="UniswapV2"),
+                          TransferEvent(POOL, amount=2)])
+        postings = chain.index.postings(TransferEvent)
+        assert postings == [Posting(1, 0, 0), Posting(2, 0, 1)]
+        assert chain.index.postings(SwapEvent) == [Posting(2, 0, 0)]
+        assert chain.index.postings(FlashLoanEvent) == []
+
+    def test_postings_are_lazy_until_a_log_query(self):
+        chain = chain_of([TransferEvent(POOL, amount=1)], [], [])
+        node = ArchiveNode(chain)
+        list(node.iter_blocks(1, 2))
+        assert chain.index.blocks_indexed == 3
+        assert chain.index.logs_indexed_through == 0
+        node.get_logs(TransferEvent)
+        assert chain.index.logs_indexed_through == 3
+
+    def test_append_invalidates_incrementally(self):
+        chain = chain_of([TransferEvent(POOL, amount=1)],
+                         [TransferEvent(POOL, amount=2)])
+        node = ArchiveNode(chain)
+        assert [log.amount for log in node.get_logs(TransferEvent)] \
+            == [1, 2]
+        chain.append(make_block(
+            3, [make_receipt(3, 0, [TransferEvent(POOL, amount=3)])]))
+        # The very next queries see the appended tip — no rebuild, the
+        # index folds only blocks[consumed:].
+        assert [log.amount for log in node.get_logs(TransferEvent)] \
+            == [1, 2, 3]
+        assert [b.number for b in node.iter_blocks(3, 3)] == [3]
+        assert chain.index.blocks_indexed == 3
+        assert chain.index.logs_indexed_through == 3
+
+    def test_subclass_matching_mirrors_isinstance(self):
+        liq = LiquidationEvent(POOL, platform="AaveV2")
+        auction = AuctionSettledEvent(POOL, platform="AaveV2")
+        swap = SwapEvent(POOL, venue="UniswapV2")
+        chain = chain_of([liq], [auction, swap])
+        node = ArchiveNode(chain)
+        # A base-type query returns every subclass, in traversal order.
+        assert node.get_logs(EventLog) == [liq, auction, swap]
+        # AuctionSettledEvent is deliberately NOT a LiquidationEvent.
+        assert node.get_logs(LiquidationEvent) == [liq]
+        assert node.get_logs(AuctionSettledEvent) == [auction]
+
+    def test_returns_the_log_objects_themselves(self):
+        swap = SwapEvent(POOL, venue="SushiSwap")
+        chain = chain_of([swap])
+        (found,) = ArchiveNode(chain).get_logs(SwapEvent)
+        assert found is swap
+
+    def test_empty_chain(self):
+        chain = Blockchain()
+        node = ArchiveNode(chain)
+        assert list(node.iter_blocks()) == []
+        assert node.get_logs(EventLog) == []
+        assert chain.index.block_positions() == (0, 0)
+
+    def test_shared_index_instance_per_chain(self):
+        chain = chain_of([])
+        assert chain.index is chain.index
+        assert isinstance(chain.index, ChainIndex)
+        assert ArchiveNode(chain).chain.index is chain.index
+
+
+class CountingList(list):
+    """A block list that counts linear traversals."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.iterations = 0
+
+    def __iter__(self):
+        self.iterations += 1
+        return super().__iter__()
+
+
+class TestIterBlocksEdgeCases:
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_from_block_past_tip_is_empty(self, indexed):
+        chain = chain_of([], [], [])
+        chain.blocks = CountingList(chain.blocks)
+        node = ArchiveNode(chain, indexed=indexed)
+        assert list(node.iter_blocks(4)) == []
+        assert list(node.iter_blocks(4, 9)) == []
+        # Empty-by-construction ranges must not scan the chain.
+        assert chain.blocks.iterations == 0
+        if indexed:
+            assert chain.index.blocks_indexed == 0
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_inverted_range_is_empty(self, indexed):
+        chain = chain_of([], [], [], [], [])
+        chain.blocks = CountingList(chain.blocks)
+        node = ArchiveNode(chain, indexed=indexed)
+        assert list(node.iter_blocks(4, 2)) == []
+        assert chain.blocks.iterations == 0
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_in_range_bounds_still_inclusive(self, indexed):
+        node = ArchiveNode(chain_of([], [], [], [], []),
+                           indexed=indexed)
+        assert [b.number for b in node.iter_blocks(2, 4)] == [2, 3, 4]
+        assert [b.number for b in node.iter_blocks()] == [1, 2, 3, 4, 5]
+
+
+def _random_log(rng):
+    choice = rng.randrange(5)
+    if choice == 0:
+        return TransferEvent(POOL, amount=rng.randrange(1000))
+    if choice == 1:
+        return SwapEvent(POOL, venue=rng.choice(["UniswapV2",
+                                                 "SushiSwap"]),
+                         amount_in=rng.randrange(1000))
+    if choice == 2:
+        return LiquidationEvent(POOL, platform="AaveV2",
+                                debt_repaid=rng.randrange(1000))
+    if choice == 3:
+        return FlashLoanEvent(POOL, platform="Aave",
+                              amount=rng.randrange(1000))
+    return AuctionSettledEvent(POOL, platform="AaveV2",
+                               paid=rng.randrange(1000))
+
+
+class TestIndexedMatchesLinearScan:
+    """Property-style: on random chains, every indexed query equals the
+    historical linear scan element for element — the reference paths
+    (`_linear_get_logs` / `_linear_iter_blocks`) are kept on the node
+    precisely so this comparison never goes stale."""
+
+    QUERY_TYPES = (EventLog, TransferEvent, SwapEvent,
+                   LiquidationEvent, FlashLoanEvent,
+                   AuctionSettledEvent)
+
+    def test_random_chains_and_ranges(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(20):
+            chain = Blockchain()
+            node = ArchiveNode(chain)
+            height = rng.randrange(0, 12)
+            for number in range(1, height + 1):
+                receipts = [
+                    make_receipt(number, tx_index,
+                                 [_random_log(rng) for _ in
+                                  range(rng.randrange(0, 4))],
+                                 status=rng.random() < 0.9)
+                    for tx_index in range(rng.randrange(0, 3))]
+                chain.append(make_block(number, receipts))
+                if rng.random() < 0.3:
+                    # Query mid-growth so the incremental refresh (not
+                    # just a one-shot build) is what gets compared.
+                    node.get_logs(rng.choice(self.QUERY_TYPES))
+            for _ in range(15):
+                event_type = rng.choice(self.QUERY_TYPES)
+                lo = rng.choice([None, rng.randrange(-2, height + 4)])
+                hi = rng.choice([None, rng.randrange(-2, height + 4)])
+                indexed = node.get_logs(event_type, lo, hi)
+                linear = node._linear_get_logs(event_type, lo, hi)
+                assert len(indexed) == len(linear)
+                assert all(a is b for a, b in zip(indexed, linear))
+                got = list(node.iter_blocks(lo, hi))
+                want = list(node._linear_iter_blocks(lo, hi))
+                if lo is not None and height and \
+                        (lo > height or (hi is not None and lo > hi)):
+                    assert got == []
+                assert got == want

@@ -1,0 +1,202 @@
+"""Tests for the single-pass block scan (``repro.core.scan``).
+
+The fused pass must be a pure refactor of the four standalone
+detectors: same records, same order, same flash-loan transaction set —
+on surgical harness chains and on a full simulated study window alike.
+"""
+
+from repro.chain.events import (
+    AuctionSettledEvent,
+    FlashLoanEvent,
+    LiquidationEvent,
+    SwapEvent,
+)
+from repro.chain.node import ArchiveNode
+from repro.core.heuristics import (
+    detect_arbitrages,
+    detect_flash_loan_txs,
+    detect_liquidations,
+    detect_sandwiches,
+)
+from repro.core.profit import PriceService
+from repro.core.scan import (
+    BlockScan,
+    BlockView,
+    scan_range,
+    views_from_index,
+)
+from repro.sim import ScenarioConfig, build_paper_scenario
+
+from tests.chain.test_index import chain_of, make_block, make_receipt
+
+
+class TestBlockView:
+    def test_buckets_follow_receipt_status(self):
+        swap = SwapEvent("0xpool", venue="UniswapV2")
+        liq = LiquidationEvent("0xlending", platform="AaveV2")
+        flash_ok = FlashLoanEvent("0xaave", platform="Aave")
+        flash_failed = FlashLoanEvent("0xaave", platform="Aave")
+        swap_failed = SwapEvent("0xpool", venue="UniswapV2")
+        block = make_block(1, [
+            make_receipt(1, 0, [swap, liq, flash_ok]),
+            make_receipt(1, 1, [swap_failed, flash_failed],
+                         status=False),
+        ])
+        view = BlockView.of(block)
+        # Swaps and liquidations come from successful receipts only;
+        # flash loans are status-blind (get_logs never filtered).
+        assert [s for _, swaps in view.swap_receipts for s in swaps] \
+            == [swap]
+        assert view.liquidations == [liq]
+        assert view.flash_loans == [flash_ok, flash_failed]
+
+    def test_swapless_receipts_are_dropped(self):
+        block = make_block(1, [
+            make_receipt(1, 0, [LiquidationEvent("0xl",
+                                                 platform="AaveV2")]),
+            make_receipt(1, 1, []),
+        ])
+        view = BlockView.of(block)
+        assert view.swap_receipts == []
+        assert len(view.liquidations) == 1
+
+    def test_unrelated_events_ignored(self):
+        block = make_block(1, [make_receipt(1, 0, [
+            AuctionSettledEvent("0xl", platform="AaveV2")])])
+        view = BlockView.of(block)
+        assert view.swap_receipts == []
+        assert view.liquidations == []
+        assert view.flash_loans == []
+
+
+def assert_same_views(got, want):
+    """Bucket-for-bucket identity: same receipt and log *objects*, in
+    the same order."""
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.block is w.block
+        assert len(g.swap_receipts) == len(w.swap_receipts)
+        for (g_receipt, g_swaps), (w_receipt, w_swaps) in \
+                zip(g.swap_receipts, w.swap_receipts):
+            assert g_receipt is w_receipt
+            assert len(g_swaps) == len(w_swaps)
+            assert all(a is b for a, b in zip(g_swaps, w_swaps))
+        assert len(g.liquidations) == len(w.liquidations)
+        assert all(a is b for a, b in zip(g.liquidations,
+                                          w.liquidations))
+        assert len(g.flash_loans) == len(w.flash_loans)
+        assert all(a is b for a, b in zip(g.flash_loans, w.flash_loans))
+
+
+class TestViewsFromIndex:
+    """The postings-backed bucketing == the receipts walk, object for
+    object — the indexed scan's correctness contract."""
+
+    def mixed_chain(self):
+        chain = chain_of(
+            [SwapEvent("0xa", venue="UniswapV2"),
+             LiquidationEvent("0xl", platform="AaveV2")],
+            [],
+            [FlashLoanEvent("0xf", platform="Aave"),
+             SwapEvent("0xa", venue="SushiSwap"),
+             SwapEvent("0xb", venue="UniswapV3")],
+        )
+        # A multi-receipt block with a failed receipt: its swap must be
+        # excluded while its flash loan survives (status-blind).
+        chain.append(make_block(4, [
+            make_receipt(4, 0, [SwapEvent("0xa", venue="UniswapV2")]),
+            make_receipt(4, 1, [SwapEvent("0xb", venue="UniswapV2"),
+                                FlashLoanEvent("0xf", platform="Aave")],
+                         status=False),
+            make_receipt(4, 2, [LiquidationEvent("0xl",
+                                                 platform="AaveV2")]),
+        ]))
+        return chain
+
+    def test_matches_receipt_walk(self):
+        chain = self.mixed_chain()
+        for lo, hi in [(1, 4), (2, 3), (4, 4), (1, 1)]:
+            blocks = chain.index.blocks_in_range(lo, hi)
+            assert_same_views(
+                views_from_index(chain.index, blocks),
+                [BlockView.of(block) for block in blocks])
+
+    def test_empty_blocks(self):
+        assert views_from_index(chain_of().index, []) == []
+        chain = chain_of([], [])
+        blocks = chain.index.blocks_in_range(1, 2)
+        views = views_from_index(chain.index, blocks)
+        assert [v.block.number for v in views] == [1, 2]
+        assert all(v.swap_receipts == [] and v.liquidations == []
+                   and v.flash_loans == [] for v in views)
+
+    def test_unstamped_coordinates_fall_back(self):
+        chain = self.mixed_chain()
+        orphan = SwapEvent("0xa", venue="UniswapV2")
+        chain.append(make_block(5, [make_receipt(5, 0, [orphan])]))
+        orphan.block_number = None  # lost its inclusion coordinates
+        blocks = chain.index.blocks_in_range(1, 5)
+        assert_same_views(
+            views_from_index(chain.index, blocks),
+            [BlockView.of(block) for block in blocks])
+
+
+class TestBlockScanDispatch:
+    def test_each_visitor_sees_every_block_once_in_order(self):
+        class Recorder:
+            def __init__(self):
+                self.seen = []
+
+            def visit(self, view):
+                self.seen.append(view.block.number)
+
+        first, second = Recorder(), Recorder()
+        blocks = [make_block(n) for n in (1, 2, 3)]
+        BlockScan([first, second]).scan(blocks)
+        assert first.seen == [1, 2, 3]
+        assert second.seen == [1, 2, 3]
+
+
+class TestScanRangeEquivalence:
+    """``scan_range`` == the four standalone detectors, record for
+    record — the refactor's correctness contract."""
+
+    def assert_equivalent(self, node, prices, lo=None, hi=None):
+        dataset, flash_txs = scan_range(node, prices, lo, hi)
+        assert dataset.sandwiches == detect_sandwiches(node, prices,
+                                                       lo, hi)
+        assert dataset.arbitrages == detect_arbitrages(node, prices,
+                                                       lo, hi)
+        assert dataset.liquidations == detect_liquidations(node, prices,
+                                                           lo, hi)
+        assert flash_txs == detect_flash_loan_txs(node, lo, hi)
+        return dataset
+
+    def test_on_harness_sandwich(self, harness):
+        harness.mine_sandwich()
+        dataset = self.assert_equivalent(harness.node, harness.prices)
+        assert len(dataset.sandwiches) == 1
+
+    def test_on_empty_range(self, harness):
+        harness.mine_sandwich()
+        dataset, flash_txs = scan_range(harness.node, harness.prices,
+                                        99, 120)
+        assert dataset.all_records() == []
+        assert flash_txs == set()
+
+    def test_on_simulated_study_window(self):
+        from repro.chain.transaction import reset_tx_counter
+        reset_tx_counter()
+        config = ScenarioConfig(blocks_per_month=8, seed=11)
+        result = build_paper_scenario(config).run()
+        prices = PriceService(result.oracle)
+        first = result.node.earliest_block_number()
+        last = result.node.latest_block_number()
+        dataset = self.assert_equivalent(result.node, prices,
+                                         first, last)
+        # Both read paths, too: a linear node must scan to the same
+        # records as the indexed one.
+        linear = ArchiveNode(result.blockchain, indexed=False)
+        linear_set = self.assert_equivalent(linear, prices, first, last)
+        assert dataset.records_equal(linear_set)
+        assert dataset.all_records()  # the window actually has MEV
