@@ -42,7 +42,7 @@ from repro.reliability import CheckpointStore, RetryPolicy, shield
 from repro.sim import ScenarioConfig, SimulationResult, World, \
     build_paper_scenario
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 @dataclass

@@ -20,10 +20,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.chain.transaction import Transaction
 from repro.chain.types import Address, Hash32, address_from_label
-from repro.dex.amm import ConstantProductPool
+from repro.dex.amm import ConstantProductPool, get_amount_out
 from repro.dex.arbitrage_math import optimal_two_pool_arbitrage, \
     plan_sandwich
 from repro.dex.registry import SANDWICH_VENUES, ExchangeRegistry
+from repro.dex.stableswap import StableSwapPool, stable_amount_out
+from repro.dex.weighted import WeightedPool, weighted_amount_out
 from repro.dex.router import ArbitrageIntent, SwapAllIntent, SwapIntent
 from repro.dex.token import WETH
 from repro.agents.fees import FeeModel
@@ -43,6 +45,23 @@ STRATEGY_SANDWICH = "sandwich"
 STRATEGY_ARBITRAGE = "arbitrage"
 STRATEGY_LIQUIDATION = "liquidation"
 STRATEGY_OTHER = "other"
+
+#: Cross-block cache of geometric probe searches.  A probe is a pure
+#: function of (route, searcher capital, the exact reserves of every pool
+#: on the route) — all of which are in the key — so a hit is exact, never
+#: approximate: between trades on a route's pools the reserves (and hence
+#: the key) are unchanged and the probe result is provably the same.
+_PROBE_CACHE: Dict[Any, Any] = {}
+_PROBE_CACHE_MAX = 65_536
+
+_MISS = object()
+
+
+def _quote_via_pool(amount: int, pool: Any, state: Any,
+                    token_in: str) -> int:
+    """Pure-shape adapter for pool kinds without an extracted quote
+    function (none exist today, but probe routes are caller-supplied)."""
+    return pool.quote_out(state, token_in, amount)
 
 
 @dataclass(frozen=True)
@@ -130,6 +149,12 @@ class MarketView:
     #: bundles per Flashbots block with a median of 2); during a rush the
     #: "other" users are several times likelier to submit.
     bundle_rush: bool = False
+    #: Scratch cache shared by every searcher scanning this view.  Only
+    #: pure, rng-free computations over the view's frozen world state may
+    #: be stored here (quotes, cycle projections, price gaps, sandwich
+    #: plans); anything that draws from ``rng`` must never be cached.
+    #: None disables caching entirely (the bit-identical reference path).
+    memo: Optional[Dict[Any, Any]] = None
 
     @property
     def target_block(self) -> int:
@@ -314,9 +339,10 @@ class SandwichSearcher(Searcher):
             candidates.sort(key=lambda item: -item[0].intent.amount_in)
         return candidates
 
-    def _attack(self, view: MarketView, victim_tx: Transaction,
-                pool: ConstantProductPool) -> Optional[Submission]:
-        intent: SwapIntent = victim_tx.intent
+    def _plan_attack(self, view: MarketView, pool: ConstantProductPool,
+                     intent: SwapIntent, capital: int):
+        """Pure sandwich sizing against frozen state (no rng): the plan
+        and its ETH-denominated profit, or None when unattackable."""
         token_in = intent.token_in
         token_out = pool.other(token_in)
         if not (view.oracle.has_price(token_in)
@@ -324,7 +350,6 @@ class SandwichSearcher(Searcher):
             return None
         reserve_in = pool.reserve_of(view.state, token_in)
         reserve_out = pool.reserve_of(view.state, token_out)
-        capital = view.state.token_balance(token_in, self.address)
         plan = plan_sandwich(reserve_in, reserve_out, intent.amount_in,
                              intent.min_amount_out, pool.fee_bps,
                              max_capital=capital)
@@ -332,6 +357,25 @@ class SandwichSearcher(Searcher):
             return None
         profit_eth = view.oracle.value_in_eth(token_in,
                                               plan.expected_profit)
+        return plan, profit_eth
+
+    def _attack(self, view: MarketView, victim_tx: Transaction,
+                pool: ConstantProductPool) -> Optional[Submission]:
+        intent: SwapIntent = victim_tx.intent
+        token_in = intent.token_in
+        token_out = pool.other(token_in)
+        capital = view.state.token_balance(token_in, self.address)
+        memo = view.memo
+        key = ("sandwich", pool.address, victim_tx.hash, capital)
+        if memo is not None and key in memo:
+            planned = memo[key]
+        else:
+            planned = self._plan_attack(view, pool, intent, capital)
+            if memo is not None:
+                memo[key] = planned
+        if planned is None:
+            return None
+        plan, profit_eth = planned
         if profit_eth < self.min_profit_wei:
             return None
 
@@ -420,7 +464,7 @@ class ArbitrageSearcher(Searcher):
                             ) -> Optional[Submission]:
         best: Optional[Tuple[int, list, int]] = None
         for token in self._tokens(view):
-            gap = view.registry.best_price_gap(view.state, WETH, token)
+            gap = self._best_gap(view, token)
             if gap is None:
                 continue
             cheap, dear, ratio = gap
@@ -449,6 +493,17 @@ class ArbitrageSearcher(Searcher):
         return self._craft(view, route, WETH, amount_in, profit,
                            victim_tx=None)
 
+    def _best_gap(self, view: MarketView, token: str):
+        """WETH/token price gap across venues (memoized: pure in state)."""
+        memo = view.memo
+        key = ("gap", token)
+        if memo is not None and key in memo:
+            return memo[key]
+        gap = view.registry.best_price_gap(view.state, WETH, token)
+        if memo is not None:
+            memo[key] = gap
+        return gap
+
     def _triangle_candidates(self, view: MarketView) -> List[List[str]]:
         """Three-hop cycles through a non-WETH connector pool.
 
@@ -457,6 +512,9 @@ class ArbitrageSearcher(Searcher):
         detection heuristic handles any length, so these extractions
         exercise the ≥3-venue path of the paper's arbitrage dataset.
         """
+        memo = view.memo
+        if memo is not None and "arb:triangles" in memo:
+            return memo["arb:triangles"]
         routes: List[List[str]] = []
         connectors = [p for p in view.registry.pools
                       if not p.has_token(WETH)
@@ -481,13 +539,21 @@ class ArbitrageSearcher(Searcher):
                            pool_b.address])
             routes.append([pool_b.address, connector.address,
                            pool_a.address])
+        if memo is not None:
+            memo["arb:triangles"] = routes
         return routes
 
     def _tokens(self, view: MarketView) -> List[str]:
+        memo = view.memo
+        if memo is not None and "arb:tokens" in memo:
+            return memo["arb:tokens"]
         tokens = {p.token0 for p in view.registry.pools}
         tokens |= {p.token1 for p in view.registry.pools}
         tokens.discard(WETH)
-        return sorted(tokens)
+        result = sorted(tokens)
+        if memo is not None:
+            memo["arb:tokens"] = result
+        return result
 
     def _size_cycle(self, view: MarketView, dear, cheap,
                     ) -> Optional[Tuple[int, int]]:
@@ -499,22 +565,80 @@ class ArbitrageSearcher(Searcher):
         token = cheap.other(WETH)
         if isinstance(dear, ConstantProductPool) and \
                 isinstance(cheap, ConstantProductPool):
+            memo = view.memo
+            key = ("size2", dear.address, cheap.address)
+            if memo is not None and key in memo:
+                return memo[key]
             plan = optimal_two_pool_arbitrage(
                 dear.reserve_of(view.state, WETH),
                 dear.reserve_of(view.state, token),
                 cheap.reserve_of(view.state, token),
                 cheap.reserve_of(view.state, WETH),
                 dear.fee_bps, cheap.fee_bps)
-            if plan is None:
-                return None
-            return plan.amount_in, plan.expected_profit
+            result = (None if plan is None
+                      else (plan.amount_in, plan.expected_profit))
+            if memo is not None:
+                memo[key] = result
+            return result
         return self._probe_cycle(view, [dear.address, cheap.address])
 
     def _probe_cycle(self, view: MarketView, route: List[str],
                      ) -> Optional[Tuple[int, int]]:
-        """Geometric probe search for non-CP legs."""
+        """Geometric probe search for non-CP legs.
+
+        On the fast path the route's reserves are read once and the whole
+        probe ladder is evaluated through the pools' pure quote functions
+        (``get_amount_out``/``stable_amount_out``/``weighted_amount_out``
+        — each exactly equals ``quote_out`` given the same reserves, and
+        reserves cannot change between rungs because probing mutates no
+        state).  The reference path quotes through the pools per rung.
+        """
         capital = max(view.state.token_balance(WETH, self.address),
                       10**20)
+        memo = view.memo
+        if memo is None:
+            return self._probe_cycle_reference(view, route, capital)
+        key = ("probe", tuple(route), capital)
+        if key in memo:
+            return memo[key]
+        hops, sig = self._route_hops(view, route, capital)
+        if sig is not None:
+            cached = _PROBE_CACHE.get(sig, _MISS)
+            if cached is not _MISS:
+                memo[key] = cached
+                return cached
+        best: Optional[Tuple[int, int]] = None
+        first = max(1, capital // 256)
+        amount = first
+        while amount <= capital:
+            profit = (self._eval_hops(hops, amount)
+                      if hops is not None else None)
+            # First-rung dominance prune (exact): every pool curve is
+            # concave through the origin in real arithmetic, so the
+            # cycle's output/input ratio is non-increasing in the input.
+            # If the smallest rung already loses more than 1 ppm — six
+            # orders of magnitude beyond the few-wei slack integer
+            # flooring can introduce (guarded by the rung-size floor) —
+            # every larger rung is strictly unprofitable too and the
+            # ladder's result is None exactly.
+            if (amount == first and first >= 10**12
+                    and profit is not None
+                    and profit <= -(first // 1_000_000)):
+                break
+            if profit is not None and (best is None or profit > best[1]):
+                best = (amount, profit)
+            amount *= 2
+        result = None if best is None or best[1] <= 0 else best
+        memo[key] = result
+        if sig is not None:
+            if len(_PROBE_CACHE) >= _PROBE_CACHE_MAX:
+                _PROBE_CACHE.clear()
+            _PROBE_CACHE[sig] = result
+        return result
+
+    def _probe_cycle_reference(self, view: MarketView, route: List[str],
+                               capital: int) -> Optional[Tuple[int, int]]:
+        """Naive per-rung probe (the ``fast_paths=False`` world)."""
         best: Optional[Tuple[int, int]] = None
         amount = max(1, capital // 256)
         while amount <= capital:
@@ -522,22 +646,106 @@ class ArbitrageSearcher(Searcher):
             if profit is not None and (best is None or profit > best[1]):
                 best = (amount, profit)
             amount *= 2
-        if best is None or best[1] <= 0:
-            return None
-        return best
+        return None if best is None or best[1] <= 0 else best
+
+    @staticmethod
+    def _route_hops(view: MarketView, route: List[str], capital: int,
+                    ) -> Tuple[Optional[list], Optional[tuple]]:
+        """Resolve a WETH cycle into per-hop pure quote closures.
+
+        Returns ``(hops, signature)`` where each hop is ``(fn, args)``
+        with ``fn(amount, *args) == pool.quote_out(state, token, amount)``
+        and the signature keys the cross-block probe cache on every
+        reserve the ladder reads.  ``hops`` is None when the route is
+        invalid (unknown pool, token mismatch, or not a WETH cycle) —
+        every projection on such a route is None.  The signature stays
+        usable in that case: the same registry lookup fails next block
+        too, so a cached None is still exact.
+        """
+        state = view.state
+        hops = []
+        parts = []
+        token = WETH
+        valid = True
+        for address in route:
+            pool = view.registry.get(address)
+            if pool is None:
+                return None, None
+            reserve0 = state.token_balance(pool.token0, pool.address)
+            reserve1 = state.token_balance(pool.token1, pool.address)
+            parts.append((reserve0, reserve1))
+            if not valid or not pool.has_token(token):
+                valid = False
+                continue
+            token_in = token
+            if token_in == pool.token0:
+                reserve_in, reserve_out = reserve0, reserve1
+                token = pool.token1
+            else:
+                reserve_in, reserve_out = reserve1, reserve0
+                token = pool.token0
+            if isinstance(pool, ConstantProductPool):
+                hops.append((get_amount_out,
+                             (reserve_in, reserve_out, pool.fee_bps)))
+            elif isinstance(pool, StableSwapPool):
+                hops.append((stable_amount_out,
+                             (reserve_in, reserve_out, pool.amp,
+                              pool.fee_bps)))
+            elif isinstance(pool, WeightedPool):
+                hops.append((weighted_amount_out,
+                             (reserve_in, reserve_out,
+                              pool.weight_of(token_in),
+                              pool.weight_of(token), pool.fee_bps)))
+            else:  # unknown pool kind: quote through the pool itself
+                hops.append((_quote_via_pool, (pool, state, token_in)))
+        sig = (tuple(route), capital, tuple(parts))
+        if not valid or token != WETH:
+            return None, sig
+        return hops, sig
+
+    @staticmethod
+    def _eval_hops(hops: list, amount_in: int) -> Optional[int]:
+        """Profit of the pre-resolved cycle for one input amount."""
+        amount = amount_in
+        for fn, args in hops:
+            try:
+                amount = fn(amount, *args)
+            except (ValueError, ArithmeticError):
+                return None
+            if amount <= 0:
+                return None
+        return amount - amount_in
 
     def _project_cycle(self, view: MarketView, route: List[str],
                        token_in: str, amount_in: int) -> Optional[int]:
         """Expected profit of a cycle using current quotes; None if any
-        hop is invalid."""
+        hop is invalid.  Memoized on the view: the projection reads only
+        frozen pool reserves, so every searcher probing the same route
+        and size shares one computation."""
+        memo = view.memo
+        if memo is None:
+            return self._project_cycle_uncached(view, route, token_in,
+                                                amount_in)
+        key = ("cycle", tuple(route), token_in, amount_in)
+        if key in memo:
+            return memo[key]
+        result = self._project_cycle_uncached(view, route, token_in,
+                                              amount_in)
+        memo[key] = result
+        return result
+
+    def _project_cycle_uncached(self, view: MarketView, route: List[str],
+                                token_in: str, amount_in: int,
+                                ) -> Optional[int]:
         token = token_in
         amount = amount_in
+        state = view.state
         for address in route:
             pool = view.registry.get(address)
             if pool is None or not pool.has_token(token):
                 return None
             try:
-                amount = pool.quote_out(view.state, token, amount)
+                amount = pool.quote_out(state, token, amount)
             except (ValueError, ArithmeticError):
                 return None
             if amount <= 0:
@@ -550,6 +758,9 @@ class ArbitrageSearcher(Searcher):
     def _craft(self, view: MarketView, route: List[str], token_in: str,
                amount_in: int, profit: int,
                victim_tx: Optional[Transaction]) -> Submission:
+        # Routes may come from the shared view memo; copy before handing
+        # one to an intent so no two submissions alias the same list.
+        route = list(route)
         faulty = self._is_faulty(view.rng)
         channel = self.policy.channel_at(view.target_block)
         capital = view.state.token_balance(token_in, self.address)
@@ -619,15 +830,41 @@ class LiquidationSearcher(Searcher):
 
     def _backrun_oracle_update(self, view: MarketView,
                                ) -> Optional[Submission]:
-        """Find a pending oracle update that unlocks a liquidation."""
+        """Find a pending oracle update that unlocks a liquidation.
+
+        The open-loan list and each would-unlock verdict are pure in the
+        view's state (scans never mutate), so both are memoized per view
+        and shared by every competing liquidation searcher.
+        """
+        memo = view.memo
         for tx in view.pending:
             intent = tx.intent
             if not isinstance(intent, OracleUpdateIntent):
                 continue
             for pool in view.lending_pools:
-                for loan in pool.open_loans():
-                    if not self._would_unlock(pool, loan, intent.token,
-                                              intent.price_wei):
+                if memo is None:
+                    loans = pool.open_loans()
+                else:
+                    loans_key = ("liq:open", pool.address)
+                    loans = memo.get(loans_key)
+                    if loans is None:
+                        loans = memo[loans_key] = pool.open_loans()
+                for loan in loans:
+                    if memo is None:
+                        unlocks = self._would_unlock(pool, loan,
+                                                     intent.token,
+                                                     intent.price_wei)
+                    else:
+                        unlock_key = ("liq:unlock", pool.address,
+                                      loan.loan_id, intent.token,
+                                      intent.price_wei)
+                        unlocks = memo.get(unlock_key)
+                        if unlocks is None:
+                            unlocks = memo[unlock_key] = \
+                                self._would_unlock(pool, loan,
+                                                   intent.token,
+                                                   intent.price_wei)
+                    if not unlocks:
                         continue
                     submission = self._craft(view, pool, loan,
                                              victim_tx=tx,
@@ -759,10 +996,16 @@ class OtherBundleUser(Searcher):
         activity = self.activity * (4.0 if view.bundle_rush else 1.0)
         if view.rng.random() >= activity:
             return []
-        pools = [p for p in view.registry.pools
-                 if p.has_token(WETH)
-                 and isinstance(p, ConstantProductPool)
-                 and min(p.reserves(view.state)) > 0]
+        memo = view.memo
+        if memo is not None and "other:weth-pools" in memo:
+            pools = memo["other:weth-pools"]
+        else:
+            pools = [p for p in view.registry.pools
+                     if p.has_token(WETH)
+                     and isinstance(p, ConstantProductPool)
+                     and min(p.reserves(view.state)) > 0]
+            if memo is not None:
+                memo["other:weth-pools"] = pools
         if not pools:
             return []
         pool = view.rng.choice(pools)

@@ -17,9 +17,10 @@ from repro.agents.fees import FeeModel
 from repro.chain.intents import TokenTransferIntent
 from repro.chain.transaction import Transaction
 from repro.chain.types import Address, address_from_label, ether
-from repro.dex.amm import ConstantProductPool
+from repro.dex.amm import ConstantProductPool, get_amount_out
 from repro.dex.registry import ExchangeRegistry
 from repro.dex.router import ArbitrageIntent, SwapIntent
+from repro.dex.stableswap import StableSwapPool, stable_amount_out
 from repro.dex.token import WETH
 from repro.lending.oracle import OracleUpdateIntent, PriceOracle
 from repro.lending.pool import BorrowIntent, LendingPool
@@ -39,6 +40,25 @@ class TraderPopulation:
             address_from_label(f"trader:{i}") for i in range(accounts)]
         self.mean_swap_eth = mean_swap_eth
         self.funding_eth = funding_eth
+        #: static pool prefilters keyed by (kind, registry identity,
+        #: pool count) — pools are only ever added, so the count is a
+        #: sufficient registry version; liquidity is re-checked per call.
+        self._pool_lists: dict = {}
+
+    def _static_pools(self, registry: ExchangeRegistry,
+                      kind: str) -> list:
+        key = (kind, id(registry), registry.pool_count)
+        cached = self._pool_lists.get(key)
+        if cached is None:
+            if kind == "weth-cp":
+                cached = [p for p in registry.pools
+                          if isinstance(p, ConstantProductPool)
+                          and p.has_token(WETH)]
+            else:  # "non-weth"
+                cached = [p for p in registry.pools
+                          if not p.has_token(WETH)]
+            self._pool_lists[key] = cached
+        return cached
 
     def _pick_account(self, state) -> Address:
         account = self.rng.choice(self.accounts)
@@ -59,31 +79,48 @@ class TraderPopulation:
     def make_swap(self, state, registry: ExchangeRegistry,
                   fees: FeeModel) -> Optional[Transaction]:
         """One retail swap with sampled size and slippage tolerance."""
-        pools = [p for p in registry.pools
-                 if isinstance(p, ConstantProductPool)
-                 and p.has_token(WETH)
-                 and min(p.reserves(state)) > 0]
+        # One reserve read per pool: the same pair feeds the liquidity
+        # filter, the depth weights, the size conversion and the quote.
+        # Nothing between here and the quote touches pool balances
+        # (minting funds the *account*), so the snapshot stays exact.
+        pools = []
+        depths = []
+        reserve_pairs = []
+        for p in self._static_pools(registry, "weth-cp"):
+            reserve0, reserve1 = p.reserves(state)
+            if reserve0 > 0 and reserve1 > 0:
+                pools.append(p)
+                depths.append(reserve0 if p.token0 == WETH
+                              else reserve1)
+                reserve_pairs.append((reserve0, reserve1))
         if not pools:
             return None
         # Retail volume concentrates where liquidity is (why Uniswap V1
         # was near-dead by the study window): weight by WETH depth.
-        depths = [p.reserve_of(state, WETH) for p in pools]
-        pool = self.rng.choices(pools, weights=depths, k=1)[0]
+        index = self.rng.choices(range(len(pools)), weights=depths,
+                                 k=1)[0]
+        pool = pools[index]
+        reserve0, reserve1 = reserve_pairs[index]
+        if pool.token0 == WETH:
+            reserve_weth, reserve_token = reserve0, reserve1
+        else:
+            reserve_weth, reserve_token = reserve1, reserve0
         account = self._pick_account(state)
         size_eth = self.rng.lognormvariate(0, 1.0) * self.mean_swap_eth
         size_eth = min(size_eth, 120.0)
         token_in = WETH if self.rng.random() < 0.5 else pool.other(WETH)
         if token_in == WETH:
             amount_in = ether(size_eth)
+            reserve_in, reserve_out = reserve_weth, reserve_token
         else:
             # Convert the ETH-denominated size at the pool's spot price.
-            reserve_token = pool.reserve_of(state, token_in)
-            reserve_weth = pool.reserve_of(state, WETH)
             amount_in = ether(size_eth) * reserve_token // reserve_weth
+            reserve_in, reserve_out = reserve_token, reserve_weth
         if amount_in <= 0:
             return None
         state.mint_token(token_in, account, amount_in)
-        quote = pool.quote_out(state, token_in, amount_in)
+        quote = get_amount_out(amount_in, reserve_in, reserve_out,
+                               pool.fee_bps)
         if quote <= 0:
             return None
         slippage_bps = self._sample_slippage_bps()
@@ -122,19 +159,39 @@ class TraderPopulation:
         """A stablecoin rotation on a non-WETH pool (e.g. Curve's
         DAI/USDC): the flow that pushes stable pegs off parity and opens
         triangular arbitrage routes."""
-        pools = [p for p in registry.pools
-                 if not p.has_token(WETH)
-                 and min(p.reserves(state)) > 0]
+        # Same single-read snapshot as make_swap: minting funds the
+        # account, so the reserves read at filter time still back the
+        # quote exactly.
+        pools = []
+        reserve_pairs = []
+        for p in self._static_pools(registry, "non-weth"):
+            reserve0, reserve1 = p.reserves(state)
+            if reserve0 > 0 and reserve1 > 0:
+                pools.append(p)
+                reserve_pairs.append((reserve0, reserve1))
         if not pools:
             return None
-        pool = self.rng.choice(pools)
+        index = self.rng.randrange(len(pools))
+        pool = pools[index]
+        reserve0, reserve1 = reserve_pairs[index]
         account = self._pick_account(state)
-        token_in = pool.token0 if self.rng.random() < 0.5 else \
-            pool.token1
+        if self.rng.random() < 0.5:
+            token_in = pool.token0
+            reserve_in, reserve_out = reserve0, reserve1
+        else:
+            token_in = pool.token1
+            reserve_in, reserve_out = reserve1, reserve0
         # Stable rotations are large relative to spot trades.
         amount = ether(self.rng.uniform(10_000, 400_000))
         state.mint_token(token_in, account, amount)
-        quote = pool.quote_out(state, token_in, amount)
+        if isinstance(pool, StableSwapPool):
+            quote = stable_amount_out(amount, reserve_in, reserve_out,
+                                      pool.amp, pool.fee_bps)
+        elif isinstance(pool, ConstantProductPool):
+            quote = get_amount_out(amount, reserve_in, reserve_out,
+                                   pool.fee_bps)
+        else:
+            quote = pool.quote_out(state, token_in, amount)
         if quote <= 0:
             return None
         return Transaction(

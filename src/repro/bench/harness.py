@@ -1,14 +1,25 @@
 """Seeded wall-clock benchmarks for the measurement pipeline.
 
 The harness builds one simulated study window, then times the layers
-the paper's crawl spends its time in — detection heuristics (through
-the pipeline's chunk runner, and again as bare indexed vs. linear
-archive reads), the labelling joins, and the end-to-end pipeline —
-reporting each as blocks/second.  The end-to-end stage runs at several
+the paper's crawl spends its time in — the world simulation itself
+(the ``simulate`` stage), detection heuristics (through the pipeline's
+chunk runner, and again as bare indexed vs. linear archive reads), the
+labelling joins, and the end-to-end pipeline — reporting each as
+blocks/second.  The end-to-end stage runs at several
 worker counts and *verifies* (not just assumes) that every parallel
 run is bit-identical to the serial one before reporting a speedup; the
 indexed read path is likewise verified row-for-row against the linear
-reference on every run.
+reference on every run.  The simulation gets the same treatment: the
+world is rebuilt on the naive reference paths
+(``build_paper_scenario(..., fast_paths=False)`` — full mempool
+re-sorts, no scan memoization) and the complete block-hash and
+transaction-hash sequence must match the optimized run before the
+``simulate`` number is trusted (``sim_identical``).
+
+Passing ``profile=True`` wraps each stage in :mod:`cProfile` and
+attaches top-25 cumulative-time tables under ``report["profile"]``.
+Profiling inflates wall times severalfold, so a profiled report is for
+reading *where* time goes, never for comparing *how much*.
 
 Because the simulated world dwarfs everything else (~98% of a quick
 run is ``build_paper_scenario``), the harness can snapshot it: pass
@@ -27,17 +38,22 @@ two runs on the same machine benchmark the same work.
 
 from __future__ import annotations
 
+import cProfile
 import dataclasses
 import hashlib
+import io
 import json
 import os
 import pickle
+import pstats
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, \
+    Tuple, Union
 
 from repro.chain.events import FlashLoanEvent
 from repro.chain.node import ArchiveNode
+from repro.chain.transaction import reset_tx_counter
 from repro.core.datasets import MevDataset
 from repro.core.pipeline import plan_chunks
 from repro.core.profit import PriceService
@@ -48,8 +64,14 @@ from repro.sim import ScenarioConfig, SimulationResult, \
 
 #: Schema version of BENCH_pipeline.json.  Version 2 added the
 #: ``detection_indexed`` / ``detection_linear`` stages, per-entry
-#: ``workers_effective``, and the ``world_cache`` block.
-BENCH_VERSION = 2
+#: ``workers_effective``, and the ``world_cache`` block.  Version 3
+#: added the ``simulate`` stage, the ``sim_identical`` fast-vs-
+#: reference world gate (with ``sim_reference_s``), and the optional
+#: ``profile`` tables.
+BENCH_VERSION = 3
+
+#: How many rows of each per-stage cProfile table to keep.
+PROFILE_TOP_N = 25
 
 #: Worker counts the end-to-end stage sweeps.
 DEFAULT_WORKERS: Tuple[int, ...] = (1, 2, 4)
@@ -64,6 +86,49 @@ def _fingerprint(dataset: Any) -> Tuple[str, str]:
     """The identity of a run: its rows and its quality ledger."""
     return (json.dumps(dataset.to_rows(), sort_keys=True),
             json.dumps(dataset.quality.to_dict(), sort_keys=True))
+
+
+class _StageProfiler:
+    """Optionally wraps stage bodies in cProfile, collecting one
+    top-``PROFILE_TOP_N`` cumulative-time table per stage label.
+
+    Disabled (the default) it is a transparent pass-through, so the
+    timed code paths are byte-for-byte the same with and without
+    ``--profile`` — only the interpreter-level tracing differs.
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.tables: Dict[str, str] = {}
+
+    def run(self, label: str, body: Callable[[], Any]) -> Any:
+        if not self.enabled:
+            return body()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return body()
+        finally:
+            profiler.disable()
+            stream = io.StringIO()
+            stats = pstats.Stats(profiler, stream=stream)
+            stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+            self.tables[label] = stream.getvalue()
+
+
+def _block_sequence(result: SimulationResult,
+                    ) -> List[Tuple[str, Tuple[str, ...]]]:
+    """The identity of a simulated world for the fast-vs-reference
+    gate: every block hash plus every included transaction hash, in
+    order.  The block hash pins header fields (number, miner,
+    timestamp, tx count); the tx-hash tuple pins exact inclusion and
+    ordering, and each tx hash commits to the process-wide uid counter,
+    so two runs can only match if they agreed on every transaction ever
+    *created* — every RNG draw, every searcher decision — not merely
+    the ones that landed."""
+    return [(block.hash,
+             tuple(tx.hash for tx in block.transactions))
+            for block in result.blockchain.blocks]
 
 
 def _timed(label: str, blocks: int, elapsed_s: float) -> Dict[str, Any]:
@@ -153,8 +218,15 @@ def load_world(cache_dir: Union[str, Path],
 
 def _simulate(config: ScenarioConfig,
               world_cache: Union[str, Path, None],
+              profiler: _StageProfiler,
               ) -> Tuple[SimulationResult, float, Optional[Dict[str, Any]]]:
-    """The world to benchmark, from snapshot when possible."""
+    """The world to benchmark, from snapshot when possible.
+
+    A fresh simulation resets the process-wide transaction-uid counter
+    first, so the timed run produces the same world whether or not
+    other scenarios were built earlier in the process — and so the
+    reference replay in :func:`run_bench` compares like with like.
+    """
     cache_info: Optional[Dict[str, Any]] = None
     if world_cache is not None:
         cache_info = {"dir": str(world_cache),
@@ -165,8 +237,10 @@ def _simulate(config: ScenarioConfig,
         if cached is not None:
             cache_info["hit"] = True
             return cached, _clock() - started, cache_info
+    reset_tx_counter()
     started = _clock()
-    result = build_paper_scenario(config).run()
+    result = profiler.run(
+        "simulate", lambda: build_paper_scenario(config).run())
     elapsed = _clock() - started
     if world_cache is not None:
         try:
@@ -188,6 +262,7 @@ def run_bench(bpm: int = 60, seed: int = 7,
               chunk_size: Optional[int] = None,
               quick: bool = False,
               world_cache: Union[str, Path, None] = None,
+              profile: bool = False,
               ) -> Dict[str, Any]:
     """Benchmark the pipeline; returns the BENCH_pipeline.json document.
 
@@ -195,7 +270,11 @@ def run_bench(bpm: int = 60, seed: int = 7,
     defaults to an eighth of the range so every worker count in the
     sweep has chunks to parallelize over.  ``world_cache`` names a
     directory of world snapshots (see :func:`store_world`); when the
-    scenario digest hits, simulation is replaced by an unpickle.
+    scenario digest hits, simulation is replaced by an unpickle — the
+    ``simulate`` number then measures the unpickle and the
+    fast-vs-reference gate is skipped (``sim_identical: null``).
+    ``profile`` attaches per-stage cProfile tables (and inflates every
+    wall time; never compare profiled numbers against plain ones).
     """
     from repro import run_inspector  # lazy: repro imports the engine
     from repro.core.heuristics import (
@@ -213,7 +292,9 @@ def run_bench(bpm: int = 60, seed: int = 7,
     if chunk_size is None:
         chunk_size = max(1, total_blocks // 8)
 
-    result, simulate_s, cache_info = _simulate(config, world_cache)
+    profiler = _StageProfiler(profile)
+    result, simulate_s, cache_info = _simulate(config, world_cache,
+                                               profiler)
     first = result.node.earliest_block_number()
     last = result.node.latest_block_number()
     blocks = last - first + 1
@@ -221,6 +302,26 @@ def run_bench(bpm: int = 60, seed: int = 7,
     prices = PriceService(result.oracle)
 
     stages: List[Dict[str, Any]] = []
+    cache_hit = bool(cache_info and cache_info["hit"])
+    simulate_stage = _timed("simulate", blocks, simulate_s)
+    simulate_stage["fresh"] = not cache_hit
+    stages.append(simulate_stage)
+
+    # Fast-vs-reference world gate: rebuild the same scenario on the
+    # naive paths (full mempool re-sorts, no probe memoization) and
+    # demand the identical block/tx hash sequence.  The optimized
+    # simulator's speed is only a result once this passes.  A cache
+    # hit skips the gate — there is no fresh fast run to compare.
+    sim_identical: Optional[bool] = None
+    sim_reference_s: Optional[float] = None
+    if not cache_hit:
+        reset_tx_counter()
+        started = _clock()
+        reference = build_paper_scenario(
+            config, fast_paths=False).run()
+        sim_reference_s = round(_clock() - started, 6)
+        sim_identical = (_block_sequence(reference)
+                         == _block_sequence(result))
 
     # Detection only: the heuristics over every chunk, serial,
     # chunk-isolated exactly as the pipeline runs them (resilience
@@ -229,7 +330,9 @@ def run_bench(bpm: int = 60, seed: int = 7,
     runner = ChunkRunner.for_pipeline(node, prices)
     runner.warm_index()
     started = _clock()
-    detection_results = list(SerialExecutor().execute(runner, chunks))
+    detection_results = profiler.run(
+        "detection",
+        lambda: list(SerialExecutor().execute(runner, chunks)))
     stages.append(_timed("detection", blocks, _clock() - started))
     assert not any(r.failed for r in detection_results)
 
@@ -240,25 +343,36 @@ def run_bench(bpm: int = 60, seed: int = 7,
     indexed_node = ArchiveNode(result.blockchain)
     indexed_node.warm_index()
     indexed_rows: List[str] = []
+
+    def _indexed_pass() -> None:
+        for lo, hi in chunks:
+            partial, flash_txs = scan_range(indexed_node, prices,
+                                            lo, hi)
+            indexed_rows.append(_rows_of(partial, flash_txs))
+
     started = _clock()
-    for lo, hi in chunks:
-        partial, flash_txs = scan_range(indexed_node, prices, lo, hi)
-        indexed_rows.append(_rows_of(partial, flash_txs))
+    profiler.run("detection_indexed", _indexed_pass)
     stages.append(_timed("detection_indexed", blocks,
                          _clock() - started))
 
     linear_node = ArchiveNode(result.blockchain, indexed=False)
     linear_rows: List[str] = []
-    started = _clock()
-    for lo, hi in chunks:
-        partial = MevDataset(
-            sandwiches=detect_sandwiches(linear_node, prices, lo, hi),
-            arbitrages=detect_arbitrages(linear_node, prices, lo, hi),
-            liquidations=detect_liquidations(linear_node, prices,
+
+    def _linear_pass() -> None:
+        for lo, hi in chunks:
+            partial = MevDataset(
+                sandwiches=detect_sandwiches(linear_node, prices,
                                              lo, hi),
-        )
-        flash_txs = detect_flash_loan_txs(linear_node, lo, hi)
-        linear_rows.append(_rows_of(partial, flash_txs))
+                arbitrages=detect_arbitrages(linear_node, prices,
+                                             lo, hi),
+                liquidations=detect_liquidations(linear_node, prices,
+                                                 lo, hi),
+            )
+            flash_txs = detect_flash_loan_txs(linear_node, lo, hi)
+            linear_rows.append(_rows_of(partial, flash_txs))
+
+    started = _clock()
+    profiler.run("detection_linear", _linear_pass)
     stages.append(_timed("detection_linear", blocks,
                          _clock() - started))
     indexed_matches_linear = indexed_rows == linear_rows
@@ -268,10 +382,13 @@ def run_bench(bpm: int = 60, seed: int = 7,
     # serial end-to-end pass minus the detection stage above, so the
     # two stage numbers decompose one and the same run.
     started = _clock()
-    serial_dataset = run_inspector(result, chunk_size=chunk_size,
-                                   workers=1)
+    serial_dataset = profiler.run(
+        "joins",
+        lambda: run_inspector(result, chunk_size=chunk_size,
+                              workers=1))
     serial_s = _clock() - started
-    detection_s = stages[0]["elapsed_s"]
+    detection_s = next(s["elapsed_s"] for s in stages
+                       if s["stage"] == "detection")
     stages.append(_timed("joins", blocks,
                          max(serial_s - detection_s, 0.0)))
 
@@ -297,7 +414,7 @@ def run_bench(bpm: int = 60, seed: int = 7,
             if elapsed > 0 else None
         end_to_end.append(entry)
 
-    return {
+    report: Dict[str, Any] = {
         "version": BENCH_VERSION,
         "scenario": {
             "blocks_per_month": bpm,
@@ -311,12 +428,17 @@ def run_bench(bpm: int = 60, seed: int = 7,
             "cpu_count": os.cpu_count(),
         },
         "simulate_s": round(simulate_s, 6),
+        "sim_reference_s": sim_reference_s,
+        "sim_identical": sim_identical,
         "world_cache": cache_info,
         "stages": stages,
         "end_to_end": end_to_end,
         "parallel_identical": parallel_identical,
         "indexed_matches_linear": indexed_matches_linear,
     }
+    if profile:
+        report["profile"] = dict(profiler.tables)
+    return report
 
 
 def write_report(report: Dict[str, Any],
@@ -351,6 +473,19 @@ def render_report(report: Dict[str, Any]) -> str:
         lines.append(f"  workers={entry['workers']:<4} "
                      f"{entry['elapsed_s']:>9.3f}s  "
                      f"{entry['speedup_vs_serial']:>5.2f}x  [{check}]")
+    sim_identical = report.get("sim_identical")
+    if sim_identical is None:
+        lines.append("  fast sim identical to reference: skipped "
+                     "(world cache hit)")
+    else:
+        verdict = "yes" if sim_identical else "NO"
+        reference_s = report.get("sim_reference_s")
+        if reference_s:
+            verdict += (f" (reference {reference_s:.3f}s vs "
+                        f"{report['simulate_s']:.3f}s, "
+                        f"{reference_s / report['simulate_s']:.2f}x)"
+                        if report["simulate_s"] > 0 else "")
+        lines.append("  fast sim identical to reference: " + verdict)
     lines.append("  parallel identical to serial: "
                  + ("yes" if report["parallel_identical"] else "NO"))
     lines.append("  indexed reads identical to linear: "

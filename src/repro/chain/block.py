@@ -35,11 +35,18 @@ class Block:
     receipts: List[Receipt] = field(default_factory=list)
     gas_used: int = 0
     block_reward: int = BLOCK_REWARD
+    _hash: Optional[Hash32] = field(default=None, repr=False,
+                                    compare=False)
 
     @property
     def hash(self) -> Hash32:
-        return hash_of(("block", self.number, self.miner, self.timestamp,
-                        len(self.transactions)))
+        # Safe to memoize: a Block is only constructed at finalize time,
+        # after which its header fields and transaction list are fixed.
+        if self._hash is None:
+            self._hash = hash_of(("block", self.number, self.miner,
+                                  self.timestamp,
+                                  len(self.transactions)))
+        return self._hash
 
     @property
     def tx_hashes(self) -> List[Hash32]:

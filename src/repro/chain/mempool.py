@@ -4,10 +4,26 @@ Implements the default miner strategy the paper describes — sort pending
 transactions in descending order of effective per-gas payment — plus the
 replacement rule real clients enforce (a same-sender/same-nonce replacement
 must bump the bid by at least 10 %) and per-sender nonce sequencing.
+
+Two orderings coexist and are element-for-element equal:
+
+* the *reference* path (:meth:`Mempool.ordered_reference`) rebuilds and
+  re-sorts the full pending set on every call — O(pending·log pending)
+  per block, the behaviour the original simulator shipped with;
+* the *incremental* path keeps a :class:`FeeOrderIndex` — a sorted
+  structure updated on every add/drop in O(log pending) and lazily
+  re-keyed only when the base fee changes — so a pre-London world (the
+  base fee is pinned at 0) never re-sorts at all.
+
+Eviction is bucketed the same way: arrivals are grouped by block, so
+:meth:`Mempool.evict_stale` pops whole expired buckets instead of
+scanning every pending transaction each block.
 """
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_left, insort
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.chain.transaction import Transaction
@@ -16,15 +32,104 @@ from repro.chain.types import Address, Hash32
 #: Minimum price bump (percent) for replacing a pending transaction.
 REPLACEMENT_BUMP_PERCENT = 10
 
+#: Sort key of one pending transaction at a given base fee: descending
+#: miner tip, then arrival block, then hash (a deterministic total order).
+OrderKey = Tuple[int, int, Hash32]
+
+
+class FeeOrderIndex:
+    """Incrementally maintained fee-descending order of pending txs.
+
+    The index stores, per transaction, the static data the comparator
+    needs (the transaction itself and its arrival block) plus a sorted
+    list of :data:`OrderKey` entries valid for one base fee.  Adds and
+    drops splice the sorted list in place; a base-fee change only marks
+    the order dirty — the re-key happens lazily on the next
+    :meth:`ordered` call, and never at all while the fee is stable
+    (every pre-London block).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Hash32, Tuple[Transaction, int]] = {}
+        self._keys: Dict[Hash32, OrderKey] = {}
+        self._order: List[OrderKey] = []
+        #: base fee the sorted order is valid for; None = dirty.
+        self._base_fee: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, tx: Transaction, seen_block: int) -> None:
+        """Track a newly admitted transaction."""
+        tx_hash = tx.hash
+        self._entries[tx_hash] = (tx, seen_block)
+        if self._base_fee is not None:
+            key = (-tx.miner_tip_per_gas(self._base_fee), seen_block,
+                   tx_hash)
+            self._keys[tx_hash] = key
+            insort(self._order, key)
+
+    def discard(self, tx_hash: Hash32) -> None:
+        """Forget a dropped transaction (no-op when untracked)."""
+        if self._entries.pop(tx_hash, None) is None:
+            return
+        if self._base_fee is None:
+            return
+        key = self._keys.pop(tx_hash)
+        index = bisect_left(self._order, key)
+        # The key is unique (it embeds the hash), so it is exactly here.
+        del self._order[index]
+
+    def invalidate(self) -> None:
+        """Force a re-key on the next :meth:`ordered` call."""
+        self._base_fee = None
+
+    def _rekey(self, base_fee: int) -> None:
+        self._keys = {
+            tx_hash: (-tx.miner_tip_per_gas(base_fee), seen, tx_hash)
+            for tx_hash, (tx, seen) in self._entries.items()}
+        self._order = sorted(self._keys.values())
+        self._base_fee = base_fee
+
+    def ordered(self, base_fee: int) -> List[Transaction]:
+        """Includable transactions, highest miner tip per gas first.
+
+        Element-for-element equal to sorting the includable subset with
+        the naive ``(-tip, arrival, hash)`` comparator: the comparator
+        is a total order, and filtering commutes with sorting.
+        """
+        if self._base_fee != base_fee:
+            self._rekey(base_fee)
+        entries = self._entries
+        result: List[Transaction] = []
+        for _, _, tx_hash in self._order:
+            tx = entries[tx_hash][0]
+            if tx.is_includable(base_fee):
+                result.append(tx)
+        return result
+
 
 class Mempool:
-    """A single node's view of pending public transactions."""
+    """A single node's view of pending public transactions.
 
-    def __init__(self, ttl_blocks: int = 1_000) -> None:
+    ``incremental=False`` keeps the original full-rescan ordering and
+    eviction paths; it exists as the bit-identical reference the
+    optimized paths are property-tested (and bench-gated) against.
+    """
+
+    def __init__(self, ttl_blocks: int = 1_000,
+                 incremental: bool = True) -> None:
         self._by_hash: Dict[Hash32, Transaction] = {}
         self._by_account: Dict[Tuple[Address, int], Hash32] = {}
         self._seen_at: Dict[Hash32, int] = {}
         self.ttl_blocks = ttl_blocks
+        self.incremental = incremental
+        self._index = FeeOrderIndex() if incremental else None
+        #: arrival block → hashes admitted at that block (lazily cleaned:
+        #: a dropped or replaced hash stays in its bucket and is skipped
+        #: at eviction time via the ``_seen_at`` cross-check).
+        self._arrival_buckets: Dict[int, List[Hash32]] = {}
+        self._bucket_heap: List[int] = []
 
     def __len__(self) -> int:
         return len(self._by_hash)
@@ -62,18 +167,29 @@ class Mempool:
         self._by_hash[tx.hash] = tx
         self._by_account[key] = tx.hash
         self._seen_at[tx.hash] = current_block
+        if self.incremental:
+            self._index.insert(tx, current_block)
+            bucket = self._arrival_buckets.get(current_block)
+            if bucket is None:
+                self._arrival_buckets[current_block] = [tx.hash]
+                heapq.heappush(self._bucket_heap, current_block)
+            else:
+                bucket.append(tx.hash)
         if tx.first_seen_block is None:
             tx.first_seen_block = current_block
         return True
 
-    def _drop(self, tx_hash: Hash32) -> None:
+    def _drop(self, tx_hash: Hash32) -> bool:
         tx = self._by_hash.pop(tx_hash, None)
         if tx is None:
-            return
+            return False
         self._seen_at.pop(tx_hash, None)
+        if self._index is not None:
+            self._index.discard(tx_hash)
         key = (tx.sender, tx.nonce)
         if self._by_account.get(key) == tx_hash:
             del self._by_account[key]
+        return True
 
     def remove(self, tx_hashes: Iterable[Hash32]) -> None:
         """Drop transactions (e.g. because they were included in a block)."""
@@ -82,12 +198,31 @@ class Mempool:
 
     def evict_stale(self, current_block: int) -> int:
         """Drop transactions pending longer than ``ttl_blocks``; returns
-        the number evicted."""
-        stale = [h for h, seen in self._seen_at.items()
-                 if current_block - seen > self.ttl_blocks]
-        for tx_hash in stale:
-            self._drop(tx_hash)
-        return len(stale)
+        the number evicted.
+
+        The incremental path pops whole expired arrival buckets off a
+        min-heap instead of scanning every pending transaction; the
+        eviction *set* is identical to the reference scan's.
+        """
+        if not self.incremental:
+            stale = [h for h, seen in self._seen_at.items()
+                     if current_block - seen > self.ttl_blocks]
+            for tx_hash in stale:
+                self._drop(tx_hash)
+            return len(stale)
+        evicted = 0
+        threshold = current_block - self.ttl_blocks
+        heap = self._bucket_heap
+        while heap and heap[0] < threshold:
+            block = heapq.heappop(heap)
+            for tx_hash in self._arrival_buckets.pop(block):
+                # A replaced/removed hash lingers in its bucket; a hash
+                # re-added later lives in a newer bucket.  Only drop the
+                # ones still pending *from this arrival block*.
+                if self._seen_at.get(tx_hash) == block:
+                    if self._drop(tx_hash):
+                        evicted += 1
+        return evicted
 
     # Selection --------------------------------------------------------------
 
@@ -95,6 +230,18 @@ class Mempool:
         """All includable pending txs, highest miner payment per gas first.
 
         Ties break by arrival block (earlier first) for determinism.
+        Served from the incremental :class:`FeeOrderIndex` unless this
+        pool was built with ``incremental=False``.
+        """
+        if self._index is not None:
+            return self._index.ordered(base_fee)
+        return self.ordered_reference(base_fee)
+
+    def ordered_reference(self, base_fee: int) -> List[Transaction]:
+        """The naive full-rescan ordering (the reference path).
+
+        Kept verbatim so property tests and the bench ``sim_identical``
+        gate can compare the incremental index against it.
         """
         candidates = [tx for tx in self._by_hash.values()
                       if tx.is_includable(base_fee)]
@@ -109,12 +256,12 @@ class Mempool:
 
         ``account_nonces`` maps sender → next expected nonce (from world
         state); transactions whose earlier nonces are absent are deferred
-        until the gap is filled, matching real miner behaviour.
+        until the gap is filled, matching real miner behaviour.  Deferred
+        transactions are simply left pending — they are not reported.
         """
         nonces: Dict[Address, int] = dict(account_nonces or {})
         selected: List[Transaction] = []
         gas_left = gas_budget
-        deferred: List[Transaction] = []
         queue = self.ordered(base_fee)
         progress = True
         while progress:
@@ -136,5 +283,4 @@ class Mempool:
             queue = next_round
             if not queue:
                 break
-        deferred.extend(queue)
         return selected

@@ -64,12 +64,15 @@ def address_from_label(label: str) -> Address:
 
 
 def hash_of(parts: Iterable[object]) -> Hash32:
-    """Deterministic 32-byte hash over a sequence of printable parts."""
-    hasher = hashlib.sha256()
-    for part in parts:
-        hasher.update(repr(part).encode("utf-8"))
-        hasher.update(b"|")
-    return "0x" + hasher.hexdigest()
+    """Deterministic 32-byte hash over a sequence of printable parts.
+
+    The digest input is ``repr(part) + "|"`` concatenated — built as a
+    single joined string so one C-level update call replaces two per
+    part (same byte stream, same digest, measurably cheaper on the
+    block-building hot path).
+    """
+    payload = "|".join(map(repr, parts)) + "|"
+    return "0x" + hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def is_address(value: object) -> bool:

@@ -117,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "scenario digest; hits skip the expensive "
                             "simulation step (content-verified, falls "
                             "back to a fresh sim on any mismatch)")
+    bench.add_argument("--profile", action="store_true",
+                       help="wrap each stage in cProfile and write "
+                            "top-25 cumulative tables to "
+                            "<output>.profile.txt (inflates wall "
+                            "times; for attribution, not comparison)")
     lint = sub.add_parser("lint",
                           help="run the domain-invariant linter "
                                "(R001–R006) over source paths")
@@ -291,8 +296,10 @@ def print_ablations(bpm: int, seed: int,
 def run_bench_command(args: argparse.Namespace) -> int:
     """Run the wall-clock benchmark; nonzero exit on divergence.
 
-    A parallel run that is not bit-identical to the serial one is a
-    correctness failure, not a performance number — CI gates on it.
+    A parallel run that is not bit-identical to the serial one — or an
+    optimized simulation whose block/tx hash sequence differs from the
+    naive reference paths — is a correctness failure, not a
+    performance number.  CI gates on all of them.
     """
     from repro.bench import DEFAULT_WORKERS, render_report, run_bench, \
         write_report
@@ -302,10 +309,21 @@ def run_bench_command(args: argparse.Namespace) -> int:
           + (", quick" if args.quick else "") + ") …", file=sys.stderr)
     report = run_bench(bpm=args.bpm, seed=args.seed, workers=workers,
                        chunk_size=args.chunk_size, quick=args.quick,
-                       world_cache=args.world_cache)
+                       world_cache=args.world_cache,
+                       profile=args.profile)
     write_report(report, args.output)
     print(render_report(report))
     print(f"wrote {args.output}")
+    if args.profile:
+        profile_path = args.output + ".profile.txt"
+        with open(profile_path, "w", encoding="utf-8") as stream:
+            for stage, table in report.get("profile", {}).items():
+                stream.write(f"===== {stage} =====\n{table}\n")
+        print(f"wrote {profile_path}")
+    if report.get("sim_identical") is False:
+        print("ERROR: optimized simulation diverged from the "
+              "reference paths", file=sys.stderr)
+        return 1
     if not report["parallel_identical"]:
         print("ERROR: parallel run diverged from serial run",
               file=sys.stderr)

@@ -10,7 +10,7 @@ than something we merely label.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.chain.events import SwapEvent, SyncEvent
 from repro.chain.execution import ExecutionContext, Revert
@@ -70,23 +70,44 @@ class ConstantProductPool:
             self.token0, self.token1 = self.token1, self.token0
         self.address: Address = address_from_label(
             f"pool:{self.venue}:{self.token0}/{self.token1}:{self.fee_bps}")
+        self._ledger_cache: Optional[Tuple[WorldState, dict, dict]] = None
 
     # Reserve access ---------------------------------------------------------
 
+    def _ledgers(self, state: WorldState) -> Tuple[dict, dict]:
+        """The two token ledgers, cached per state (reserve reads are the
+        hottest loop in the simulator and a token's ledger dict is never
+        replaced once created — see ``WorldState.token_ledger``)."""
+        cached = self._ledger_cache
+        if cached is not None and cached[0] is state:
+            return cached[1], cached[2]
+        ledger0 = state.token_ledger(self.token0)
+        ledger1 = state.token_ledger(self.token1)
+        self._ledger_cache = (state, ledger0, ledger1)
+        return ledger0, ledger1
+
     def reserves(self, state: WorldState) -> Tuple[int, int]:
-        return (state.token_balance(self.token0, self.address),
-                state.token_balance(self.token1, self.address))
+        ledger0, ledger1 = self._ledgers(state)
+        addr = self.address
+        return (ledger0.get(addr, 0), ledger1.get(addr, 0))
 
     def reserve_of(self, state: WorldState, token: str) -> int:
+        ledger0, ledger1 = self._ledgers(state)
+        if token == self.token0:
+            return ledger0.get(self.address, 0)
+        if token == self.token1:
+            return ledger1.get(self.address, 0)
         self._require_member(token)
-        return state.token_balance(token, self.address)
+        raise AssertionError("unreachable")
 
     def other(self, token: str) -> str:
         self._require_member(token)
         return self.token1 if token == self.token0 else self.token0
 
     def has_token(self, token: str) -> bool:
-        return token in (self.token0, self.token1)
+        # Explicit comparisons: no per-call tuple allocation (this sits
+        # under every reserve read the searchers make).
+        return token == self.token0 or token == self.token1
 
     def _require_member(self, token: str) -> None:
         if not self.has_token(token):

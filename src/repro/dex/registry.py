@@ -101,6 +101,12 @@ class ExchangeRegistry:
         return list(self._by_address.values())
 
     @property
+    def pool_count(self) -> int:
+        """Number of deployed pools.  Pools are only ever added, so this
+        doubles as a cheap version stamp for derived pool-list caches."""
+        return len(self._by_address)
+
+    @property
     def contracts(self) -> Dict[Address, Pool]:
         """Address → pool map, pluggable into the block builder."""
         return dict(self._by_address)

@@ -9,7 +9,8 @@ so routers, searchers and detection heuristics treat venues uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from functools import lru_cache
+from typing import Optional, Tuple
 
 from repro.chain.events import SwapEvent, SyncEvent
 from repro.chain.execution import ExecutionContext, Revert
@@ -28,6 +29,15 @@ def compute_d(amp: int, balances: Tuple[int, int]) -> int:
         return 0
     if x0 == 0 or x1 == 0:
         raise ValueError("stableswap pool is one-sided")
+    return _d_newton(amp, x0, x1)
+
+
+# The Newton iterations are pure integer functions of their arguments, and
+# searchers probe the same reserve/amount points over and over between
+# trades on the pool — an LRU is exact, not approximate.
+@lru_cache(maxsize=4096)
+def _d_newton(amp: int, x0: int, x1: int) -> int:
+    s = x0 + x1
     d = s
     d_prev_prev = -1
     ann = amp * N_COINS**N_COINS
@@ -49,6 +59,7 @@ def compute_d(amp: int, balances: Tuple[int, int]) -> int:
     raise ArithmeticError("D did not converge")
 
 
+@lru_cache(maxsize=4096)
 def compute_y(amp: int, d: int, x_new: int) -> int:
     """Given one post-trade balance ``x_new``, solve for the other."""
     ann = amp * N_COINS**N_COINS
@@ -62,6 +73,26 @@ def compute_y(amp: int, d: int, x_new: int) -> int:
         if abs(y - y_prev) <= 1:
             return y
     raise ArithmeticError("y did not converge")
+
+
+def stable_amount_out(amount_in: int, reserve_in: int, reserve_out: int,
+                      amp: int, fee_bps: int) -> int:
+    """Stableswap output for an exact input, net of fee (pure form).
+
+    This is :meth:`StableSwapPool.quote_out` with the reserves passed in
+    explicitly — callers that already hold the reserves (the searcher's
+    probe ladder) can quote without re-reading world state.
+    """
+    if amount_in <= 0:
+        raise ValueError("amount_in must be positive")
+    if reserve_in <= 0 or reserve_out <= 0:
+        raise ValueError("pool has no liquidity")
+    d = compute_d(amp, (reserve_in, reserve_out))
+    y_new = compute_y(amp, d, reserve_in + amount_in)
+    dy = reserve_out - y_new - 1  # -1 mirrors Curve's rounding guard
+    if dy <= 0:
+        return 0
+    return dy - dy * fee_bps // FEE_DENOMINATOR
 
 
 @dataclass
@@ -85,16 +116,33 @@ class StableSwapPool:
             self.token0, self.token1 = self.token1, self.token0
         self.address: Address = address_from_label(
             f"stable:{self.venue}:{self.token0}/{self.token1}:{self.amp}")
+        self._ledger_cache: Optional[Tuple[WorldState, dict, dict]] = None
 
     # Shared pool interface -----------------------------------------------------
 
+    def _ledgers(self, state: WorldState) -> Tuple[dict, dict]:
+        """Per-state ledger cache (see ConstantProductPool._ledgers)."""
+        cached = self._ledger_cache
+        if cached is not None and cached[0] is state:
+            return cached[1], cached[2]
+        ledger0 = state.token_ledger(self.token0)
+        ledger1 = state.token_ledger(self.token1)
+        self._ledger_cache = (state, ledger0, ledger1)
+        return ledger0, ledger1
+
     def reserves(self, state: WorldState) -> Tuple[int, int]:
-        return (state.token_balance(self.token0, self.address),
-                state.token_balance(self.token1, self.address))
+        ledger0, ledger1 = self._ledgers(state)
+        addr = self.address
+        return (ledger0.get(addr, 0), ledger1.get(addr, 0))
 
     def reserve_of(self, state: WorldState, token: str) -> int:
+        ledger0, ledger1 = self._ledgers(state)
+        if token == self.token0:
+            return ledger0.get(self.address, 0)
+        if token == self.token1:
+            return ledger1.get(self.address, 0)
         self._require_member(token)
-        return state.token_balance(token, self.address)
+        raise AssertionError("unreachable")
 
     def other(self, token: str) -> str:
         self._require_member(token)
@@ -119,19 +167,11 @@ class StableSwapPool:
     def quote_out(self, state: WorldState, token_in: str,
                   amount_in: int) -> int:
         """Stableswap output for an exact input, net of fee."""
-        if amount_in <= 0:
-            raise ValueError("amount_in must be positive")
         token_out = self.other(token_in)
-        reserve_in = self.reserve_of(state, token_in)
-        reserve_out = self.reserve_of(state, token_out)
-        if reserve_in <= 0 or reserve_out <= 0:
-            raise ValueError("pool has no liquidity")
-        d = compute_d(self.amp, (reserve_in, reserve_out))
-        y_new = compute_y(self.amp, d, reserve_in + amount_in)
-        dy = reserve_out - y_new - 1  # -1 mirrors Curve's rounding guard
-        if dy <= 0:
-            return 0
-        return dy - dy * self.fee_bps // FEE_DENOMINATOR
+        return stable_amount_out(amount_in,
+                                 self.reserve_of(state, token_in),
+                                 self.reserve_of(state, token_out),
+                                 self.amp, self.fee_bps)
 
     def spot_price(self, state: WorldState, token: str) -> float:
         """Marginal price via a small probe trade."""

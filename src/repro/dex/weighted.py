@@ -16,7 +16,7 @@ A 1:1 weighting reduces to the constant-product formula exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.chain.events import SwapEvent, SyncEvent
 from repro.chain.execution import ExecutionContext, Revert
@@ -122,16 +122,33 @@ class WeightedPool:
         self.address: Address = address_from_label(
             f"weighted:{self.venue}:{self.token0}/{self.token1}:"
             f"{self.weight0}:{self.weight1}:{self.fee_bps}")
+        self._ledger_cache: Optional[Tuple[WorldState, dict, dict]] = None
 
     # Shared pool interface ---------------------------------------------------
 
+    def _ledgers(self, state: WorldState) -> Tuple[dict, dict]:
+        """Per-state ledger cache (see ConstantProductPool._ledgers)."""
+        cached = self._ledger_cache
+        if cached is not None and cached[0] is state:
+            return cached[1], cached[2]
+        ledger0 = state.token_ledger(self.token0)
+        ledger1 = state.token_ledger(self.token1)
+        self._ledger_cache = (state, ledger0, ledger1)
+        return ledger0, ledger1
+
     def reserves(self, state: WorldState) -> Tuple[int, int]:
-        return (state.token_balance(self.token0, self.address),
-                state.token_balance(self.token1, self.address))
+        ledger0, ledger1 = self._ledgers(state)
+        addr = self.address
+        return (ledger0.get(addr, 0), ledger1.get(addr, 0))
 
     def reserve_of(self, state: WorldState, token: str) -> int:
+        ledger0, ledger1 = self._ledgers(state)
+        if token == self.token0:
+            return ledger0.get(self.address, 0)
+        if token == self.token1:
+            return ledger1.get(self.address, 0)
         self._require_member(token)
-        return state.token_balance(token, self.address)
+        raise AssertionError("unreachable")
 
     def weight_of(self, token: str) -> int:
         self._require_member(token)

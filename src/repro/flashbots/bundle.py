@@ -48,13 +48,27 @@ class Bundle:
 
     @property
     def bundle_id(self) -> Hash32:
-        """Commitment to the bundle's exact contents and order."""
-        return hash_of(("bundle", self.searcher, self.target_block,
-                        self.bundle_type) + self.tx_hashes)
+        """Commitment to the bundle's exact contents and order.
+
+        Memoized: the dataclass is frozen, so the commitment can never
+        change after construction (the relay and the API read it per
+        pending bundle per block — a 700-tx payout bundle would otherwise
+        re-hash all its transactions on every read).
+        """
+        cached = self.__dict__.get("_bundle_id")
+        if cached is None:
+            cached = hash_of(("bundle", self.searcher, self.target_block,
+                              self.bundle_type) + self.tx_hashes)
+            object.__setattr__(self, "_bundle_id", cached)
+        return cached
 
     @property
     def tx_hashes(self) -> Tuple[Hash32, ...]:
-        return tuple(tx.hash for tx in self.transactions)
+        cached = self.__dict__.get("_tx_hashes")
+        if cached is None:
+            cached = tuple(tx.hash for tx in self.transactions)
+            object.__setattr__(self, "_tx_hashes", cached)
+        return cached
 
     def __len__(self) -> int:
         return len(self.transactions)

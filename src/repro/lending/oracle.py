@@ -37,12 +37,18 @@ class PriceOracle:
         self._prices: Dict[str, int] = {"WETH": PRICE_SCALE}
         self._history: Dict[str, List[Tuple[int, int]]] = {
             "WETH": [(0, PRICE_SCALE)]}
+        #: Monotonic change counter: bumped on every price write,
+        #: including journal-undo rewrites.  Derived caches keyed on it
+        #: can never serve stale data — a rolled-back price still moves
+        #: the version forward, forcing a recompute.
+        self.version = 0
 
     def set_price(self, token: str, price_wei: int,
                   block_number: int = 0) -> None:
         """Install a price (scenario setup or oracle-update intents)."""
         if price_wei <= 0:
             raise ValueError("price must be positive")
+        self.version += 1
         self._prices[token] = price_wei
         self._history.setdefault(token, []).append((block_number,
                                                     price_wei))
@@ -101,6 +107,7 @@ class OracleUpdateIntent(TxIntent):
             if history and history[-1] == (ctx.block_number,
                                            self.price_wei):
                 history.pop()
+            oracle.version += 1
             if prior is None:
                 oracle._prices.pop(self.token, None)
             else:

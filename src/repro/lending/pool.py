@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.chain.events import BorrowEvent, LiquidationEvent
 from repro.chain.execution import ExecutionContext, ExecutionOutcome, Revert
@@ -69,6 +69,11 @@ class LendingPool:
         self.bonus_bps = bonus_bps
         self.liquidation_threshold_bps = liquidation_threshold_bps
         self.loans: Dict[int, Loan] = {}
+        #: Monotonic loan-book change counter (bumped on every loan
+        #: mutation, including journal undos — see PriceOracle.version).
+        self.book_version = 0
+        self._liquidatable_cache: Dict[tuple, List[Loan]] = {}
+        self._open_count_cache: Optional[Tuple[int, int]] = None
 
     # Setup ------------------------------------------------------------------
 
@@ -93,12 +98,35 @@ class LendingPool:
         return not loan.is_closed and self.health_factor(loan) < 1.0
 
     def liquidatable_loans(self) -> List[Loan]:
-        """Open, unhealthy loans — what passive searchers scan for."""
-        return [loan for loan in self.loans.values()
-                if self.is_liquidatable(loan)]
+        """Open, unhealthy loans — what passive searchers scan for.
+
+        Loan health changes only when a price or a loan mutates, and
+        both bump a monotonic version, so the scan result is cached per
+        (oracle version, book version) — exact, never stale.  A fresh
+        list is returned so callers can't alias the cache entry.
+        """
+        key = (self.oracle.version, self.book_version)
+        cached = self._liquidatable_cache.get(key)
+        if cached is None:
+            cached = [loan for loan in self.loans.values()
+                      if self.is_liquidatable(loan)]
+            self._liquidatable_cache.clear()
+            self._liquidatable_cache[key] = cached
+        return list(cached)
 
     def open_loans(self) -> List[Loan]:
         return [loan for loan in self.loans.values() if not loan.is_closed]
+
+    def open_loan_count(self) -> int:
+        """Number of open loans, cached per book version (loan closure
+        only ever happens through version-bumping mutations)."""
+        cached = self._open_count_cache
+        if cached is None or cached[0] != self.book_version:
+            cached = (self.book_version,
+                      sum(1 for loan in self.loans.values()
+                          if not loan.is_closed))
+            self._open_count_cache = cached
+        return cached[1]
 
     def max_repay(self, loan: Loan) -> int:
         """Largest debt repayment one liquidation may make (close factor)."""
@@ -133,8 +161,13 @@ class LendingPool:
         if self.health_factor(loan) < 1.0:
             raise Revert("loan would be undercollateralized at inception")
         self.loans[loan.loan_id] = loan
-        ctx.state.record_undo(
-            lambda: self.loans.pop(loan.loan_id, None))
+        self.book_version += 1
+
+        def undo_open() -> None:
+            self.book_version += 1
+            self.loans.pop(loan.loan_id, None)
+
+        ctx.state.record_undo(undo_open)
         ctx.emit(BorrowEvent(address=self.address, platform=self.platform,
                              borrower=borrower, debt_token=debt_token,
                              amount=debt_amount,
@@ -169,8 +202,10 @@ class LendingPool:
         prior_collateral = loan.collateral_amount
         loan.debt_amount -= repay_amount
         loan.collateral_amount -= seized
+        self.book_version += 1
 
         def undo() -> None:
+            self.book_version += 1
             loan.debt_amount = prior_debt
             loan.collateral_amount = prior_collateral
 

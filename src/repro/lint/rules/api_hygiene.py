@@ -7,7 +7,10 @@ confusion sneaks back in.  The rule requires every *public* function in
 the configured packages to annotate all parameters and the return type.
 ``repro.chain.index`` is held to the same bar: it is the read path the
 whole measurement layer leans on, and its coordinates (block numbers,
-tx/log indices) invite exactly that confusion.
+tx/log indices) invite exactly that confusion.  ``repro.chain.mempool``
+joined when its ordering index became a hot path: fee and nonce
+arguments there are wei/counters, and the incremental index only stays
+provably equivalent to the naive sort if those types stay honest.
 
 Public means: listed in ``__all__`` when the module defines one,
 otherwise any top-level or public-class method whose name has no
@@ -24,7 +27,8 @@ from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
-DEFAULT_PACKAGES = ("repro.core", "repro.engine", "repro.chain.index")
+DEFAULT_PACKAGES = ("repro.core", "repro.engine", "repro.chain.index",
+                    "repro.chain.mempool")
 
 _IMPLICIT = {"self", "cls"}
 

@@ -276,8 +276,14 @@ def _build_self_mev_searchers(config: ScenarioConfig,
     return personas
 
 
-def build_paper_scenario(config: ScenarioConfig) -> World:
-    """Assemble the full calibrated world for the study window."""
+def build_paper_scenario(config: ScenarioConfig,
+                         fast_paths: bool = True) -> World:
+    """Assemble the full calibrated world for the study window.
+
+    ``fast_paths=False`` builds the world on the naive reference paths
+    (full mempool re-sorts, no scan memoization); its block-hash sequence
+    is asserted identical to the optimized default by the bench gate.
+    """
     rng = random.Random(config.seed)
     calendar = StudyCalendar(config.blocks_per_month, config.months)
     forks = ForkSchedule(
@@ -341,4 +347,5 @@ def build_paper_scenario(config: ScenarioConfig) -> World:
                  searchers=searchers,
                  flashbots_launch_block=launch,
                  rng=random.Random(config.seed + 5),
-                 self_mev_searchers=self_mev)
+                 self_mev_searchers=self_mev,
+                 fast_paths=fast_paths)

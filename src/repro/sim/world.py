@@ -113,6 +113,7 @@ class World:
                  rng: Optional[random.Random] = None,
                  self_mev_searchers: Optional[Dict[Address,
                                                    Searcher]] = None,
+                 fast_paths: bool = True,
                  ) -> None:
         self.config = config
         self.calendar = calendar
@@ -135,10 +136,14 @@ class World:
         self.self_mev_searchers = dict(self_mev_searchers or {})
         self.flashbots_launch_block = flashbots_launch_block
         self.rng = rng or random.Random(config.seed)
+        #: when False, every optimized structure (incremental mempool
+        #: index, per-scan memo dicts) is swapped for the original naive
+        #: path — the reference the bench ``sim_identical`` gate replays.
+        self.fast_paths = fast_paths
 
         self.blockchain = Blockchain()
         self.node = ArchiveNode(self.blockchain)
-        self.mempool = Mempool(ttl_blocks=40)
+        self.mempool = Mempool(ttl_blocks=40, incremental=fast_paths)
         self.gossip = GossipNetwork(
             random.Random(config.seed + 1),
             observation_rate=config.observation_rate)
@@ -155,6 +160,14 @@ class World:
         self._giant_payout_done = False
         self._last_payout: Dict[Address, int] = {}
         self._contracts = self._collect_contracts()
+        # Hoisted out of step(): the gas-demand model holds only static
+        # parameters plus the rng handle — constructing it draws nothing,
+        # so one shared instance is draw-for-draw identical to a fresh
+        # one per block.
+        self._gas_model = GasDemandModel(
+            self.rng, organic_gwei=config.organic_gas_gwei,
+            pga_multiplier=config.pga_gas_multiplier)
+        self._scale_by_month: Dict[int, float] = {}
 
     # Setup helpers -----------------------------------------------------------
 
@@ -191,8 +204,11 @@ class World:
     def _activity_scale(self, block_number: int) -> float:
         """Monthly activity multiplier (DeFi volume ramps over 2020–21)."""
         index = self.calendar.month_index(block_number)
-        ramp = min(1.0, 0.35 + 0.08 * index)
-        return ramp
+        cached = self._scale_by_month.get(index)
+        if cached is None:
+            cached = min(1.0, 0.35 + 0.08 * index)
+            self._scale_by_month[index] = cached
+        return cached
 
     def _generate_traffic(self, current: int, fees: FeeModel) -> None:
         scale = self._activity_scale(current + 1)
@@ -216,7 +232,7 @@ class World:
                                                    self.registry, fees)
             if tx is not None:
                 self.submit_public(tx, current)
-        open_loans = sum(len(pool.open_loans())
+        open_loans = sum(pool.open_loan_count()
                          for pool in self.lending_pools)
         if (open_loans < self.config.max_open_loans
                 and self.rng.random() < self.config.borrow_rate * scale
@@ -230,29 +246,45 @@ class World:
                                            current + 1):
             self.submit_public(tx, current)
 
-    def _pga_intensity(self, target_block: int) -> float:
+    def _active_searchers(self, target_block: int) -> List[Searcher]:
+        """Searchers whose lifecycle covers ``target_block`` (computed
+        once per step; activity depends only on the block number)."""
+        return [s for s in self.searchers if s.is_active(target_block)]
+
+    def _pga_intensity(self, target_block: int,
+                       active: Optional[List[Searcher]] = None) -> float:
         """Share of active MEV searchers bidding in the *public* mempool —
         the driver of Figure 6's gas-price regimes."""
-        active = [s for s in self.searchers
-                  if s.is_active(target_block)
-                  and s.strategy != "other"]
-        if not active:
+        if active is None:
+            active = self._active_searchers(target_block)
+        bidding = [s for s in active if s.strategy != "other"]
+        if not bidding:
             return 0.0
-        public = sum(1 for s in active
+        public = sum(1 for s in bidding
                      if s.policy.channel_at(target_block)
                      == CHANNEL_PUBLIC)
-        return public / len(active)
+        return public / len(bidding)
 
-    def _competition(self, target_block: int) -> Dict[str, int]:
+    def _competition(self, target_block: int,
+                     active: Optional[List[Searcher]] = None,
+                     ) -> Dict[str, int]:
+        if active is None:
+            active = self._active_searchers(target_block)
         counts: Dict[str, int] = {}
-        for searcher in self.searchers:
-            if searcher.is_active(target_block):
-                counts[searcher.strategy] = \
-                    counts.get(searcher.strategy, 0) + 1
+        for searcher in active:
+            counts[searcher.strategy] = \
+                counts.get(searcher.strategy, 0) + 1
         return counts
 
-    def _run_searchers(self, current: int, fees: FeeModel) -> None:
+    def _run_searchers(self, current: int, fees: FeeModel,
+                       active: Optional[List[Searcher]] = None,
+                       competition: Optional[Dict[str, int]] = None,
+                       ) -> None:
         target = current + 1
+        if active is None:
+            active = self._active_searchers(target)
+        if competition is None:
+            competition = self._competition(target, active)
         liquidatable = [(pool, pool.liquidatable_loans())
                         for pool in self.lending_pools]
         view = MarketView(
@@ -260,13 +292,12 @@ class World:
             pending=self.mempool.transactions, block_number=current,
             fees=fees, rng=self.rng, lending_pools=self.lending_pools,
             flash_provider=self.flash_provider,
-            competition=self._competition(target),
+            competition=competition,
             liquidatable_by_pool=liquidatable,
-            bundle_rush=self.rng.random() < 0.25)
+            bundle_rush=self.rng.random() < 0.25,
+            memo={} if self.fast_paths else None)
         flashbots_live = target >= self.flashbots_launch_block
-        for searcher in self.searchers:
-            if not searcher.is_active(target):
-                continue
+        for searcher in active:
             rate = searcher.attempt_rate
             # Once Flashbots exists, sandwiching through the open mempool
             # is a losing race against bundles (the paper finds only
@@ -366,19 +397,27 @@ class World:
                            bundle_type=ROGUE)
 
     def _self_mev_sequences(self, miner: MinerProfile, current: int,
-                            fees: FeeModel) -> List[tuple]:
+                            fees: FeeModel,
+                            competition: Optional[Dict[str, int]] = None,
+                            ) -> List[tuple]:
         """A self-extracting miner's own sandwiches for the block it is
         building right now: it scans the mempool exactly when it wins the
         lottery and inserts its attack privately (Section 6.3)."""
         searcher = self.self_mev_searchers.get(miner.address)
         if searcher is None or not miner.self_mev:
             return []
+        if competition is None:
+            competition = self._competition(current + 1)
+        # Fresh memo: payout/rogue bundles may have credited ETH between
+        # the public searcher scan and this one, so cached quotes from
+        # _run_searchers are not guaranteed valid here.
         view = MarketView(
             state=self.state, registry=self.registry, oracle=self.oracle,
             pending=self.mempool.transactions, block_number=current,
             fees=fees, rng=self.rng, lending_pools=self.lending_pools,
             flash_provider=self.flash_provider,
-            competition=self._competition(current + 1))
+            competition=competition,
+            memo={} if self.fast_paths else None)
         sequences: List[tuple] = []
         for submission in searcher.scan(view):
             if submission.channel != CHANNEL_PRIVATE or \
@@ -396,15 +435,14 @@ class World:
         london = self.forks.is_london(number)
         if london and self.base_fee == 0:
             self.base_fee = INITIAL_BASE_FEE
-        gas_model = GasDemandModel(
-            self.rng, organic_gwei=self.config.organic_gas_gwei,
-            pga_multiplier=self.config.pga_gas_multiplier)
+        active = self._active_searchers(number)
+        competition = self._competition(number, active)
         fees = FeeModel(base_fee=self.base_fee, london_active=london,
-                        prevailing=gas_model.level(
-                            self._pga_intensity(number)))
+                        prevailing=self._gas_model.level(
+                            self._pga_intensity(number, active)))
 
         self._generate_traffic(current, fees)
-        self._run_searchers(current, fees)
+        self._run_searchers(current, fees, active, competition)
 
         miner = self.miners.pick(self.rng)
         bundles = []
@@ -422,7 +460,7 @@ class World:
         private_sequences = list(self.private_pools.pending_for_miner(
             miner.address, number))
         private_sequences += self._self_mev_sequences(miner, current,
-                                                      fees)
+                                                      fees, competition)
 
         result = build_block(
             self.state, self.mempool, number=number,

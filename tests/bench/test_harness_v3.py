@@ -1,0 +1,62 @@
+"""Schema and gate tests for the v3 benchmark harness.
+
+Small scenarios only — these tests check the *shape* of the report
+(stages, gates, profile tables) and that the gates are actually wired
+to the data they claim to check, never wall-clock numbers.
+"""
+
+import json
+
+from repro.bench import run_bench, write_report
+
+SMALL = dict(bpm=3, seed=5, workers=(1, 2), quick=False)
+
+
+class TestReportSchema:
+    def test_v3_document(self, tmp_path):
+        report = run_bench(**SMALL)
+        assert report["version"] == 3
+        stage_names = [s["stage"] for s in report["stages"]]
+        assert stage_names[0] == "simulate"
+        for required in ("detection", "detection_indexed",
+                         "detection_linear", "joins"):
+            assert required in stage_names
+        simulate = report["stages"][0]
+        assert simulate["fresh"] is True
+        assert simulate["blocks_per_s"] > 0
+        assert report["simulate_s"] > 0
+        assert "profile" not in report  # only on request
+        # The document round-trips as JSON (CI parses it).
+        path = tmp_path / "bench.json"
+        write_report(report, path)
+        assert json.loads(path.read_text())["version"] == 3
+
+    def test_fast_vs_reference_gate_runs_and_passes(self):
+        report = run_bench(**SMALL)
+        assert report["sim_identical"] is True
+        assert report["sim_reference_s"] > 0
+        assert report["parallel_identical"] is True
+        assert report["indexed_matches_linear"] is True
+
+    def test_profile_tables_cover_every_stage(self):
+        report = run_bench(profile=True, **SMALL)
+        stage_names = {s["stage"] for s in report["stages"]}
+        assert set(report["profile"]) == stage_names
+        for table in report["profile"].values():
+            assert "cumulative" in table  # a real pstats table
+
+
+class TestWorldCacheInteraction:
+    def test_cache_hit_skips_reference_gate(self, tmp_path):
+        cache = tmp_path / "worlds"
+        first = run_bench(world_cache=cache, **SMALL)
+        assert first["world_cache"]["hit"] is False
+        assert first["sim_identical"] is True
+        second = run_bench(world_cache=cache, **SMALL)
+        assert second["world_cache"]["hit"] is True
+        assert second["sim_identical"] is None
+        assert second["sim_reference_s"] is None
+        assert second["stages"][0]["fresh"] is False
+        # The cached world feeds the same downstream measurements.
+        assert (second["indexed_matches_linear"] is True
+                and second["parallel_identical"] is True)

@@ -1,0 +1,263 @@
+"""The incremental mempool paths against their naive references.
+
+The optimized simulator leans on two claims about ``Mempool``:
+
+* :class:`FeeOrderIndex` ordering is *element-for-element* equal to the
+  full re-sort (``ordered_reference``) at every base fee, through any
+  interleaving of adds, replacements, removals and evictions; and
+* bucketed ``evict_stale`` drops exactly the set the reference linear
+  scan would drop.
+
+These tests drive randomized operation sequences through a paired
+incremental/reference pool and assert equality after every step, then
+pin the (previously dead) deferred-nonce behaviour of ``select``.
+"""
+
+import random
+
+from repro.chain.mempool import FeeOrderIndex, Mempool
+from repro.chain.transaction import EIP1559, Transaction
+from repro.chain.types import address_from_label, gwei
+
+SENDERS = [address_from_label(f"mp-index-{i}") for i in range(6)]
+RECIPIENT = address_from_label("mp-index-recipient")
+
+
+def legacy_tx(sender, nonce, price_gwei, gas_limit=21_000):
+    return Transaction(sender=sender, nonce=nonce, to=RECIPIENT,
+                       gas_price=gwei(price_gwei), gas_limit=gas_limit)
+
+
+def fee_market_tx(sender, nonce, max_fee_gwei, priority_gwei,
+                  gas_limit=21_000):
+    return Transaction(sender=sender, nonce=nonce, to=RECIPIENT,
+                       tx_type=EIP1559,
+                       max_fee_per_gas=gwei(max_fee_gwei),
+                       max_priority_fee_per_gas=gwei(priority_gwei),
+                       gas_limit=gas_limit)
+
+
+def random_tx(rng):
+    sender = SENDERS[rng.randrange(len(SENDERS))]
+    nonce = rng.randrange(6)
+    if rng.random() < 0.5:
+        return legacy_tx(sender, nonce, rng.randint(1, 300))
+    priority = rng.randint(1, 20)
+    return fee_market_tx(sender, nonce, priority + rng.randint(1, 280),
+                         priority)
+
+
+def hashes(txs):
+    return [tx.hash for tx in txs]
+
+
+class PairedPools:
+    """One incremental and one reference pool fed identical operations."""
+
+    def __init__(self, ttl_blocks=25):
+        self.fast = Mempool(ttl_blocks=ttl_blocks, incremental=True)
+        self.ref = Mempool(ttl_blocks=ttl_blocks, incremental=False)
+
+    def add(self, tx, block):
+        admitted_fast = self.fast.add(tx, block)
+        admitted_ref = self.ref.add(tx, block)
+        assert admitted_fast == admitted_ref
+        return admitted_fast
+
+    def remove(self, tx_hashes):
+        self.fast.remove(tx_hashes)
+        self.ref.remove(tx_hashes)
+
+    def evict(self, block):
+        evicted_fast = self.fast.evict_stale(block)
+        evicted_ref = self.ref.evict_stale(block)
+        assert evicted_fast == evicted_ref
+        return evicted_fast
+
+    def assert_equal(self, base_fee):
+        fast = hashes(self.fast.ordered(base_fee))
+        assert fast == hashes(self.ref.ordered(base_fee))
+        assert fast == hashes(self.fast.ordered_reference(base_fee))
+        assert len(self.fast) == len(self.ref)
+        assert (set(self.fast.transactions)
+                == set(self.ref.transactions))
+
+
+class TestIncrementalMatchesReference:
+    def test_random_operation_sequences(self):
+        """Property: any op interleaving, any base fee — same order."""
+        for seed in range(8):
+            rng = random.Random(seed)
+            pools = PairedPools(ttl_blocks=25)
+            for block in range(120):
+                for _ in range(rng.randrange(4)):
+                    pools.add(random_tx(rng), block)
+                if rng.random() < 0.25:
+                    pending = pools.ref.transactions
+                    if pending:
+                        victim = pending[rng.randrange(len(pending))]
+                        pools.remove([victim.hash])
+                if rng.random() < 0.3:
+                    pools.evict(block)
+                base_fee = gwei(rng.choice((0, 1, 5, 20, 80, 250)))
+                pools.assert_equal(base_fee)
+            for base_fee_gwei in (0, 3, 50, 500):
+                pools.assert_equal(gwei(base_fee_gwei))
+
+    def test_replacement_sequences(self):
+        """Replacements (accepted and rejected) splice identically."""
+        rng = random.Random(99)
+        pools = PairedPools()
+        incumbents = []
+        for block in range(60):
+            if incumbents and rng.random() < 0.5:
+                sender, nonce, price = incumbents[
+                    rng.randrange(len(incumbents))]
+                bump = rng.choice((1.05, 1.10, 1.50))  # 5 % must fail
+                challenger = legacy_tx(sender, nonce,
+                                       int(price * bump) + 1)
+                if pools.add(challenger, block):
+                    incumbents.append(
+                        (sender, nonce, int(price * bump) + 1))
+            else:
+                sender = SENDERS[rng.randrange(len(SENDERS))]
+                nonce = rng.randrange(8)
+                price = rng.randint(10, 200)
+                if pools.add(legacy_tx(sender, nonce, price), block):
+                    incumbents.append((sender, nonce, price))
+            pools.assert_equal(gwei(rng.choice((0, 10, 60))))
+
+    def test_base_fee_changes_rekey_exactly(self):
+        """EIP-1559 tips depend on the base fee, so relative order can
+        flip between fees; the lazy re-key must track every flip."""
+        pools = PairedPools()
+        pools.add(fee_market_tx(SENDERS[0], 0, 100, 1), 0)
+        pools.add(fee_market_tx(SENDERS[1], 0, 40, 30), 0)
+        pools.add(legacy_tx(SENDERS[2], 0, 35), 0)
+        # At fee 0 the priority-1 tx trails; near max_fee it leads the
+        # capped one.  Sweep up, down, and back again.
+        for base_fee_gwei in (0, 10, 25, 34, 39, 25, 0, 39):
+            pools.assert_equal(gwei(base_fee_gwei))
+
+
+class TestBucketedEviction:
+    def test_eviction_set_matches_reference(self):
+        pools = PairedPools(ttl_blocks=10)
+        staggered = [(legacy_tx(SENDERS[i % 6], i, 20 + i), i * 3)
+                     for i in range(12)]
+        for tx, block in staggered:
+            pools.add(tx, block)
+        for now in (11, 20, 33, 50):
+            pools.evict(now)
+            pools.assert_equal(0)
+        assert len(pools.fast) == 0  # everything eventually expires
+
+    def test_evicts_only_past_ttl(self):
+        pool = Mempool(ttl_blocks=10)
+        old = legacy_tx(SENDERS[0], 0, 50)
+        fresh = legacy_tx(SENDERS[1], 0, 50)
+        pool.add(old, 0)
+        pool.add(fresh, 5)
+        assert pool.evict_stale(11) == 1
+        assert old.hash not in pool
+        assert fresh.hash in pool
+
+    def test_removed_hash_in_stale_bucket_not_double_counted(self):
+        pool = Mempool(ttl_blocks=5)
+        tx = legacy_tx(SENDERS[0], 0, 50)
+        pool.add(tx, 0)
+        pool.remove([tx.hash])
+        assert pool.evict_stale(100) == 0
+
+    def test_readmitted_tx_keeps_new_arrival_block(self):
+        """A hash lingering in an expired bucket must not evict the
+        same transaction re-admitted later."""
+        pool = Mempool(ttl_blocks=5)
+        tx = legacy_tx(SENDERS[0], 0, 50)
+        pool.add(tx, 0)
+        pool.remove([tx.hash])
+        pool.add(tx, 20)  # same hash, new arrival bucket
+        assert pool.evict_stale(10) == 0  # old bucket expires empty
+        assert tx.hash in pool
+        assert pool.evict_stale(26) == 1  # the new arrival expires
+
+
+class TestSelectDeferredNonces:
+    """Pins the multi-round nonce-gap behaviour of ``select`` (the
+    rewrite of what used to be dead ``deferred`` bookkeeping)."""
+
+    def test_out_of_order_nonces_fill_across_rounds(self):
+        pool = Mempool()
+        low_first = legacy_tx(SENDERS[0], 0, 10)
+        high_second = legacy_tx(SENDERS[0], 1, 200)
+        pool.add(low_first, 0)
+        pool.add(high_second, 0)
+        # Fee order puts nonce 1 first; it must wait for nonce 0 and
+        # then be picked up in the next round, not dropped.
+        chosen = pool.select(base_fee=0, gas_budget=10**9,
+                             account_nonces={SENDERS[0]: 0})
+        assert hashes(chosen) == [low_first.hash, high_second.hash]
+
+    def test_unfillable_gap_left_pending_unreported(self):
+        pool = Mempool()
+        gapped = legacy_tx(SENDERS[0], 3, 500)
+        pool.add(gapped, 0)
+        chosen = pool.select(base_fee=0, gas_budget=10**9,
+                             account_nonces={SENDERS[0]: 0})
+        assert chosen == []
+        assert gapped.hash in pool  # deferred means left pending
+
+    def test_stale_nonce_skipped_entirely(self):
+        pool = Mempool()
+        mined_already = legacy_tx(SENDERS[0], 1, 500)
+        current = legacy_tx(SENDERS[0], 4, 100)
+        pool.add(mined_already, 0)
+        pool.add(current, 0)
+        chosen = pool.select(base_fee=0, gas_budget=10**9,
+                             account_nonces={SENDERS[0]: 4})
+        assert hashes(chosen) == [current.hash]
+
+    def test_long_chain_fills_in_one_call(self):
+        pool = Mempool()
+        chain = [legacy_tx(SENDERS[0], nonce, 10 * (nonce + 1))
+                 for nonce in range(5)]
+        for tx in chain:  # ascending fees: worst case round count
+            pool.add(tx, 0)
+        chosen = pool.select(base_fee=0, gas_budget=10**9,
+                             account_nonces={SENDERS[0]: 0})
+        assert [tx.nonce for tx in chosen] == [0, 1, 2, 3, 4]
+
+
+class TestFeeOrderIndexUnit:
+    def test_insert_discard_before_first_ordering(self):
+        index = FeeOrderIndex()
+        first = legacy_tx(SENDERS[0], 0, 10)
+        second = legacy_tx(SENDERS[1], 0, 20)
+        index.insert(first, 0)
+        index.insert(second, 1)
+        index.discard(first.hash)
+        assert hashes(index.ordered(0)) == [second.hash]
+        assert len(index) == 1
+
+    def test_discard_untracked_is_noop(self):
+        index = FeeOrderIndex()
+        index.insert(legacy_tx(SENDERS[0], 0, 10), 0)
+        index.discard("0xdeadbeef")
+        assert len(index) == 1
+
+    def test_invalidate_forces_rekey(self):
+        index = FeeOrderIndex()
+        tx = legacy_tx(SENDERS[0], 0, 10)
+        index.insert(tx, 0)
+        assert hashes(index.ordered(0)) == [tx.hash]
+        index.invalidate()
+        assert hashes(index.ordered(0)) == [tx.hash]
+
+    def test_filters_unincludable_without_dropping(self):
+        index = FeeOrderIndex()
+        cheap = legacy_tx(SENDERS[0], 0, 5)
+        rich = legacy_tx(SENDERS[1], 0, 50)
+        index.insert(cheap, 0)
+        index.insert(rich, 0)
+        assert hashes(index.ordered(gwei(10))) == [rich.hash]
+        assert hashes(index.ordered(0)) == [rich.hash, cheap.hash]
