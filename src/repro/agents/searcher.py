@@ -36,6 +36,7 @@ from repro.lending.flashloan import FlashLoanIntent, FlashLoanProvider
 from repro.lending.oracle import PRICE_SCALE, OracleUpdateIntent, \
     PriceOracle
 from repro.lending.pool import LendingPool, LiquidationIntent
+from repro.markers import fast_path
 
 CHANNEL_PUBLIC = "public"
 CHANNEL_FLASHBOTS = "flashbots"
@@ -582,6 +583,7 @@ class ArbitrageSearcher(Searcher):
             return result
         return self._probe_cycle(view, [dear.address, cheap.address])
 
+    @fast_path(reference="_probe_cycle_reference", toggle="memo")
     def _probe_cycle(self, view: MarketView, route: List[str],
                      ) -> Optional[Tuple[int, int]]:
         """Geometric probe search for non-CP legs.

@@ -67,8 +67,9 @@ from repro.sim import ScenarioConfig, SimulationResult, \
 #: ``workers_effective``, and the ``world_cache`` block.  Version 3
 #: added the ``simulate`` stage, the ``sim_identical`` fast-vs-
 #: reference world gate (with ``sim_reference_s``), and the optional
-#: ``profile`` tables.
-BENCH_VERSION = 3
+#: ``profile`` tables.  Version 4 added ``lint_s``, the wall time of
+#: a syntactic ``repro.lint`` pass over the package's own source tree.
+BENCH_VERSION = 4
 
 #: How many rows of each per-stage cProfile table to keep.
 PROFILE_TOP_N = 25
@@ -250,6 +251,21 @@ def _simulate(config: ScenarioConfig,
     return result, elapsed, cache_info
 
 
+def _lint_self() -> float:
+    """Wall time of a syntactic lint pass over this package's tree.
+
+    Deliberately the cheap single-module pass (no ``--deep`` flow
+    analysis): the number tracks how much a pre-commit hook or CI
+    gate pays per run, and stays comparable as the rule set grows.
+    """
+    from repro.lint import LintConfig, lint_paths
+
+    package_root = Path(__file__).resolve().parents[1]
+    started = _clock()
+    lint_paths([package_root], LintConfig())
+    return _clock() - started
+
+
 def _rows_of(dataset: MevDataset, flash_txs: Any) -> str:
     """Canonical serialization of one chunk's detection output, for
     the indexed-vs-linear identity check."""
@@ -428,6 +444,7 @@ def run_bench(bpm: int = 60, seed: int = 7,
             "cpu_count": os.cpu_count(),
         },
         "simulate_s": round(simulate_s, 6),
+        "lint_s": round(_lint_self(), 6),
         "sim_reference_s": sim_reference_s,
         "sim_identical": sim_identical,
         "world_cache": cache_info,
@@ -490,4 +507,7 @@ def render_report(report: Dict[str, Any]) -> str:
                  + ("yes" if report["parallel_identical"] else "NO"))
     lines.append("  indexed reads identical to linear: "
                  + ("yes" if report["indexed_matches_linear"] else "NO"))
+    lint_s = report.get("lint_s")
+    if lint_s is not None:
+        lines.append(f"  syntactic lint of own tree: {lint_s:.3f}s")
     return "\n".join(lines)

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.chain.transaction import Transaction
 from repro.chain.types import Address, Hash32
+from repro.markers import fast_path
 
 #: Minimum price bump (percent) for replacing a pending transaction.
 REPLACEMENT_BUMP_PERCENT = 10
@@ -226,6 +227,7 @@ class Mempool:
 
     # Selection --------------------------------------------------------------
 
+    @fast_path(reference="ordered_reference", toggle="_index")
     def ordered(self, base_fee: int) -> List[Transaction]:
         """All includable pending txs, highest miner payment per gas first.
 

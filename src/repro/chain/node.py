@@ -17,6 +17,7 @@ from repro.chain.index import ChainIndex
 from repro.chain.receipt import Receipt
 from repro.chain.transaction import Transaction
 from repro.chain.types import Hash32
+from repro.markers import fast_path
 
 E = TypeVar("E", bound=EventLog)
 
@@ -109,6 +110,7 @@ class ArchiveNode:
     def get_block(self, number: int) -> Optional[Block]:
         return self.chain.block_by_number(number)
 
+    @fast_path(reference="_linear_iter_blocks", toggle="indexed")
     def iter_blocks(self, from_block: Optional[int] = None,
                     to_block: Optional[int] = None) -> Iterator[Block]:
         """Yield blocks in ``[from_block, to_block]`` (inclusive bounds).
@@ -159,6 +161,7 @@ class ArchiveNode:
 
     # Log queries ---------------------------------------------------------
 
+    @fast_path(reference="_linear_get_logs", toggle="indexed")
     def get_logs(self, event_type: Type[E],
                  from_block: Optional[int] = None,
                  to_block: Optional[int] = None) -> List[E]:

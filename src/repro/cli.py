@@ -124,12 +124,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "times; for attribution, not comparison)")
     lint = sub.add_parser("lint",
                           help="run the domain-invariant linter "
-                               "(R001–R006) over source paths")
+                               "(R001–R006; --deep adds R101–R103) "
+                               "over source paths")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint "
                            "(default: src)")
-    lint.add_argument("--format", choices=("text", "json"),
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text", help="report format")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the whole-program analyzers")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="findings baseline to diff against")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="refresh the baseline file and exit 0")
+    lint.add_argument("--flow-cache", metavar="DIR",
+                      help="summary cache dir for incremental --deep")
+    lint.add_argument("--no-config", action="store_true",
+                      help="ignore pyproject.toml configuration")
     return parser
 
 
@@ -340,6 +351,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "lint":
         from repro.lint.cli import main as lint_main
         lint_argv = list(args.paths) + ["--format", args.format]
+        if args.deep:
+            lint_argv.append("--deep")
+        if args.baseline:
+            lint_argv.extend(["--baseline", args.baseline])
+        if args.write_baseline:
+            lint_argv.append("--write-baseline")
+        if args.flow_cache:
+            lint_argv.extend(["--flow-cache", args.flow_cache])
+        if args.no_config:
+            lint_argv.append("--no-config")
         return lint_main(lint_argv)
     if args.command == "ablations":
         print_ablations(args.bpm, args.seed)

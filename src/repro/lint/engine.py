@@ -20,7 +20,7 @@ from repro.lint.context import (
 )
 from repro.lint.findings import ERROR, Finding
 from repro.lint.registry import Rule, make_rules
-from repro.lint.suppress import build_index
+from repro.lint.suppress import build_index, extend_index
 
 #: Rule id used for files that fail to parse at all.
 PARSE_RULE_ID = "E000"
@@ -95,8 +95,8 @@ def lint_source(source: str, path: Path, config: LintConfig,
         module = module_name_for(path, src_root)
     ctx = ModuleContext(
         path=path, display_path=display, module=module, source=source,
-        tree=tree, suppressions=build_index(source), config=config,
-        src_root=src_root)
+        tree=tree, suppressions=extend_index(build_index(source), tree),
+        config=config, src_root=src_root)
     findings: List[Finding] = []
     for rule in rules:
         for finding in rule.check(ctx):

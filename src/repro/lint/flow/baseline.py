@@ -1,0 +1,58 @@
+"""Committed findings baseline: fail only on *new* findings.
+
+Deep analyzers are over-approximate by design, and a handful of known,
+reviewed findings may be accepted rather than suppressed inline.  The
+baseline file records them as ``(rule, path, message)`` triples — line
+numbers are deliberately excluded so unrelated edits shifting code up
+or down don't resurrect accepted findings.
+
+CI diffing semantics: a finding present in the baseline is filtered
+out; anything else fails the run.  Fixed findings leave stale baseline
+entries behind, which ``--write-baseline`` prunes on the next refresh.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def finding_key(finding: Finding) -> Key:
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def load_baseline(path: Path) -> Set[Key]:
+    """Accepted-finding keys; raises ``ValueError`` on a bad file (a
+    corrupt baseline silently accepting everything would be worse)."""
+    row = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(row, dict) or \
+            row.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file: {path}")
+    keys: Set[Key] = set()
+    for entry in row.get("findings", []):
+        keys.add((entry["rule"], entry["path"], entry["message"]))
+    return keys
+
+
+def write_baseline(path: Path,
+                   findings: Sequence[Finding]) -> None:
+    rows = sorted({finding_key(f) for f in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [{"rule": rule, "path": file, "message": message}
+                     for rule, file, message in rows],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n",
+                    encoding="utf-8")
+
+
+def filter_baselined(findings: Sequence[Finding],
+                     baseline: Set[Key]) -> List[Finding]:
+    return [f for f in findings if finding_key(f) not in baseline]

@@ -1,0 +1,73 @@
+"""Content-hash summary cache for incremental ``lint --deep`` runs.
+
+Each module's :class:`~repro.lint.flow.summary.ModuleSummary` is stored
+as JSON under ``<cache_dir>/<sha256(source)>.json``.  A cache hit means
+the file's *bytes* are unchanged, so its summary is valid regardless of
+mtimes, clones, or CI checkouts.  The interprocedural fixpoints always
+re-run — they are cheap; parsing and the local dataflow are not.
+
+Stale entries (other schema versions, unreadable JSON) are treated as
+misses and overwritten.  The cache directory is created lazily and is
+safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.flow.summary import FLOW_SCHEMA, ModuleSummary
+
+
+def source_hash(source: str) -> str:
+    import hashlib
+
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Disk-backed summary store; ``directory=None`` disables caching."""
+
+    def __init__(self, directory: Optional[Path]) -> None:
+        self.directory = Path(directory) if directory else None
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, content_hash: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{content_hash}.json"
+
+    def load(self, content_hash: str) -> Optional[ModuleSummary]:
+        entry = self._entry(content_hash)
+        if entry is None or not entry.is_file():
+            self.misses += 1
+            return None
+        try:
+            row = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        summary = ModuleSummary.from_dict(row) \
+            if isinstance(row, dict) else None
+        if summary is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def store(self, summary: ModuleSummary) -> None:
+        entry = self._entry(summary.content_hash)
+        if entry is None:
+            return
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            payload = summary.to_dict()
+            payload["schema"] = FLOW_SCHEMA
+            entry.write_text(json.dumps(payload, sort_keys=True),
+                             encoding="utf-8")
+        except OSError:
+            # A read-only or full cache dir must never fail the lint
+            # run itself; the summary was already computed in memory.
+            return

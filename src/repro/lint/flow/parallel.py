@@ -1,0 +1,92 @@
+"""R103 — parallel-safety of everything the chunk engine can reach.
+
+``ParallelExecutor`` forks workers; ``ChunkRunner.run_chunk`` is the
+unit of work each one replays.  Forked state silently diverges: a
+module-level cache warmed in one worker is invisible to its siblings,
+and a module-level accumulator written during a chunk makes results
+depend on which worker (and how many) processed it — breaking the
+bit-identity gate between ``workers=1`` and ``workers=N``.
+
+Starting from the configured roots, the analyzer walks the call graph
+closure and flags, for every reachable function:
+
+* assignments/augassignments to module-level globals (state escaping
+  the chunk);
+* mutations of module-level **mutable** containers (``.append`` /
+  ``.update`` / subscript stores) — the cross-chunk shared-cache
+  hazard, unless chunk-keyed isolation is declared via the allow
+  list;
+* lambdas or locally-defined closures handed to ``.submit()`` /
+  ``.apply_async()`` — they cannot be pickled into a worker.
+
+The allow list (``allow-globals``) names sanctioned module globals as
+``pkg.mod.NAME`` — e.g. the worker-local runner installed by the pool
+initializer, which exists precisely once per process by design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lint.findings import ERROR, Finding
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.project import Project, split_qualname
+
+RULE_ID = "R103"
+
+DEFAULT_ROOTS = (
+    "repro.engine.runner:ChunkRunner.run_chunk",
+    "repro.engine.executors:_init_worker",
+    "repro.engine.executors:_run_chunk_in_worker",
+    "repro.engine.executors:ParallelExecutor.execute",
+)
+
+DEFAULT_ALLOW = (
+    "repro.engine.executors._WORKER_RUNNER",
+)
+
+
+def analyze(project: Project, graph: CallGraph,
+            options: Optional[dict] = None) -> List[Finding]:
+    options = options or {}
+    roots = list(options.get("roots", DEFAULT_ROOTS))
+    allow = set(options.get("allow-globals", DEFAULT_ALLOW))
+    parent = graph.reachable_from(roots)
+    findings: List[Finding] = []
+    for name in sorted(parent):
+        module, _ = split_qualname(name)
+        summary = project.modules.get(module)
+        fn = project.functions.get(name)
+        if summary is None or fn is None:
+            continue
+        witness = graph.witness_path(parent, name)
+        for write in fn.global_writes:
+            dotted = write["name"] if "." in write["name"] \
+                else f"{module}.{write['name']}"
+            if dotted in allow:
+                continue
+            kind = write["kind"]
+            info = summary.module_globals.get(write["name"], {})
+            if kind in ("mutate", "subscript") or \
+                    (kind == "augassign" and info.get("mutable")):
+                hazard = ("mutates module-level container "
+                          f"'{write['name']}' — a cross-chunk shared "
+                          "cache is per-process under fork; key it "
+                          "per chunk or sanction it via "
+                          "allow-globals")
+            else:
+                hazard = ("writes module-level state "
+                          f"'{write['name']}' — chunk results must "
+                          "not depend on worker-local module state")
+            findings.append(Finding(
+                path=summary.path, line=write["lineno"],
+                rule_id=RULE_ID, severity=ERROR,
+                message=(f"{fn.name}() (reachable via "
+                         f"{witness}) {hazard}")))
+        for submission in fn.submissions:
+            findings.append(Finding(
+                path=summary.path, line=submission["lineno"],
+                rule_id=RULE_ID, severity=ERROR,
+                message=(f"{fn.name}() (reachable via {witness}) "
+                         f"{submission['detail']}")))
+    return findings

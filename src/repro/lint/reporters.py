@@ -1,10 +1,10 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: text, JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.lint.findings import Finding
 
@@ -29,3 +29,62 @@ def render_json(findings: Sequence[Finding]) -> str:
         "findings": [finding.to_dict() for finding in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+#: SARIF severity for our two levels (SARIF's own vocabulary).
+_SARIF_LEVEL = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(findings: Sequence[Finding],
+                 rules: Optional[Dict[str, Tuple[str, str]]] = None,
+                 ) -> str:
+    """Minimal SARIF 2.1.0 document (one run, one driver).
+
+    ``rules`` maps rule id → ``(name, description)`` for the driver's
+    rule table; ids encountered only in findings still validate —
+    SARIF permits results whose ruleId has no descriptor.
+    """
+    rules = rules or {}
+    descriptors = [
+        {
+            "id": rule_id,
+            "name": name,
+            "shortDescription": {"text": description},
+        }
+        for rule_id, (name, description) in sorted(rules.items())
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": _SARIF_LEVEL.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": descriptors,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2)

@@ -6,8 +6,14 @@ contract breaks silently.  This rule flags, across the whole package:
 
 * calls through the *module-level* RNG (``random.random()``,
   ``random.choice()``, …) — randomness must flow through an injected,
-  seeded ``random.Random`` instance (constructing one is allowed);
+  seeded ``random.Random`` instance (constructing a *seeded* one is
+  allowed), including through a module alias created by assignment
+  (``r = random; r.random()``);
 * ``from random import <fn>`` of anything except ``Random``;
+* **unseeded** ``random.Random()`` / ``Random()`` construction — a
+  zero-argument ``Random`` seeds itself from OS entropy, so the alias
+  it is bound to (``r = random.Random(); r.random()``) is exactly as
+  nondeterministic as the module-level RNG;
 * wall-clock and OS entropy: ``time.time``/``time.time_ns``,
   ``datetime.now``/``utcnow``/``today``, ``os.urandom``,
   ``uuid.uuid1``/``uuid4``, ``random.SystemRandom``, ``secrets.*``;
@@ -45,9 +51,13 @@ class _Visitor(ast.NodeVisitor):
         self.rule = rule
         self.ctx = ctx
         self.findings: List[Finding] = []
-        #: local aliases of the ``random`` module (``import random as r``)
+        #: local aliases of the ``random`` module (``import random as
+        #: r`` — or ``r = random`` later; see :meth:`visit_Assign`)
         self.random_aliases: Set[str] = set()
         self.secrets_aliases: Set[str] = set()
+        #: names bound to the ``Random`` class itself
+        #: (``from random import Random [as R]``)
+        self.random_class_aliases: Set[str] = set()
 
     def _emit(self, node: ast.AST, message: str) -> None:
         self.findings.append(
@@ -66,7 +76,10 @@ class _Visitor(ast.NodeVisitor):
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "random":
             for alias in node.names:
-                if alias.name not in _ALLOWED_RANDOM_ATTRS:
+                if alias.name == "Random":
+                    self.random_class_aliases.add(
+                        alias.asname or alias.name)
+                elif alias.name not in _ALLOWED_RANDOM_ATTRS:
                     self._emit(node,
                                f"'from random import {alias.name}' "
                                "binds the shared module-level RNG; "
@@ -77,7 +90,40 @@ class _Visitor(ast.NodeVisitor):
                              "random.Random")
         self.generic_visit(node)
 
+    # -- aliases created by plain assignment --------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if isinstance(value, ast.Name):
+            alias_sets = (self.random_aliases, self.secrets_aliases,
+                          self.random_class_aliases)
+            for aliases in alias_sets:
+                if value.id in aliases:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            aliases.add(target.id)
+        self.generic_visit(node)
+
     # -- calls --------------------------------------------------------------
+
+    def _is_unseeded_random_ctor(self, node: ast.Call) -> bool:
+        if node.args or node.keywords:
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in self.random_class_aliases
+        return (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.random_aliases
+                and func.attr == "Random")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_unseeded_random_ctor(node):
+            self._emit(node,
+                       "unseeded Random() draws its seed from OS "
+                       "entropy; construct it with an explicit seed "
+                       "derived from the scenario seed")
+        self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if isinstance(node.value, ast.Name):

@@ -11,11 +11,23 @@ Two scopes are supported:
   (conventionally in the module docstring region) disables the rule for
   the whole module.
 
+On top of the raw line scope, :func:`extend_index` widens directives
+structurally once the AST is available:
+
+* a directive on a decorator line covers the *whole decorated
+  definition* (rules report on the ``def`` line or inside the body,
+  not on the decorator that triggered them);
+* a directive on any physical line of a multi-line **simple** statement
+  (a wrapped call, assignment, or return) covers the statement's full
+  span.  Compound statements do not inherit header directives — a
+  directive on an ``if`` line must not silence the entire block.
+
 ``disable=all`` / ``disable-file=all`` disables every rule.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
@@ -79,4 +91,48 @@ def build_index(source: str) -> SuppressionIndex:
                 index.add_line(comment_line + 1, rules)
     except (tokenize.TokenizeError, IndentationError, SyntaxError):
         pass
+    return index
+
+
+#: Statement types whose multi-line spans a directive may cover whole.
+_SIMPLE_STMTS = (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Return,
+                 ast.Expr, ast.Raise, ast.Assert, ast.Delete,
+                 ast.Import, ast.ImportFrom)
+
+
+def extend_index(index: SuppressionIndex,
+                 tree: ast.Module) -> SuppressionIndex:
+    """Widen line directives to structural spans (see module docs).
+
+    Mutates and returns ``index``.  Cheap no-op when the file has no
+    line-scoped directives at all.
+    """
+    if not index.by_line:
+        return index
+
+    def span_rules(first: int, last: int) -> Set[str]:
+        rules: Set[str] = set()
+        for line in range(first, last + 1):
+            rules |= index.by_line.get(line, set())
+        return rules
+
+    def cover(first: int, last: int, rules: Set[str]) -> None:
+        for line in range(first, last + 1):
+            index.add_line(line, rules)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)) and node.decorator_list:
+            first = min(dec.lineno for dec in node.decorator_list)
+            # Directive anywhere in the decorator block (above the
+            # `def` line itself) covers the whole decorated definition.
+            rules = span_rules(first, node.lineno - 1)
+            if rules:
+                cover(first, node.end_lineno or node.lineno, rules)
+        elif isinstance(node, _SIMPLE_STMTS):
+            last = node.end_lineno or node.lineno
+            if last > node.lineno:
+                rules = span_rules(node.lineno, last)
+                if rules:
+                    cover(node.lineno, last, rules)
     return index

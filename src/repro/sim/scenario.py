@@ -51,6 +51,7 @@ from repro.flashbots.relay import Relay
 from repro.lending.flashloan import FlashLoanProvider
 from repro.lending.oracle import PRICE_SCALE, PriceOracle
 from repro.lending.pool import LendingPool
+from repro.markers import fast_path
 from repro.privatepools.pool import PrivatePool, PrivatePoolDirectory
 from repro.sim.calendar import StudyCalendar
 from repro.sim.config import ScenarioConfig
@@ -276,6 +277,7 @@ def _build_self_mev_searchers(config: ScenarioConfig,
     return personas
 
 
+@fast_path(toggle="fast_paths")
 def build_paper_scenario(config: ScenarioConfig,
                          fast_paths: bool = True) -> World:
     """Assemble the full calibrated world for the study window.

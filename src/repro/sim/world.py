@@ -52,6 +52,7 @@ from repro.flashbots.relay import Relay
 from repro.lending.flashloan import FlashLoanProvider
 from repro.lending.oracle import PriceOracle
 from repro.lending.pool import LendingPool
+from repro.markers import fast_path
 from repro.privatepools.pool import PrivatePoolDirectory
 from repro.sim.calendar import StudyCalendar
 from repro.sim.config import ScenarioConfig
@@ -276,6 +277,7 @@ class World:
                 counts.get(searcher.strategy, 0) + 1
         return counts
 
+    @fast_path(toggle="fast_paths")
     def _run_searchers(self, current: int, fees: FeeModel,
                        active: Optional[List[Searcher]] = None,
                        competition: Optional[Dict[str, int]] = None,
@@ -396,6 +398,7 @@ class World:
         return make_bundle(miner.address, [tx], target,
                            bundle_type=ROGUE)
 
+    @fast_path(toggle="fast_paths")
     def _self_mev_sequences(self, miner: MinerProfile, current: int,
                             fees: FeeModel,
                             competition: Optional[Dict[str, int]] = None,

@@ -1,0 +1,95 @@
+"""Probe-ladder fast path vs. its retained reference.
+
+``ArbitrageSearcher._probe_cycle`` is registered as a fast path
+(``@fast_path(reference="_probe_cycle_reference", toggle="memo")``);
+R102 requires a test exercising the pair.  This is it: on the same
+frozen market state, the memoized ladder (view ``memo={}``) must return
+exactly what ``_probe_cycle_reference`` returns on the naive per-rung
+path (view ``memo=None``) — same optimal size, same projected profit,
+for every candidate route in both orientations.
+"""
+
+import random
+
+import repro.agents.searcher as searcher_mod
+from repro.agents.fees import FeeModel
+from repro.agents.searcher import (
+    ArbitrageSearcher,
+    ChannelPolicy,
+    MarketView,
+)
+from repro.chain.state import WorldState
+from repro.chain.types import ether, gwei
+from repro.dex.registry import CURVE, SUSHISWAP, UNISWAP_V2, \
+    ExchangeRegistry
+from repro.lending.oracle import PRICE_SCALE, PriceOracle
+
+
+def _market():
+    state = WorldState()
+    registry = ExchangeRegistry()
+    weth_dai = registry.create_pool(UNISWAP_V2, "WETH", "DAI")
+    weth_usdc = registry.create_pool(SUSHISWAP, "WETH", "USDC")
+    curve = registry.create_pool(CURVE, "DAI", "USDC")
+    weth_dai.add_liquidity(state, WETH=ether(2_000),
+                           DAI=ether(6_000_000))
+    weth_usdc.add_liquidity(state, WETH=ether(2_000),
+                            USDC=ether(6_000_000))
+    curve.add_liquidity(state, DAI=ether(1_500_000),
+                        USDC=ether(8_500_000))
+    oracle = PriceOracle()
+    oracle.set_price("DAI", PRICE_SCALE // 3_000)
+    oracle.set_price("USDC", PRICE_SCALE // 3_000)
+    return state, registry, oracle
+
+
+def _view(state, registry, oracle, memo):
+    return MarketView(state=state, registry=registry, oracle=oracle,
+                      pending=[], block_number=100,
+                      fees=FeeModel(base_fee=0, london_active=False,
+                                    prevailing=gwei(50)),
+                      rng=random.Random(7), memo=memo)
+
+
+def test_probe_cycle_matches_reference():
+    state, registry, oracle = _market()
+    searcher = ArbitrageSearcher("probe-eq", ChannelPolicy(),
+                                 min_profit_wei=ether(0.01))
+    state.mint_token("WETH", searcher.address, ether(1_000))
+    # The cross-view probe cache is keyed by exact reserves, so a hit
+    # is exact — but start cold anyway so this test stands alone.
+    searcher_mod._PROBE_CACHE.clear()
+    fast_view = _view(state, registry, oracle, memo={})
+    ref_view = _view(state, registry, oracle, memo=None)
+    routes = searcher._triangle_candidates(fast_view)
+    assert routes, "market must offer probe candidates"
+    for route in routes:
+        fast = searcher._probe_cycle(fast_view, route)
+        ref = searcher._probe_cycle(ref_view, route)
+        assert fast == ref, f"probe ladder diverged on {route}"
+    # At least one orientation is profitable in this depegged market;
+    # equality above must not be vacuous None == None everywhere.
+    assert any(searcher._probe_cycle(fast_view, route) is not None
+               for route in routes)
+
+
+def test_probe_cycle_memo_none_routes_to_reference(monkeypatch):
+    """toggle=memo really is the dispatch: memo=None hits the
+    reference implementation and nothing else."""
+    state, registry, oracle = _market()
+    searcher = ArbitrageSearcher("probe-ref", ChannelPolicy(),
+                                 min_profit_wei=ether(0.01))
+    state.mint_token("WETH", searcher.address, ether(1_000))
+    calls = []
+    original = ArbitrageSearcher._probe_cycle_reference
+
+    def spy(self, view, route, capital):
+        calls.append(list(route))
+        return original(self, view, route, capital)
+
+    monkeypatch.setattr(ArbitrageSearcher, "_probe_cycle_reference",
+                        spy)
+    view = _view(state, registry, oracle, memo=None)
+    route = searcher._triangle_candidates(view)[0]
+    searcher._probe_cycle(view, route)
+    assert calls == [route]

@@ -1,4 +1,4 @@
-"""Schema and gate tests for the v3 benchmark harness.
+"""Schema and gate tests for the v4 benchmark harness.
 
 Small scenarios only — these tests check the *shape* of the report
 (stages, gates, profile tables) and that the gates are actually wired
@@ -13,9 +13,9 @@ SMALL = dict(bpm=3, seed=5, workers=(1, 2), quick=False)
 
 
 class TestReportSchema:
-    def test_v3_document(self, tmp_path):
+    def test_v4_document(self, tmp_path):
         report = run_bench(**SMALL)
-        assert report["version"] == 3
+        assert report["version"] == 4
         stage_names = [s["stage"] for s in report["stages"]]
         assert stage_names[0] == "simulate"
         for required in ("detection", "detection_indexed",
@@ -25,11 +25,12 @@ class TestReportSchema:
         assert simulate["fresh"] is True
         assert simulate["blocks_per_s"] > 0
         assert report["simulate_s"] > 0
+        assert report["lint_s"] > 0  # syntactic self-lint, v4
         assert "profile" not in report  # only on request
         # The document round-trips as JSON (CI parses it).
         path = tmp_path / "bench.json"
         write_report(report, path)
-        assert json.loads(path.read_text())["version"] == 3
+        assert json.loads(path.read_text())["version"] == 4
 
     def test_fast_vs_reference_gate_runs_and_passes(self):
         report = run_bench(**SMALL)

@@ -1,0 +1,21 @@
+"""Entropy is drawn but never reaches the sink — must stay clean."""
+
+import time
+
+from proj.hashing import hash_of
+
+
+def block_hash(seed):
+    digest = hash_of(("block", seed))
+    elapsed = time.time()  # logged, never hashed
+    _log(elapsed)
+    return digest
+
+
+def rows(rng):
+    # an injected seeded rng is the sanctioned randomness channel
+    return hash_of(rng.random())
+
+
+def _log(value):
+    return value

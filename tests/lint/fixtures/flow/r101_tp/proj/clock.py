@@ -1,0 +1,12 @@
+"""Entropy source behind a helper: taint must survive the return."""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    wall = stamp()
+    return int(wall)

@@ -1,0 +1,15 @@
+"""Tainted values reaching the sink — every call here must flag."""
+
+from proj.clock import jitter, stamp
+from proj.hashing import hash_of
+
+
+def block_hash():
+    t = stamp()
+    return hash_of(("block", t))
+
+
+def row_hash():
+    # two hops: stamp() -> jitter() -> here, plus an int() passthrough
+    wobble = int(jitter())
+    return hash_of(wobble)

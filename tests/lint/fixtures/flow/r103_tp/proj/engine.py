@@ -1,0 +1,24 @@
+"""Parallel-unsafe constructs reachable from the chunk roots."""
+
+COUNTER = 0
+CACHE = {}
+
+
+class Runner:
+    def run_chunk(self, chunk):
+        global COUNTER
+        COUNTER += 1
+        return tally(chunk)
+
+
+def tally(chunk):
+    CACHE[chunk] = 1
+    return CACHE
+
+
+class Executor:
+    def execute(self, pool, chunks):
+        futures = []
+        for chunk in chunks:
+            futures.append(pool.submit(lambda: tally(chunk)))
+        return futures

@@ -71,6 +71,95 @@ class TestPositive:
         assert rule_ids(findings) == ["R002"]
 
 
+class TestAliasRegression:
+    """The forms the rule used to miss (regression pins).
+
+    Unseeded randomness reached through an alias — either a bound
+    ``Random()`` instance or a module alias created by assignment —
+    must flag exactly like the direct forms.
+    """
+
+    def test_unseeded_random_ctor_flagged(self):
+        findings = run_lint(
+            """
+            import random
+
+            def make() -> random.Random:
+                return random.Random()
+            """, module="repro.agents.rng1", rules=["R002"])
+        assert rule_ids(findings) == ["R002"]
+        assert "unseeded" in findings[0].message
+
+    def test_unseeded_instance_alias_flagged(self):
+        findings = run_lint(
+            """
+            import random
+
+            def roll() -> float:
+                r = random.Random()
+                return r.random()
+            """, module="repro.agents.rng2", rules=["R002"])
+        # flagged at the construction: the alias draws OS entropy
+        assert rule_ids(findings) == ["R002"]
+        assert "OS entropy" in findings[0].message
+
+    def test_from_import_random_fn_flagged(self):
+        findings = run_lint(
+            """
+            from random import random
+
+            def roll() -> float:
+                return random()
+            """, module="repro.agents.rng3", rules=["R002"])
+        assert rule_ids(findings) == ["R002"]
+
+    def test_unseeded_imported_random_class_flagged(self):
+        findings = run_lint(
+            """
+            from random import Random
+
+            def make() -> Random:
+                return Random()
+            """, module="repro.agents.rng4", rules=["R002"])
+        assert rule_ids(findings) == ["R002"]
+        assert "unseeded" in findings[0].message
+
+    def test_module_alias_by_assignment_flagged(self):
+        findings = run_lint(
+            """
+            import random
+
+            r = random
+
+            def roll() -> float:
+                return r.random()
+            """, module="repro.agents.rng5", rules=["R002"])
+        assert rule_ids(findings) == ["R002"]
+        assert "module-level" in findings[0].message
+
+    def test_seeded_imported_random_class_ok(self):
+        findings = run_lint(
+            """
+            from random import Random
+
+            def make(seed: int) -> Random:
+                return Random(seed)
+            """, module="repro.agents.rng6", rules=["R002"])
+        assert findings == []
+
+    def test_unrelated_zero_arg_ctor_ok(self):
+        findings = run_lint(
+            """
+            class Random:
+                pass
+
+            def make() -> object:
+                return Random()
+            """, module="repro.agents.rng7", rules=["R002"])
+        # a local class that merely shares the name must not flag
+        assert findings == []
+
+
 class TestNegative:
     def test_seeded_random_construction_ok(self):
         findings = run_lint(

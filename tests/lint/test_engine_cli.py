@@ -167,6 +167,58 @@ class TestCli:
         assert findings == [], render_text(findings)
 
 
+class TestDegeneratePackages:
+    """The CLI must survive packages that barely parse: empty
+    ``__init__.py`` files everywhere and modules with syntax errors."""
+
+    def build(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "chain"
+        pkg.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "broken.py").write_text("def broken(:\n")
+        (pkg / "mangled.py").write_text("class :\n    pass\n")
+        (pkg / "fine.py").write_text(GOOD_WEI)
+        return tmp_path / "src"
+
+    def test_syntax_errors_become_findings_not_crashes(self, tmp_path,
+                                                       capsys):
+        code = lint_main([str(self.build(tmp_path)), "--no-config"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "broken.py:1" in out
+        assert "mangled.py:1" in out
+        assert "E000×2" in out
+
+    def test_empty_inits_lint_clean(self, tmp_path, capsys):
+        src = tmp_path / "src" / "repro" / "chain"
+        src.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (src / "__init__.py").write_text("")
+        code = lint_main([str(tmp_path / "src"), "--no-config"])
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_json_report_carries_syntax_findings(self, tmp_path,
+                                                 capsys):
+        code = lint_main([str(self.build(tmp_path)), "--no-config",
+                          "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["count"] == 2
+        assert {e["rule"] for e in payload["findings"]} == {"E000"}
+
+    def test_deep_mode_skips_unparseable_and_survives(self, tmp_path,
+                                                      capsys):
+        code = lint_main([str(self.build(tmp_path)), "--deep",
+                          "--no-config",
+                          "--tests-root", str(tmp_path / "tests")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "broken.py:1" in out
+        assert "mangled.py:1" in out
+
+
 class TestReproCliIntegration:
     def test_repro_lint_subcommand(self, fixture_tree, tmp_path,
                                    capsys):

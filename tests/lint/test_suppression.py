@@ -79,6 +79,113 @@ def test_disable_all():
     assert findings == []
 
 
+class TestDecoratedDefScope:
+    """A directive on a decorator line covers the whole decorated def."""
+
+    def test_directive_on_decorator_line_covers_body(self):
+        findings = run_lint(
+            """
+            def deco(f):
+                return f
+
+            @deco  # repro-lint: disable=R001
+            def fee(amount: int) -> int:
+                return amount / 2
+            """, module="repro.chain.supp9", rules=["R001"])
+        assert findings == []
+
+    def test_standalone_directive_above_decorator_covers_body(self):
+        findings = run_lint(
+            """
+            def deco(f):
+                return f
+
+            # repro-lint: disable=R001
+            @deco
+            def fee(amount: int) -> int:
+                return amount / 2
+            """, module="repro.chain.supp10", rules=["R001"])
+        assert findings == []
+
+    def test_decorator_directive_does_not_bleed_past_def(self):
+        findings = run_lint(
+            """
+            def deco(f):
+                return f
+
+            @deco  # repro-lint: disable=R001
+            def fee(amount: int) -> int:
+                return amount / 2
+
+            def tax(amount: int) -> int:
+                return amount / 3
+            """, module="repro.chain.supp11", rules=["R001"])
+        assert rule_ids(findings) == ["R001"]
+        assert findings[0].line == 10
+
+    def test_wrong_rule_on_decorator_does_not_suppress(self):
+        findings = run_lint(
+            """
+            def deco(f):
+                return f
+
+            @deco  # repro-lint: disable=R002
+            def fee(amount: int) -> int:
+                return amount / 2
+            """, module="repro.chain.supp12", rules=["R001"])
+        assert rule_ids(findings) == ["R001"]
+
+
+class TestMultiLineStatementScope:
+    """A directive anywhere on a wrapped simple statement covers the
+    whole statement span — but compound headers never leak into their
+    bodies."""
+
+    def test_directive_on_last_line_covers_statement_start(self):
+        findings = run_lint(
+            """
+            def fee(amount: int, parts: int) -> int:
+                total = (amount /
+                         parts)  # repro-lint: disable=R001
+                return int(total)
+            """, module="repro.chain.supp13", rules=["R001"])
+        assert findings == []
+
+    def test_directive_on_first_line_covers_statement_end(self):
+        findings = run_lint(
+            """
+            import random
+
+            def fee(amount: int) -> int:
+                total = int(  # repro-lint: disable=R002
+                    amount * random.random())
+                return total
+            """, module="repro.chain.supp14", rules=["R002"])
+        assert findings == []
+
+    def test_compound_header_directive_does_not_cover_body(self):
+        findings = run_lint(
+            """
+            def fee(amount: int, flag: bool) -> int:
+                if flag:  # repro-lint: disable=R001
+                    return amount / 2
+                return amount
+            """, module="repro.chain.supp15", rules=["R001"])
+        assert rule_ids(findings) == ["R001"]
+
+    def test_multiline_scope_does_not_bleed_to_next_statement(self):
+        findings = run_lint(
+            """
+            def fees(amount: int, parts: int) -> tuple:
+                a = (amount /
+                     parts)  # repro-lint: disable=R001
+                b = amount / 3
+                return (a, b)
+            """, module="repro.chain.supp16", rules=["R001"])
+        assert rule_ids(findings) == ["R001"]
+        assert findings[0].line == 5
+
+
 def test_directive_inside_string_ignored():
     findings = run_lint(
         '''
