@@ -42,7 +42,7 @@ from repro.reliability import CheckpointStore, RetryPolicy, shield
 from repro.sim import ScenarioConfig, SimulationResult, World, \
     build_paper_scenario
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 @dataclass
@@ -108,6 +108,63 @@ def run_inspector(result: SimulationResult,
                          config=config)
 
 
+def follow_inspector(result: SimulationResult,
+                     fault_plan: Optional[FaultPlan] = None,
+                     confirm_depth: int = 3,
+                     checkpoint: Union[CheckpointStore, str, Path,
+                                       None] = None,
+                     resume: bool = False,
+                     retry: Optional[RetryPolicy] = None) -> MevDataset:
+    """Measure a simulation result in *follow* (streaming) mode.
+
+    Instead of one batch pass, the chain is replayed through a block
+    feed into :class:`repro.stream.StreamEngine`, which folds detection
+    incrementally behind a ``confirm_depth`` watermark.  With a
+    ``fault_plan`` the feed injects the plan's reorgs/delays/duplicates
+    (and the label sources degrade through the usual chaos transports);
+    either way the engine's output converges bit-for-bit on the batch
+    pipeline over the final canonical chain.  ``checkpoint``/``resume``
+    make the follower crash-restartable mid-stream.
+    """
+    from repro.faults.feed import ChainFeed, FaultyFeed
+    from repro.stream import StreamEngine
+
+    observer, api = result.observer, result.flashbots_api
+    feed = ChainFeed(result.blockchain)
+    if fault_plan is not None:
+        observer = FaultyMempoolObserver(observer, fault_plan)
+        api = FaultyFlashbotsApi(api, fault_plan)
+        _, observer, api = shield(result.node, observer, api,
+                                  retry=retry)
+        feed = FaultyFeed(result.blockchain, fault_plan)
+    engine = StreamEngine(
+        PriceService(result.oracle),
+        first_block=result.node.earliest_block_number(),
+        confirm_depth=confirm_depth, flashbots_api=api,
+        observer=observer, checkpoint=checkpoint, resume=resume)
+    return engine.run(feed)
+
+
+def follow_study(blocks_per_month: int = 60, seed: int = 7,
+                 confirm_depth: int = 3,
+                 fault_plan: Optional[FaultPlan] = None,
+                 checkpoint: Union[CheckpointStore, str, Path,
+                                   None] = None,
+                 resume: bool = False,
+                 run_config: Optional[RunConfig] = None,
+                 **config_overrides) -> Study:
+    """Simulate the study window and measure it in follow mode."""
+    config = ScenarioConfig(blocks_per_month=blocks_per_month, seed=seed,
+                            **config_overrides)
+    result = build_paper_scenario(config).run()
+    if fault_plan is None:
+        fault_plan = _plan_from_config(run_config, result.node)
+    dataset = follow_inspector(result, fault_plan=fault_plan,
+                               confirm_depth=confirm_depth,
+                               checkpoint=checkpoint, resume=resume)
+    return Study(result=result, dataset=dataset)
+
+
 def quick_study(blocks_per_month: int = 60, seed: int = 7,
                 fault_plan: Optional[FaultPlan] = None,
                 chunk_size: Optional[int] = None,
@@ -134,4 +191,5 @@ def quick_study(blocks_per_month: int = 60, seed: int = 7,
 
 __all__ = ["FaultPlan", "RunConfig", "ScenarioConfig", "SimulationResult",
            "Study", "World", "__version__", "build_paper_scenario",
-           "quick_study", "run_inspector"]
+           "follow_inspector", "follow_study", "quick_study",
+           "run_inspector"]

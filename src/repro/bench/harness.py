@@ -55,10 +55,13 @@ from repro.chain.events import FlashLoanEvent
 from repro.chain.node import ArchiveNode
 from repro.chain.transaction import reset_tx_counter
 from repro.core.datasets import MevDataset
-from repro.core.pipeline import plan_chunks
+from repro.core.pipeline import MevInspector, plan_chunks
 from repro.core.profit import PriceService
 from repro.engine import ChunkRunner, SerialExecutor
+from repro.faults.feed import FaultyFeed
+from repro.faults.plan import FaultPlan
 from repro.reliability import shield
+from repro.stream import StreamEngine
 from repro.sim import ScenarioConfig, SimulationResult, \
     build_paper_scenario
 
@@ -69,7 +72,11 @@ from repro.sim import ScenarioConfig, SimulationResult, \
 #: reference world gate (with ``sim_reference_s``), and the optional
 #: ``profile`` tables.  Version 4 added ``lint_s``, the wall time of
 #: a syntactic ``repro.lint`` pass over the package's own source tree.
-BENCH_VERSION = 4
+#: Version 5 added the ``stream`` stage and its convergence gate:
+#: ``stream_identical`` (streaming over a faulted feed vs. the batch
+#: pipeline over the canonical chain) plus the ``stream`` block with
+#: reorg/duplicate counters and p50/p99 confirmation lag.
+BENCH_VERSION = 5
 
 #: How many rows of each per-stage cProfile table to keep.
 PROFILE_TOP_N = 25
@@ -266,6 +273,15 @@ def _lint_self() -> float:
     return _clock() - started
 
 
+def _percentile(samples: Sequence[int], pct: float) -> Optional[int]:
+    """Nearest-rank percentile of integer samples (None when empty)."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * int(pct) // 100))  # ceil
+    return ordered[min(rank, len(ordered)) - 1]
+
+
 def _rows_of(dataset: MevDataset, flash_txs: Any) -> str:
     """Canonical serialization of one chunk's detection output, for
     the indexed-vs-linear identity check."""
@@ -430,6 +446,41 @@ def run_bench(bpm: int = 60, seed: int = 7,
             if elapsed > 0 else None
         end_to_end.append(entry)
 
+    # Streaming convergence gate: replay the finished canonical chain
+    # through a deliberately hostile feed (seeded reorgs, delays,
+    # duplicates, one outage window) and demand that the incremental
+    # engine's dataset — rows and quality ledger — is bit-identical to
+    # the batch pipeline over per-block chunks.  The stream stage's
+    # blocks/s is only a result once this passes.
+    plan = FaultPlan.from_profile("reorg", seed, first, last)
+    engine = StreamEngine(prices, first_block=first,
+                          confirm_depth=plan.feed.max_reorg_depth,
+                          flashbots_api=result.flashbots_api,
+                          observer=result.observer)
+    feed = FaultyFeed(result.blockchain, plan)
+    started = _clock()
+    stream_dataset = profiler.run("stream", lambda: engine.run(feed))
+    stream_s = _clock() - started
+    stages.append(_timed("stream", blocks, stream_s))
+    batch_dataset = MevInspector(
+        ArchiveNode(result.blockchain), prices,
+        result.flashbots_api, result.observer).run(chunk_size=1)
+    stream_identical = \
+        _fingerprint(stream_dataset) == _fingerprint(batch_dataset)
+    lags = engine.report.confirmation_lags
+    stream_info: Dict[str, Any] = {
+        "confirm_depth": engine.confirm_depth,
+        "events": engine.report.events,
+        "reorgs": engine.report.reorgs,
+        "max_reorg_depth": engine.report.max_reorg_depth,
+        "duplicates": engine.report.duplicates,
+        "out_of_order": engine.report.out_of_order,
+        "retracted_blocks": engine.report.retracted_blocks,
+        "retracted_rows": engine.report.retracted_rows,
+        "lag_p50_blocks": _percentile(lags, 50),
+        "lag_p99_blocks": _percentile(lags, 99),
+    }
+
     report: Dict[str, Any] = {
         "version": BENCH_VERSION,
         "scenario": {
@@ -452,6 +503,8 @@ def run_bench(bpm: int = 60, seed: int = 7,
         "end_to_end": end_to_end,
         "parallel_identical": parallel_identical,
         "indexed_matches_linear": indexed_matches_linear,
+        "stream_identical": stream_identical,
+        "stream": stream_info,
     }
     if profile:
         report["profile"] = dict(profiler.tables)
@@ -507,6 +560,17 @@ def render_report(report: Dict[str, Any]) -> str:
                  + ("yes" if report["parallel_identical"] else "NO"))
     lines.append("  indexed reads identical to linear: "
                  + ("yes" if report["indexed_matches_linear"] else "NO"))
+    stream_identical = report.get("stream_identical")
+    if stream_identical is not None:
+        verdict = "yes" if stream_identical else "NO"
+        stream_info = report.get("stream") or {}
+        verdict += (f" ({stream_info.get('reorgs', 0)} reorgs, "
+                    f"max depth {stream_info.get('max_reorg_depth', 0)}, "
+                    f"{stream_info.get('retracted_rows', 0)} rows "
+                    f"retracted, lag p50/p99 "
+                    f"{stream_info.get('lag_p50_blocks')}/"
+                    f"{stream_info.get('lag_p99_blocks')} blocks)")
+        lines.append("  streamed identical to batch: " + verdict)
     lint_s = report.get("lint_s")
     if lint_s is not None:
         lines.append(f"  syntactic lint of own tree: {lint_s:.3f}s")

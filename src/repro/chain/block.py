@@ -35,6 +35,9 @@ class Block:
     receipts: List[Receipt] = field(default_factory=list)
     gas_used: int = 0
     block_reward: int = BLOCK_REWARD
+    #: hash of the parent block.  ``None`` means "not yet linked": the
+    #: chain stamps it on append, after which it must match the tip.
+    parent_hash: Optional[Hash32] = None
     _hash: Optional[Hash32] = field(default=None, repr=False,
                                     compare=False)
 

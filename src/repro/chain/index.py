@@ -115,6 +115,34 @@ class ChainIndex:
         self._next_ordinal = ordinal
         self._logs_consumed = len(blocks)
 
+    # Rollback (the reorg seam) -------------------------------------------
+
+    def rollback(self, to_height: int) -> None:
+        """Truncate both tiers to blocks numbered ``<= to_height``.
+
+        The inverse of :meth:`refresh` for a chain that just rolled
+        back: block positions and every event type's postings are cut at
+        the fork point by bisect, and the consumption cursors rewind so
+        the next query folds the replacement tail incrementally.  The
+        global traversal ordinal is *not* rewound — re-appended logs get
+        fresh, larger ordinals, which preserves relative order within
+        the surviving postings and the new tail (only relative order
+        matters to the merge).  Never rebuilds.
+        """
+        cut = bisect_right(self._numbers, to_height)
+        if cut == len(self._numbers):
+            return
+        del self._numbers[cut:]
+        self._blocks_consumed = cut
+        if self._logs_consumed > cut:
+            self._logs_consumed = cut
+            for cls, block_keys in self._log_blocks.items():
+                keep = bisect_right(block_keys, to_height)
+                if keep < len(block_keys):
+                    del block_keys[keep:]
+                    del self._logs[cls][keep:]
+                    del self._log_order[cls][keep:]
+
     # Introspection -------------------------------------------------------
 
     @property

@@ -43,14 +43,58 @@ class Blockchain:
         return self._index
 
     def append(self, block: Block) -> None:
-        if self.blocks and block.number != self.blocks[-1].number + 1:
-            raise ValueError(
-                f"non-contiguous block: got {block.number}, "
-                f"expected {self.blocks[-1].number + 1}")
+        """Append ``block``, validating parent linkage at the seam.
+
+        Number must be contiguous with the tip, and — when the block
+        carries a ``parent_hash`` — it must equal the tip's hash.  A
+        block with ``parent_hash=None`` is stamped with the tip's hash
+        here, so every stored block is fully linked and a later
+        re-delivery of the same object revalidates cleanly.
+        """
+        if self.blocks:
+            tip = self.blocks[-1]
+            if block.number != tip.number + 1:
+                raise ValueError(
+                    f"non-contiguous block: got {block.number}, "
+                    f"expected {tip.number + 1}")
+            if block.parent_hash is None:
+                block.parent_hash = tip.hash
+            elif block.parent_hash != tip.hash:
+                raise ValueError(
+                    f"parent hash mismatch at block {block.number}: "
+                    f"block links to {block.parent_hash!r}, tip is "
+                    f"{tip.hash!r}")
         position = len(self.blocks)
         self.blocks.append(block)
         for tx_index, tx in enumerate(block.transactions):
             self._tx_index[tx.hash] = (position, tx_index)
+
+    def rollback(self, to_height: int) -> List[Block]:
+        """Truncate the chain back to ``to_height`` (the new tip).
+
+        Returns the removed blocks, oldest first, and keeps every
+        derived structure consistent: transaction locations for removed
+        blocks are dropped and the read index truncates its position and
+        postings tiers to the fork point (cursor rewind — never a
+        rebuild).  Rolling back to at-or-above the tip is a no-op;
+        rolling back past the first stored block raises, because this
+        store cannot represent an empty-but-started chain.
+        """
+        if not self.blocks or to_height >= self.blocks[-1].number:
+            return []
+        if to_height < self.blocks[0].number:
+            raise ValueError(
+                f"cannot roll back to {to_height}: chain starts at "
+                f"{self.blocks[0].number}")
+        keep = to_height - self.blocks[0].number + 1
+        removed = self.blocks[keep:]
+        del self.blocks[keep:]
+        for block in removed:
+            for tx in block.transactions:
+                self._tx_index.pop(tx.hash, None)
+        if self._index is not None:
+            self._index.rollback(to_height)
+        return removed
 
     def __len__(self) -> int:
         return len(self.blocks)

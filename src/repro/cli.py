@@ -8,6 +8,8 @@ Usage::
     python -m repro table1 [--bpm N] [--seed S]     # just Table 1
     python -m repro figures [--bpm N] [--seed S]    # figure series
     python -m repro run --workers 4 --cache-dir .cache  # parallel + cached
+    python -m repro run --follow                    # streaming (follow) mode
+    python -m repro stream --fault-profile reorg    # hostile-feed follower
     python -m repro export PATH [--bpm N] [--seed S]  # JSONL dataset
     python -m repro bench [--quick]                 # wall-clock benchmark
     python -m repro lint [PATHS ...]                # invariant linter
@@ -89,6 +91,40 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common(command)
         if name != "ablations":
             _add_reliability(command)
+        if name == "run":
+            command.add_argument(
+                "--follow", action="store_true",
+                help="streaming (follow) mode: replay the chain "
+                     "through the incremental engine instead of one "
+                     "batch pass; bit-identical output")
+            command.add_argument(
+                "--confirm-depth", type=int, default=3, metavar="K",
+                help="blocks behind the head before a streamed block "
+                     "is confirmed (default 3)")
+    stream = sub.add_parser(
+        "stream",
+        help="follow the chain through a (possibly hostile) block "
+             "feed and verify convergence with the batch pipeline")
+    _add_common(stream)
+    stream.add_argument("--fault-profile", choices=("none", "reorg"),
+                        default="reorg",
+                        help="feed fault scenario: 'reorg' injects "
+                             "seeded head reorgs, delayed/duplicate "
+                             "announcements, and an outage window "
+                             "(default: reorg)")
+    stream.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the injected feed faults "
+                             "(default 0)")
+    stream.add_argument("--confirm-depth", type=int, default=3,
+                        metavar="K",
+                        help="blocks behind the head before a streamed "
+                             "block is confirmed (default 3)")
+    stream.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="checkpoint the watermark and pending "
+                             "window to this JSON file")
+    stream.add_argument("--resume", action="store_true",
+                        help="reuse payloads from an existing stream "
+                             "checkpoint instead of recomputing")
     export = sub.add_parser("export",
                             help="write the detected MEV dataset as "
                                  "JSONL")
@@ -178,6 +214,14 @@ def _study(args: argparse.Namespace) -> Study:
     if config.checkpoint and config.resume:
         print(f"Resuming from checkpoint {config.checkpoint} …",
               file=sys.stderr)
+    if getattr(args, "follow", False):
+        from repro import follow_study
+        print(f"Following the chain head (streaming mode, "
+              f"confirm depth {args.confirm_depth}) …", file=sys.stderr)
+        return follow_study(blocks_per_month=args.bpm, seed=args.seed,
+                            confirm_depth=args.confirm_depth,
+                            checkpoint=config.checkpoint,
+                            resume=config.resume, run_config=config)
     if config.workers > 1:
         print(f"Running chunks across {config.workers} workers …",
               file=sys.stderr)
@@ -304,6 +348,82 @@ def print_ablations(bpm: int, seed: int,
          percent(result.sealed_miner_share))]))
 
 
+def run_stream_command(args: argparse.Namespace) -> int:
+    """Follow the chain through a hostile feed; verify convergence.
+
+    The streamed dataset — rows and quality ledger — must be
+    bit-identical to the batch pipeline over the final canonical chain
+    (modulo checkpoint-resume markers).  Divergence exits nonzero.
+    """
+    import json
+
+    from repro import ScenarioConfig, build_paper_scenario
+    from repro.chain.node import ArchiveNode
+    from repro.core import MevInspector, PriceService
+    from repro.faults import FaultPlan
+    from repro.faults.feed import ChainFeed, FaultyFeed
+    from repro.stream import StreamEngine
+
+    print(f"Simulating 23 months at {args.bpm} blocks/month "
+          f"(seed {args.seed}) …", file=sys.stderr)
+    result = build_paper_scenario(
+        ScenarioConfig(blocks_per_month=args.bpm, seed=args.seed)).run()
+    first = result.node.earliest_block_number()
+    last = result.node.latest_block_number()
+    prices = PriceService(result.oracle)
+    if args.fault_profile == "none":
+        feed: object = ChainFeed(result.blockchain)
+    else:
+        plan = FaultPlan.from_profile(args.fault_profile,
+                                      args.fault_seed, first, last)
+        feed = FaultyFeed(result.blockchain, plan)
+        print(f"Injecting '{args.fault_profile}' feed faults "
+              f"(fault seed {args.fault_seed}) …", file=sys.stderr)
+    if args.checkpoint and args.resume:
+        print(f"Resuming from checkpoint {args.checkpoint} …",
+              file=sys.stderr)
+    engine = StreamEngine(prices, first_block=first,
+                          confirm_depth=args.confirm_depth,
+                          flashbots_api=result.flashbots_api,
+                          observer=result.observer,
+                          checkpoint=args.checkpoint,
+                          resume=args.resume)
+    dataset = engine.run(feed)
+    report = engine.report
+    print(render_kv("Stream report", [
+        ("blocks", last - first + 1),
+        ("feed events", report.events),
+        ("reorgs", f"{report.reorgs} (max depth "
+                   f"{report.max_reorg_depth})"),
+        ("duplicates", report.duplicates),
+        ("out of order", report.out_of_order),
+        ("rows retracted", f"{report.retracted_rows} across "
+                           f"{report.retracted_blocks} blocks"),
+        ("payloads reused", report.payloads_reused)]))
+
+    batch = MevInspector(ArchiveNode(result.blockchain), prices,
+                         result.flashbots_api,
+                         result.observer).run(chunk_size=1)
+    stream_quality = dataset.quality.to_dict()
+    batch_quality = batch.quality.to_dict()
+    for document in (stream_quality, batch_quality):
+        document["resumed"] = False
+        document["chunks_resumed"] = 0
+    identical = (
+        json.dumps(dataset.to_rows(), sort_keys=True)
+        == json.dumps(batch.to_rows(), sort_keys=True)
+        and json.dumps(stream_quality, sort_keys=True)
+        == json.dumps(batch_quality, sort_keys=True))
+    print("\n" + render_quality(dataset.quality))
+    print("\nstreamed identical to batch: "
+          + ("yes" if identical else "NO"))
+    if not identical:
+        print("ERROR: streamed dataset diverged from the batch "
+              "pipeline over the canonical chain", file=sys.stderr)
+        return 1
+    return 0
+
+
 def run_bench_command(args: argparse.Namespace) -> int:
     """Run the wall-clock benchmark; nonzero exit on divergence.
 
@@ -343,6 +463,10 @@ def run_bench_command(args: argparse.Namespace) -> int:
         print("ERROR: indexed read path diverged from linear scan",
               file=sys.stderr)
         return 1
+    if report.get("stream_identical") is False:
+        print("ERROR: streamed dataset diverged from the batch "
+              "pipeline over the canonical chain", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -367,6 +491,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "bench":
         return run_bench_command(args)
+    if args.command == "stream":
+        return run_stream_command(args)
     study = _study(args)
     if args.command == "table1":
         print_table1(study)

@@ -55,7 +55,8 @@ from repro.flashbots.api import FlashbotsBlocksApi
 from repro.reliability.checkpoint import CheckpointError, CheckpointStore
 from repro.reliability.quality import DataQualityReport, SourceQuality
 
-__all__ = ["CHUNK_FAILURES", "MevInspector", "plan_chunks"]
+__all__ = ["CHUNK_FAILURES", "MevInspector", "apply_joins",
+           "finish_quality", "plan_chunks"]
 
 BlockRange = Tuple[int, int]
 
@@ -91,6 +92,111 @@ def _clip_ranges(ranges: Any, first_block: int,
 
 def _blocks_in(ranges: Tuple[BlockRange, ...]) -> int:
     return sum(hi - lo + 1 for lo, hi in ranges)
+
+
+def apply_joins(dataset: MevDataset, flash_txs: Set[str],
+                quality: DataQualityReport,
+                flashbots_api: Optional[FlashbotsBlocksApi],
+                observer: Optional[MempoolObserver]) -> None:
+    """Apply every post-detection join and count degraded labels.
+
+    Shared verbatim by the batch pipeline and :mod:`repro.stream` — the
+    streaming engine converging bit-identically on the batch dataset
+    depends on both paths labelling through this one function.
+    """
+    _join_flash_loans(dataset, flash_txs)
+    if flashbots_api is not None:
+        annotate_flashbots(dataset, flashbots_api)
+    if observer is not None:
+        annotate_privacy(dataset, observer)
+    quality.unknown_flashbots_records = sum(
+        1 for record in dataset.all_records()
+        if record.via_flashbots is None)
+    quality.unobserved_records = sum(
+        1 for record in dataset.all_records()
+        if record.privacy == "unobserved")
+
+
+def _join_flash_loans(dataset: MevDataset, flash_txs: Set[str]) -> None:
+    if not flash_txs:
+        return
+    for record in dataset.arbitrages:
+        record.via_flashloan = record.tx_hash in flash_txs
+    for record in dataset.liquidations:
+        record.via_flashloan = record.tx_hash in flash_txs
+    # Sandwiches structurally cannot use flash loans (two separate
+    # transactions); the join still runs as a sanity check.
+    for record in dataset.sandwiches:
+        record.via_flashloan = (record.front_tx in flash_txs
+                                or record.back_tx in flash_txs)
+
+
+def finish_quality(quality: DataQualityReport, chunks: List[BlockRange],
+                   state: Dict[str, Any], failed: List[BlockRange],
+                   detection_stats: ChunkStats, node: ArchiveNode,
+                   flashbots_api: Optional[FlashbotsBlocksApi],
+                   observer: Optional[MempoolObserver]) -> None:
+    """Finalize the quality ledger for one completed run.
+
+    Like :func:`apply_joins`, this is the single implementation both
+    the batch and streaming pipelines finish through.
+    """
+    first, last = quality.from_block, quality.to_block
+    total_blocks = last - first + 1
+    quality.chunks_completed = sum(
+        1 for chunk in chunks if chunk_key(chunk) in state)
+    quality.failed_ranges = tuple(sorted(failed))
+
+    archive = quality.source("archive")
+    covered = total_blocks - _blocks_in(quality.failed_ranges)
+    archive.coverage = covered / total_blocks
+    archive.gap_ranges = quality.failed_ranges
+    _apply_caller_stats(archive, node)
+    # Detection traffic ran inside the executor (possibly in worker
+    # processes) under chunk-isolated state; fold its ledger into
+    # the parent's own (range resolution + joins) counters.
+    archive.requests += detection_stats.requests
+    archive.retries += detection_stats.retries
+    archive.failed_attempts += detection_stats.failed_attempts
+    archive.exhausted += detection_stats.exhausted
+    archive.simulated_backoff_s += detection_stats.simulated_backoff_s
+    archive.breaker_trips += detection_stats.breaker_trips
+
+    if flashbots_api is not None:
+        flashbots = quality.source("flashbots")
+        gaps = _clip_ranges(_coverage_gaps(flashbots_api), first, last)
+        flashbots.gap_ranges = gaps
+        flashbots.coverage = \
+            (total_blocks - _blocks_in(gaps)) / total_blocks
+        _apply_caller_stats(flashbots, flashbots_api)
+
+    if observer is not None:
+        mempool = quality.source("mempool")
+        observed_coverage = getattr(observer, "observed_coverage", None)
+        if observed_coverage is not None:
+            mempool.coverage = observed_coverage()
+        mempool.gap_ranges = _clip_ranges(
+            getattr(observer, "downtime_ranges", ()), first, last)
+        _apply_caller_stats(mempool, observer)
+
+
+def _coverage_gaps(api: FlashbotsBlocksApi) -> List[BlockRange]:
+    coverage_gaps = getattr(api, "coverage_gaps", None)
+    return [] if coverage_gaps is None else list(coverage_gaps())
+
+
+def _apply_caller_stats(entry: SourceQuality, source: object) -> None:
+    """Copy retry/breaker counters off a ``Reliable*`` wrapper."""
+    caller = getattr(source, "caller", None)
+    if caller is None:
+        return
+    stats = caller.stats
+    entry.requests = stats.requests
+    entry.retries = stats.retries
+    entry.failed_attempts = stats.failed_attempts
+    entry.exhausted = stats.exhausted
+    entry.simulated_backoff_s = stats.simulated_backoff_s
+    entry.breaker_trips = caller.breaker_trips
 
 
 class MevInspector:
@@ -246,100 +352,17 @@ class MevInspector:
         store.save({"from_block": first, "to_block": last,
                     "chunk_size": chunk_size, "chunks": state})
 
-    # Joins ---------------------------------------------------------------
+    # Joins & quality (delegating to the shared module functions) ---------
 
     def _apply_joins(self, dataset: MevDataset,
                      chunks: List[BlockRange], state: Dict[str, Any],
                      quality: DataQualityReport) -> None:
-        self._join_flash_loans(dataset, merge_flash_txs(chunks, state))
-        if self.flashbots_api is not None:
-            annotate_flashbots(dataset, self.flashbots_api)
-        if self.observer is not None:
-            annotate_privacy(dataset, self.observer)
-        quality.unknown_flashbots_records = sum(
-            1 for record in dataset.all_records()
-            if record.via_flashbots is None)
-        quality.unobserved_records = sum(
-            1 for record in dataset.all_records()
-            if record.privacy == "unobserved")
-
-    @staticmethod
-    def _join_flash_loans(dataset: MevDataset,
-                          flash_txs: Set[str]) -> None:
-        if not flash_txs:
-            return
-        for record in dataset.arbitrages:
-            record.via_flashloan = record.tx_hash in flash_txs
-        for record in dataset.liquidations:
-            record.via_flashloan = record.tx_hash in flash_txs
-        # Sandwiches structurally cannot use flash loans (two separate
-        # transactions); the join still runs as a sanity check.
-        for record in dataset.sandwiches:
-            record.via_flashloan = (record.front_tx in flash_txs
-                                    or record.back_tx in flash_txs)
-
-    # Quality accounting --------------------------------------------------
+        apply_joins(dataset, merge_flash_txs(chunks, state), quality,
+                    self.flashbots_api, self.observer)
 
     def _finish_quality(self, quality: DataQualityReport,
                         chunks: List[BlockRange], state: Dict[str, Any],
                         failed: List[BlockRange],
                         detection_stats: ChunkStats) -> None:
-        first, last = quality.from_block, quality.to_block
-        total_blocks = last - first + 1
-        quality.chunks_completed = sum(
-            1 for chunk in chunks if chunk_key(chunk) in state)
-        quality.failed_ranges = tuple(sorted(failed))
-
-        archive = quality.source("archive")
-        covered = total_blocks - _blocks_in(quality.failed_ranges)
-        archive.coverage = covered / total_blocks
-        archive.gap_ranges = quality.failed_ranges
-        self._apply_caller_stats(archive, self.node)
-        # Detection traffic ran inside the executor (possibly in worker
-        # processes) under chunk-isolated state; fold its ledger into
-        # the parent's own (range resolution + joins) counters.
-        archive.requests += detection_stats.requests
-        archive.retries += detection_stats.retries
-        archive.failed_attempts += detection_stats.failed_attempts
-        archive.exhausted += detection_stats.exhausted
-        archive.simulated_backoff_s += detection_stats.simulated_backoff_s
-        archive.breaker_trips += detection_stats.breaker_trips
-
-        if self.flashbots_api is not None:
-            flashbots = quality.source("flashbots")
-            gaps = _clip_ranges(
-                self._coverage_gaps(self.flashbots_api), first, last)
-            flashbots.gap_ranges = gaps
-            flashbots.coverage = \
-                (total_blocks - _blocks_in(gaps)) / total_blocks
-            self._apply_caller_stats(flashbots, self.flashbots_api)
-
-        if self.observer is not None:
-            mempool = quality.source("mempool")
-            observed_coverage = getattr(self.observer,
-                                        "observed_coverage", None)
-            if observed_coverage is not None:
-                mempool.coverage = observed_coverage()
-            mempool.gap_ranges = _clip_ranges(
-                getattr(self.observer, "downtime_ranges", ()),
-                first, last)
-            self._apply_caller_stats(mempool, self.observer)
-
-    @staticmethod
-    def _coverage_gaps(api: FlashbotsBlocksApi) -> List[BlockRange]:
-        coverage_gaps = getattr(api, "coverage_gaps", None)
-        return [] if coverage_gaps is None else list(coverage_gaps())
-
-    @staticmethod
-    def _apply_caller_stats(entry: SourceQuality, source: object) -> None:
-        """Copy retry/breaker counters off a ``Reliable*`` wrapper."""
-        caller = getattr(source, "caller", None)
-        if caller is None:
-            return
-        stats = caller.stats
-        entry.requests = stats.requests
-        entry.retries = stats.retries
-        entry.failed_attempts = stats.failed_attempts
-        entry.exhausted = stats.exhausted
-        entry.simulated_backoff_s = stats.simulated_backoff_s
-        entry.breaker_trips = caller.breaker_trips
+        finish_quality(quality, chunks, state, failed, detection_stats,
+                       self.node, self.flashbots_api, self.observer)

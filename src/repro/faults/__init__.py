@@ -22,11 +22,19 @@ from repro.faults.errors import (
     TransportError,
     TransportTimeout,
 )
+from repro.faults.feed import (
+    ChainFeed,
+    FaultyFeed,
+    FeedEvent,
+    fork_block,
+)
 from repro.faults.plan import (
     FAULT_PROFILES,
     FaultDecision,
     FaultPlan,
     FaultSpec,
+    FeedDecision,
+    FeedFaultSpec,
 )
 from repro.faults.transports import (
     FaultyArchiveNode,
@@ -35,16 +43,22 @@ from repro.faults.transports import (
 )
 
 __all__ = [
+    "ChainFeed",
     "DataSourceError",
     "FAULT_PROFILES",
     "FaultDecision",
     "FaultPlan",
     "FaultSpec",
     "FaultyArchiveNode",
+    "FaultyFeed",
     "FaultyFlashbotsApi",
     "FaultyMempoolObserver",
+    "FeedDecision",
+    "FeedEvent",
+    "FeedFaultSpec",
     "MalformedResponseError",
     "SourceGapError",
     "TransportError",
     "TransportTimeout",
+    "fork_block",
 ]

@@ -1,0 +1,233 @@
+"""Block-announcement feeds: the transport a chain follower consumes.
+
+A *feed* is the ordered sequence of :class:`FeedEvent` announcements a
+head-following client receives — the stand-in for the paper's live
+``newHeads`` subscription plus the Flashbots blocks collector's
+continuous import.  :class:`ChainFeed` replays a finished canonical
+chain in order (the fault-free reference); :class:`FaultyFeed` distorts
+that replay according to the plan's :class:`~repro.faults.plan.FeedFaultSpec`:
+
+* **delays** push an announcement later in the stream (out-of-order
+  delivery relative to higher blocks announced on time);
+* **duplicates** re-announce the same block object a second time;
+* **reorgs** emit a synthesized fork — up to ``max_reorg_depth``
+  replacement blocks with different hashes — and then re-deliver the
+  canonical blocks, exactly the fork/rejoin shape an execution client
+  reports around an uncle event;
+* **outages** silence a block-range window; announcements scheduled
+  inside it flush, still ordered, once the window ends.
+
+The whole schedule is a pure function of ``(plan.seed, heights)``:
+event generation draws only from :meth:`FaultPlan.feed_decision`, so
+the same plan replays the identical event sequence in any process
+(the property the feed-determinism tests pin down).
+
+Crucially, every fault here is *survivable*: the last announcement the
+feed makes for any height is always the canonical block, so a correct
+follower converges to the canonical chain no matter the seed.  The
+convergence gate in :mod:`repro.bench` is built on that guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.chain.block import Block
+from repro.chain.node import Blockchain
+from repro.chain.types import Address, Hash32
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FeedEvent", "ChainFeed", "FaultyFeed", "fork_block"]
+
+#: event notes, the feed's own label for why an announcement exists
+NOTE_ANNOUNCE = "announce"
+NOTE_DUPLICATE = "duplicate"
+NOTE_FORK = "fork"
+NOTE_REDELIVER = "redeliver"
+
+
+@dataclass(frozen=True)
+class FeedEvent:
+    """One block announcement as delivered to a follower.
+
+    ``note`` records why the feed emitted it (clean announcement,
+    duplicate, synthesized fork block, or canonical re-delivery after a
+    fork); followers must not need it for correctness — it exists for
+    tests and diagnostics.
+    """
+
+    index: int
+    block: Block
+    note: str = NOTE_ANNOUNCE
+
+    @property
+    def number(self) -> int:
+        return self.block.number
+
+    @property
+    def hash(self) -> Hash32:
+        return self.block.hash
+
+
+class ChainFeed:
+    """Fault-free feed: canonical blocks, in order, exactly once."""
+
+    def __init__(self, chain: Blockchain,
+                 from_block: Optional[int] = None,
+                 to_block: Optional[int] = None) -> None:
+        self.chain = chain
+        self.from_block = from_block
+        self.to_block = to_block
+
+    def events(self) -> List[FeedEvent]:
+        return list(iter(self))
+
+    def __iter__(self) -> Iterator[FeedEvent]:
+        index = 0
+        for block in self.chain.blocks:
+            if self.from_block is not None and \
+                    block.number < self.from_block:
+                continue
+            if self.to_block is not None and block.number > self.to_block:
+                break
+            yield FeedEvent(index=index, block=block)
+            index += 1
+
+
+def fork_block(canonical: Block, parent_hash: Optional[Hash32],
+               miner: Address) -> Block:
+    """Synthesize a same-height fork of ``canonical``.
+
+    The fork is a plausible competing block: the canonical transaction
+    list minus its last entry (a miner that saw one fewer transaction),
+    gas accounting recomputed, a different miner — which guarantees a
+    different block hash — and explicit parent linkage so followers can
+    validate the fork chain like any other.  Receipts are shared with
+    the canonical block (sealed, read-only), so detection over a fork
+    block is meaningful and later retractable.
+    """
+    keep = max(0, len(canonical.transactions) - 1)
+    transactions = list(canonical.transactions[:keep])
+    receipts = list(canonical.receipts[:keep])
+    return Block(
+        number=canonical.number,
+        timestamp=canonical.timestamp,
+        miner=miner,
+        base_fee=canonical.base_fee,
+        gas_limit=canonical.gas_limit,
+        transactions=transactions,
+        receipts=receipts,
+        gas_used=sum(receipt.gas_used for receipt in receipts),
+        block_reward=canonical.block_reward,
+        parent_hash=parent_hash,
+    )
+
+
+class FaultyFeed:
+    """Feed facade injecting the plan's reorg/delay/duplicate faults.
+
+    The schedule is computed once per iteration, deterministically:
+    every height draws its :class:`FeedDecision`, each resulting event
+    is assigned a *slot* (the height at which it becomes visible, pushed
+    past any feed-outage window), and the stream is the stable sort of
+    all events by ``(slot, emission order)``.  Delayed announcements
+    therefore arrive after higher on-time blocks, duplicates follow
+    their originals, and a fork is always followed — in the same slot —
+    by the canonical re-delivery, so the final announcement per height
+    is canonical.
+    """
+
+    def __init__(self, chain: Blockchain, plan: FaultPlan,
+                 from_block: Optional[int] = None,
+                 to_block: Optional[int] = None) -> None:
+        self.chain = chain
+        self.plan = plan
+        self.from_block = from_block
+        self.to_block = to_block
+
+    # Scheduling ----------------------------------------------------------
+
+    def _slot_for(self, height: int) -> int:
+        """The earliest slot at-or-after ``height`` outside any outage."""
+        pushed = height
+        for lo, hi in self.plan.feed_outages:
+            if lo <= pushed <= hi:
+                pushed = hi + 1
+        return pushed
+
+    def _fork_chain(self, anchor: int, depth: int,
+                    first: int) -> List[Block]:
+        """Fork blocks replacing ``anchor - depth + 1 .. anchor``."""
+        depth = min(depth, anchor - first)
+        if depth <= 0:
+            return []
+        start = anchor - depth + 1
+        parent = self.chain.block_by_number(start - 1)
+        parent_hash = parent.hash if parent is not None else None
+        forks: List[Block] = []
+        for height in range(start, anchor + 1):
+            canonical = self.chain.block_by_number(height)
+            assert canonical is not None
+            miner = f"0x{'fe' * 18}{anchor % 256:02x}{height % 256:02x}"
+            fork = fork_block(canonical, parent_hash, miner)
+            forks.append(fork)
+            parent_hash = fork.hash
+        return forks
+
+    def schedule(self) -> List[FeedEvent]:
+        """The full, deterministic event stream for the range."""
+        first, last = self._bounds()
+        if first is None or last is None:
+            return []
+        scheduled: List[Tuple[int, int, Block, str]] = []
+        seq = 0
+
+        def emit(slot: int, block: Block, note: str) -> None:
+            nonlocal seq
+            scheduled.append((slot, seq, block, note))
+            seq += 1
+
+        for height in range(first, last + 1):
+            block = self.chain.block_by_number(height)
+            assert block is not None
+            decision = self.plan.feed_decision(height)
+            base_slot = self._slot_for(height)
+            if decision.reorg_depth and height > first:
+                forks = self._fork_chain(height, decision.reorg_depth,
+                                         first)
+                for fork in forks:
+                    emit(base_slot, fork, NOTE_FORK)
+                for redo in range(height - len(forks) + 1, height + 1):
+                    canonical = self.chain.block_by_number(redo)
+                    assert canonical is not None
+                    emit(base_slot, canonical, NOTE_REDELIVER)
+            else:
+                emit(self._slot_for(height + decision.delay), block,
+                     NOTE_ANNOUNCE)
+                if decision.duplicate:
+                    emit(self._slot_for(height + decision.delay + 1),
+                         block, NOTE_DUPLICATE)
+        scheduled.sort(key=lambda item: (item[0], item[1]))
+        return [FeedEvent(index=index, block=block, note=note)
+                for index, (_, _, block, note)
+                in enumerate(scheduled)]
+
+    def _bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        if not self.chain.blocks:
+            return None, None
+        first = self.chain.blocks[0].number
+        last = self.chain.blocks[-1].number
+        if self.from_block is not None:
+            first = max(first, self.from_block)
+        if self.to_block is not None:
+            last = min(last, self.to_block)
+        if first > last:
+            return None, None
+        return first, last
+
+    def events(self) -> List[FeedEvent]:
+        return self.schedule()
+
+    def __iter__(self) -> Iterator[FeedEvent]:
+        return iter(self.schedule())

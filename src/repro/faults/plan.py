@@ -29,7 +29,8 @@ KIND_TIMEOUT = "timeout"
 KIND_MALFORMED = "malformed"
 
 #: CLI-facing preset names (see :meth:`FaultPlan.from_profile`).
-FAULT_PROFILES = ("none", "transient", "gaps", "outage", "chaos")
+FAULT_PROFILES = ("none", "transient", "gaps", "outage", "chaos",
+                  "reorg")
 
 #: the three sources the paper's pipeline depends on
 SOURCE_ARCHIVE = "archive"
@@ -80,6 +81,60 @@ class FaultSpec:
             raise ValueError("error-kind shares must sum to <= 1")
 
 
+@dataclass(frozen=True)
+class FeedFaultSpec:
+    """Head-feed misbehaviour: reorgs, delivery delays, duplicates.
+
+    Unlike :class:`FaultSpec` (request/retry shaped), these faults
+    distort the *announcement stream* a chain follower consumes.  Each
+    rate is the per-block probability of the corresponding event;
+    ``max_reorg_depth`` bounds how many tip blocks a fork replaces and
+    ``max_delay`` how many heights an announcement can arrive late.
+    """
+
+    reorg_rate: float = 0.0
+    max_reorg_depth: int = 3
+    delay_rate: float = 0.0
+    max_delay: int = 3
+    duplicate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("reorg_rate", "delay_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.max_reorg_depth < 1:
+            raise ValueError("max_reorg_depth must be >= 1")
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+
+    @property
+    def quiet(self) -> bool:
+        return (self.reorg_rate <= 0.0 and self.delay_rate <= 0.0
+                and self.duplicate_rate <= 0.0)
+
+
+@dataclass(frozen=True)
+class FeedDecision:
+    """Feed-fault verdict for one block height's announcement."""
+
+    #: heights the announcement arrives late (0 = on time)
+    delay: int = 0
+    #: announce the same block a second time
+    duplicate: bool = False
+    #: depth of the fork the feed emits at this height before the
+    #: canonical re-delivery (0 = no reorg)
+    reorg_depth: int = 0
+
+    @property
+    def faulty(self) -> bool:
+        return bool(self.delay or self.duplicate or self.reorg_depth)
+
+
+#: the clean-announcement decision, shared to avoid allocation
+NO_FEED_FAULT = FeedDecision()
+
+
 def _normalise_ranges(ranges: Iterable[BlockRange]) -> \
         Tuple[BlockRange, ...]:
     """Sorted, validated ``(lo, hi)`` inclusive block ranges."""
@@ -110,6 +165,11 @@ class FaultPlan:
     observer_downtime: Tuple[BlockRange, ...] = ()
     #: block spans the archive node cannot serve at all (unrecoverable)
     archive_blackouts: Tuple[BlockRange, ...] = ()
+    #: head-feed misbehaviour (reorgs, delays, duplicates)
+    feed: FeedFaultSpec = field(default_factory=FeedFaultSpec)
+    #: block spans during which the head feed announces nothing; the
+    #: queued announcements flush when the outage ends
+    feed_outages: Tuple[BlockRange, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "flashbots_gaps",
@@ -118,6 +178,8 @@ class FaultPlan:
                            _normalise_ranges(self.observer_downtime))
         object.__setattr__(self, "archive_blackouts",
                            _normalise_ranges(self.archive_blackouts))
+        object.__setattr__(self, "feed_outages",
+                           _normalise_ranges(self.feed_outages))
 
     # Transient-fault decisions -------------------------------------------
 
@@ -151,6 +213,36 @@ class FaultPlan:
         else:
             kind = KIND_ERROR
         return FaultDecision(failures=failures, kind=kind)
+
+    # Feed-fault decisions -------------------------------------------------
+
+    def feed_decision(self, height: int) -> FeedDecision:
+        """Deterministic feed verdict for one block height.
+
+        Pure in ``(seed, height)``: the rng is seeded with
+        ``"{seed}:feed:announce:{height}"`` and the draws happen in a
+        fixed order (delay roll, delay value, duplicate roll, reorg
+        roll, reorg depth), so the verdict never depends on which other
+        heights were asked about, or in what order.
+        """
+        spec = self.feed
+        if spec.quiet:
+            return NO_FEED_FAULT
+        rng = random.Random(f"{self.seed}:feed:announce:{height}")
+        delay = 0
+        if rng.random() < spec.delay_rate:
+            delay = 1 + rng.randrange(spec.max_delay)
+        duplicate = rng.random() < spec.duplicate_rate
+        reorg_depth = 0
+        if rng.random() < spec.reorg_rate:
+            reorg_depth = 1 + rng.randrange(spec.max_reorg_depth)
+        if not (delay or duplicate or reorg_depth):
+            return NO_FEED_FAULT
+        return FeedDecision(delay=delay, duplicate=duplicate,
+                            reorg_depth=reorg_depth)
+
+    def in_feed_outage(self, block_number: int) -> bool:
+        return _in_ranges(block_number, self.feed_outages)
 
     # Unrecoverable-range queries -----------------------------------------
 
@@ -213,6 +305,13 @@ class FaultPlan:
             return cls(seed=seed, flashbots_gaps=(carve(),))
         if profile == "outage":
             return cls(seed=seed, observer_downtime=(carve(),))
+        if profile == "reorg":
+            # Everything a chain follower must absorb: head reorgs,
+            # late/duplicate announcements, and one feed-outage window.
+            feed = FeedFaultSpec(reorg_rate=0.15, max_reorg_depth=3,
+                                 delay_rate=0.15, max_delay=3,
+                                 duplicate_rate=0.15)
+            return cls(seed=seed, feed=feed, feed_outages=(carve(),))
         # chaos: everything at once
         spec = FaultSpec(fault_rate=0.08, max_failures=2)
         return cls(seed=seed, archive=spec, mempool=spec,

@@ -39,6 +39,7 @@ DEFAULT_ROOTS = (
     "repro.engine.executors:_init_worker",
     "repro.engine.executors:_run_chunk_in_worker",
     "repro.engine.executors:ParallelExecutor.execute",
+    "repro.stream.engine:StreamEngine.ingest",
 )
 
 DEFAULT_ALLOW = (

@@ -12,7 +12,10 @@ Forbidden edges (importer package → imported package)::
     repro.core      ↛ repro.sim, repro.agents
     repro.analysis  ↛ repro.sim, repro.agents
     repro.chain     ↛ repro.core, repro.engine, repro.analysis,
-                      repro.sim, repro.agents, repro.flashbots
+                      repro.sim, repro.agents, repro.flashbots,
+                      repro.stream
+    repro.sim       ↛ repro.stream
+    repro.stream    ↛ repro.sim, repro.agents
 
 The ``repro.chain`` edges also keep the read-optimized index
 (``repro.chain.index``) a pure substrate service: it may be *used* by
@@ -48,6 +51,10 @@ DEFAULT_EDGES: Tuple[Tuple[str, str], ...] = (
     ("repro.chain", "repro.sim"),
     ("repro.chain", "repro.agents"),
     ("repro.chain", "repro.flashbots"),
+    ("repro.chain", "repro.stream"),
+    ("repro.sim", "repro.stream"),
+    ("repro.stream", "repro.sim"),
+    ("repro.stream", "repro.agents"),
 )
 
 DEFAULT_ALLOW = ("repro.sim.calendar",)

@@ -23,6 +23,25 @@ class CheckpointError(Exception):
     """The checkpoint file is unreadable, stale, or inconsistent."""
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory's entry table to disk (rename durability).
+
+    Platforms without ``O_DIRECTORY`` (or filesystems that refuse to
+    open directories) skip silently — the rename is still atomic, just
+    not crash-durable, which matches the store's pre-hardening
+    behaviour there.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class CheckpointStore:
     """One checkpoint document at a fixed path, written atomically."""
 
@@ -33,7 +52,14 @@ class CheckpointStore:
         return self.path.exists()
 
     def save(self, payload: Dict[str, Any]) -> None:
-        """Atomically replace the checkpoint with ``payload``."""
+        """Atomically replace the checkpoint with ``payload``.
+
+        Durability needs *two* fsyncs: one on the temp file (so the
+        bytes are on disk before the rename makes them visible) and one
+        on the parent directory (so the rename itself — a directory
+        entry update — survives a crash; without it ``os.replace`` can
+        be lost and the path still name the old document, or nothing).
+        """
         document = dict(payload)
         document["version"] = CHECKPOINT_VERSION
         tmp_path = self.path.with_name(self.path.name + ".tmp")
@@ -43,6 +69,7 @@ class CheckpointStore:
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(tmp_path, self.path)
+        _fsync_dir(self.path.parent)
 
     def load(self) -> Optional[Dict[str, Any]]:
         """The stored document, or ``None`` when no checkpoint exists."""

@@ -1,4 +1,4 @@
-"""Schema and gate tests for the v4 benchmark harness.
+"""Schema and gate tests for the v5 benchmark harness.
 
 Small scenarios only — these tests check the *shape* of the report
 (stages, gates, profile tables) and that the gates are actually wired
@@ -13,24 +13,24 @@ SMALL = dict(bpm=3, seed=5, workers=(1, 2), quick=False)
 
 
 class TestReportSchema:
-    def test_v4_document(self, tmp_path):
+    def test_v5_document(self, tmp_path):
         report = run_bench(**SMALL)
-        assert report["version"] == 4
+        assert report["version"] == 5
         stage_names = [s["stage"] for s in report["stages"]]
         assert stage_names[0] == "simulate"
         for required in ("detection", "detection_indexed",
-                         "detection_linear", "joins"):
+                         "detection_linear", "joins", "stream"):
             assert required in stage_names
         simulate = report["stages"][0]
         assert simulate["fresh"] is True
         assert simulate["blocks_per_s"] > 0
         assert report["simulate_s"] > 0
-        assert report["lint_s"] > 0  # syntactic self-lint, v4
+        assert report["lint_s"] > 0  # syntactic self-lint, since v4
         assert "profile" not in report  # only on request
         # The document round-trips as JSON (CI parses it).
         path = tmp_path / "bench.json"
         write_report(report, path)
-        assert json.loads(path.read_text())["version"] == 4
+        assert json.loads(path.read_text())["version"] == 5
 
     def test_fast_vs_reference_gate_runs_and_passes(self):
         report = run_bench(**SMALL)
@@ -38,6 +38,10 @@ class TestReportSchema:
         assert report["sim_reference_s"] > 0
         assert report["parallel_identical"] is True
         assert report["indexed_matches_linear"] is True
+        assert report["stream_identical"] is True
+        stream = report["stream"]
+        assert stream["events"] >= stream["reorgs"]
+        assert stream["lag_p99_blocks"] >= stream["lag_p50_blocks"]
 
     def test_profile_tables_cover_every_stage(self):
         report = run_bench(profile=True, **SMALL)

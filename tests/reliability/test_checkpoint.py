@@ -1,6 +1,10 @@
-"""CheckpointStore: atomic replace, version header, loud staleness."""
+"""CheckpointStore: atomic replace, durability, loud staleness."""
 
 import json
+import os
+import stat
+import subprocess
+import sys
 
 import pytest
 
@@ -52,6 +56,55 @@ class TestAtomicity:
         payload = {"x": 1}
         store.save(payload)
         assert payload == {"x": 1}  # version header goes into a copy
+
+
+class TestDurability:
+    def test_save_fsyncs_file_and_parent_directory(self, store,
+                                                   monkeypatch):
+        """Rename durability needs *two* fsyncs: the temp file's bytes
+        and the parent directory's entry table (the rename itself)."""
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        store.save({"x": 1})
+        assert True in synced   # the directory entry table
+        assert False in synced  # the temp file's bytes
+
+    def test_checkpoint_survives_a_crash_killed_writer(self, store):
+        """A process hard-killed right after ``save`` returns leaves a
+        loadable checkpoint — no torn file, no missing rename."""
+        script = (
+            "import os, sys\n"
+            "from repro.reliability import CheckpointStore\n"
+            "CheckpointStore(sys.argv[1]).save({'survived': True})\n"
+            "os.kill(os.getpid(), 9)\n"
+        )
+        process = subprocess.run(
+            [sys.executable, "-c", script, str(store.path)],
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(sys.path)})
+        assert process.returncode == -9  # really died by SIGKILL
+        assert store.load() == {"survived": True,
+                                "version": CHECKPOINT_VERSION}
+
+    def test_crash_mid_save_keeps_previous_generation(self, store,
+                                                      monkeypatch):
+        """A crash *before* the rename must leave the old document."""
+        store.save({"generation": 1})
+
+        def explode(src, dst):
+            raise KeyboardInterrupt  # simulated kill at the worst time
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(KeyboardInterrupt):
+            store.save({"generation": 2})
+        monkeypatch.undo()
+        assert store.load()["generation"] == 1
 
 
 class TestStaleness:

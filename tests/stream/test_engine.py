@@ -1,0 +1,132 @@
+"""StreamEngine: convergence on the batch pipeline, under any feed.
+
+The engine's standing contract (ISSUE acceptance): streaming over a
+faulted feed — reorgs up to depth 3, duplicates, out-of-order delivery,
+an outage window — produces rows and a quality ledger *bit-identical*
+to ``MevInspector.run(chunk_size=1)`` over the final canonical chain.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.feed import ChainFeed, FaultyFeed
+from repro.stream import StreamDivergenceError, StreamEngine
+
+from tests.stream.conftest import CHAOS_SEED, fingerprint
+
+
+def make_engine(sim_result, prices, span, confirm_depth=3, **kwargs):
+    return StreamEngine(prices, first_block=span[0],
+                        confirm_depth=confirm_depth,
+                        flashbots_api=sim_result.flashbots_api,
+                        observer=sim_result.observer, **kwargs)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("fault_seed",
+                             [CHAOS_SEED, CHAOS_SEED + 10,
+                              CHAOS_SEED + 20])
+    def test_faulted_stream_matches_batch(self, sim_result, prices,
+                                          span, batch_baseline,
+                                          fault_seed):
+        plan = FaultPlan.from_profile("reorg", fault_seed, *span)
+        engine = make_engine(sim_result, prices, span)
+        dataset = engine.run(FaultyFeed(sim_result.blockchain, plan))
+        assert fingerprint(dataset) == fingerprint(batch_baseline)
+        # The convergence was earned, not vacuous: the feed actually
+        # reorged, duplicated, and delivered out of order.
+        report = engine.report
+        assert report.reorgs > 0
+        assert report.max_reorg_depth == 3
+        assert report.duplicates > 0
+        assert report.out_of_order > 0
+        assert report.retracted_blocks > 0
+        assert len(report.ledger) == report.retracted_blocks
+
+    def test_clean_feed_matches_batch(self, sim_result, prices, span,
+                                      batch_baseline):
+        engine = make_engine(sim_result, prices, span)
+        dataset = engine.run(ChainFeed(sim_result.blockchain))
+        assert fingerprint(dataset) == fingerprint(batch_baseline)
+        report = engine.report
+        assert report.reorgs == 0
+        assert report.duplicates == 0
+        assert report.out_of_order == 0
+        assert report.appended == len(sim_result.blockchain.blocks)
+
+    def test_confirmation_lag_floor_is_confirm_depth(self, sim_result,
+                                                     prices, span):
+        """Every height confirmed *during* the stream lags the head by
+        at least ``confirm_depth``; only the finalize flush goes
+        shallower."""
+        engine = make_engine(sim_result, prices, span, confirm_depth=5)
+        engine.run(ChainFeed(sim_result.blockchain))
+        lags = engine.report.confirmation_lags
+        assert len(lags) == len(sim_result.blockchain.blocks)
+        assert min(lags) == 0  # the finalize flush reaches the head
+        streamed = lags[:-5]
+        assert streamed and min(streamed) >= 5
+
+
+class TestWindowAndWatermark:
+    def test_blocks_below_first_block_are_ignored(self, sim_result,
+                                                  prices, span,
+                                                  batch_baseline):
+        first, last = span
+        window_start = first + 3
+        engine = StreamEngine(prices, first_block=window_start,
+                              confirm_depth=3,
+                              flashbots_api=sim_result.flashbots_api,
+                              observer=sim_result.observer)
+        dataset = engine.run(ChainFeed(sim_result.blockchain))
+        assert engine.report.ignored == 3
+        assert dataset.quality.from_block == window_start
+        assert dataset.quality.to_block == last
+
+    def test_reorg_below_watermark_diverges_loudly(self, sim_result,
+                                                   prices, span):
+        """``confirm_depth=0`` confirms the head itself, so the first
+        reorg the feed emits must be fatal, not silently absorbed."""
+        plan = FaultPlan.from_profile("reorg", CHAOS_SEED, *span)
+        engine = make_engine(sim_result, prices, span, confirm_depth=0)
+        with pytest.raises(StreamDivergenceError) as excinfo:
+            engine.run(FaultyFeed(sim_result.blockchain, plan))
+        assert "watermark" in str(excinfo.value)
+
+    def test_confirm_depth_at_reorg_depth_suffices(self, sim_result,
+                                                   prices, span,
+                                                   batch_baseline):
+        """The documented sizing rule: ``confirm_depth >=
+        max_reorg_depth`` never diverges."""
+        plan = FaultPlan.from_profile("reorg", CHAOS_SEED, *span)
+        engine = make_engine(sim_result, prices, span,
+                             confirm_depth=plan.feed.max_reorg_depth)
+        dataset = engine.run(FaultyFeed(sim_result.blockchain, plan))
+        assert fingerprint(dataset) == fingerprint(batch_baseline)
+
+    def test_negative_confirm_depth_rejected(self, prices):
+        with pytest.raises(ValueError):
+            StreamEngine(prices, first_block=1, confirm_depth=-1)
+
+
+class TestRetractionLedger:
+    def test_ledger_accounts_for_every_retraction(self, sim_result,
+                                                  prices, span):
+        plan = FaultPlan.from_profile("reorg", CHAOS_SEED, *span)
+        engine = make_engine(sim_result, prices, span)
+        engine.run(FaultyFeed(sim_result.blockchain, plan))
+        report = engine.report
+        assert sum(e.rows_retracted for e in report.ledger) \
+            == report.retracted_rows
+        canonical = sim_result.blockchain
+        for entry in report.ledger:
+            # Ledger heights are real streamed heights; the retracted
+            # hash never survives as the canonical block there.
+            block = canonical.block_by_number(entry.height)
+            assert block is not None
+
+    def test_empty_stream_finalizes_empty(self, prices):
+        engine = StreamEngine(prices, first_block=1)
+        dataset = engine.finalize()
+        assert dataset.to_rows() == []
+        assert dataset.quality.chunks_total == 0

@@ -1,0 +1,164 @@
+"""Feed-fault determinism and the feed's convergence guarantees.
+
+The whole fault schedule must be a pure function of ``(seed, heights)``
+— same plan, same event sequence, in any process and call order — and
+every distortion must be *survivable*: the last announcement the feed
+makes for any height is always the canonical block.
+"""
+
+from repro.faults import FaultPlan
+from repro.faults.feed import (
+    NOTE_ANNOUNCE,
+    NOTE_DUPLICATE,
+    NOTE_FORK,
+    NOTE_REDELIVER,
+    ChainFeed,
+    FaultyFeed,
+    fork_block,
+)
+
+from tests.stream.conftest import CHAOS_SEED
+
+
+def reorg_plan(span, seed=CHAOS_SEED):
+    return FaultPlan.from_profile("reorg", seed, span[0], span[1])
+
+
+class TestDeterminism:
+    def test_same_plan_same_event_sequence(self, sim_result, span):
+        """Two independent feeds over the same plan replay identically."""
+        trace = [
+            [(e.note, e.number, e.hash) for e in
+             FaultyFeed(sim_result.blockchain, reorg_plan(span))]
+            for _ in range(2)]
+        assert trace[0] == trace[1]
+        assert len(trace[0]) > 0
+
+    def test_feed_decision_pure_in_seed_and_height(self, span):
+        """The verdict never depends on query order or plan instance."""
+        first, last = span
+        forward = reorg_plan(span)
+        backward = reorg_plan(span)
+        asked_forward = {h: forward.feed_decision(h)
+                         for h in range(first, last + 1)}
+        asked_backward = {h: backward.feed_decision(h)
+                          for h in reversed(range(first, last + 1))}
+        assert asked_forward == asked_backward
+        assert any(d.faulty for d in asked_forward.values())
+
+    def test_different_seeds_differ(self, sim_result, span):
+        one = FaultyFeed(sim_result.blockchain, reorg_plan(span, 1))
+        two = FaultyFeed(sim_result.blockchain, reorg_plan(span, 2))
+        assert ([(e.note, e.number) for e in one]
+                != [(e.note, e.number) for e in two])
+
+
+class TestConvergenceGuarantees:
+    def test_last_announcement_per_height_is_canonical(self, sim_result,
+                                                       span):
+        """The invariant every follower's correctness rests on."""
+        chain = sim_result.blockchain
+        final = {}
+        for event in FaultyFeed(chain, reorg_plan(span)):
+            final[event.number] = event.hash
+        first, last = span
+        assert sorted(final) == list(range(first, last + 1))
+        for height, digest in final.items():
+            assert digest == chain.block_by_number(height).hash
+
+    def test_profile_exercises_every_fault_kind(self, sim_result, span):
+        """The ``reorg`` profile must cover the whole acceptance grid:
+        reorgs of full depth, duplicates, and delayed delivery."""
+        plan = reorg_plan(span)
+        decisions = [plan.feed_decision(h)
+                     for h in range(span[0], span[1] + 1)]
+        assert max(d.reorg_depth for d in decisions) == 3
+        assert any(d.duplicate for d in decisions)
+        assert any(d.delay for d in decisions)
+        assert plan.feed_outages  # one silenced window
+        notes = {e.note for e in FaultyFeed(sim_result.blockchain, plan)}
+        assert notes == {NOTE_ANNOUNCE, NOTE_DUPLICATE, NOTE_FORK,
+                         NOTE_REDELIVER}
+
+    def test_fork_blocks_differ_from_canonical(self, sim_result, span):
+        """Forks must be *detectable* reorgs: same height, new hash,
+        parent-linked to the canonical chain at the fork point."""
+        chain = sim_result.blockchain
+        for event in FaultyFeed(chain, reorg_plan(span)):
+            canonical = chain.block_by_number(event.number)
+            if event.note == NOTE_FORK:
+                assert event.hash != canonical.hash
+                assert len(event.block.transactions) == max(
+                    0, len(canonical.transactions) - 1)
+            else:
+                assert event.hash == canonical.hash
+
+    def test_every_fork_is_rejoined_in_place(self, sim_result, span):
+        """A fork sequence is immediately followed by the canonical
+        re-deliveries for the same heights, in the same order."""
+        events = FaultyFeed(sim_result.blockchain,
+                            reorg_plan(span)).events()
+        fork_runs = 0
+        position = 0
+        while position < len(events):
+            if events[position].note != NOTE_FORK:
+                position += 1
+                continue
+            fork_runs += 1
+            heights = []
+            while events[position].note == NOTE_FORK:
+                heights.append(events[position].number)
+                position += 1
+            redelivered = events[position:position + len(heights)]
+            assert [e.note for e in redelivered] \
+                == [NOTE_REDELIVER] * len(heights)
+            assert [e.number for e in redelivered] == heights
+            position += len(heights)
+        assert fork_runs > 0
+
+
+class TestOutages:
+    def test_outage_pushes_slots_past_the_window(self, sim_result, span):
+        plan = reorg_plan(span)
+        feed = FaultyFeed(sim_result.blockchain, plan)
+        (lo, hi), = plan.feed_outages
+        assert feed._slot_for(lo) == hi + 1
+        assert feed._slot_for(hi) == hi + 1
+        assert feed._slot_for(lo - 1) == lo - 1
+        assert feed._slot_for(hi + 1) == hi + 1
+
+    def test_back_to_back_outages_cascade(self, sim_result):
+        plan = FaultPlan(seed=1, feed_outages=((5, 7), (8, 10)))
+        feed = FaultyFeed(sim_result.blockchain, plan)
+        assert feed._slot_for(6) == 11
+
+
+class TestChainFeed:
+    def test_clean_feed_is_canonical_in_order_once(self, sim_result,
+                                                   span):
+        chain = sim_result.blockchain
+        events = ChainFeed(chain).events()
+        assert [e.number for e in events] \
+            == [b.number for b in chain.blocks]
+        assert all(e.note == NOTE_ANNOUNCE for e in events)
+        assert [e.index for e in events] == list(range(len(events)))
+
+    def test_window_bounds(self, sim_result, span):
+        first, _ = span
+        events = ChainFeed(sim_result.blockchain, from_block=first + 2,
+                           to_block=first + 5).events()
+        assert [e.number for e in events] \
+            == list(range(first + 2, first + 6))
+
+
+class TestForkBlock:
+    def test_fork_recomputes_gas_and_keeps_receipts(self, sim_result):
+        canonical = next(b for b in sim_result.blockchain.blocks
+                         if len(b.transactions) >= 2)
+        fork = fork_block(canonical, parent_hash="0xparent",
+                          miner="0xother")
+        assert fork.number == canonical.number
+        assert fork.hash != canonical.hash
+        assert fork.receipts == canonical.receipts[:-1]
+        assert fork.gas_used == sum(r.gas_used for r in fork.receipts)
+        assert fork.parent_hash == "0xparent"

@@ -9,7 +9,7 @@ import repro
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_quick_study_end_to_end(self):
         study = repro.quick_study(blocks_per_month=6, seed=2)
