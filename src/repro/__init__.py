@@ -31,7 +31,7 @@ from typing import Optional, Union
 
 from repro.analysis import build_table1
 from repro.core import MevDataset, MevInspector, PriceService
-from repro.engine import RunConfig
+from repro.engine import RunConfig, resolve_config
 from repro.faults import (
     FaultPlan,
     FaultyArchiveNode,
@@ -42,7 +42,11 @@ from repro.reliability import CheckpointStore, RetryPolicy, shield
 from repro.sim import ScenarioConfig, SimulationResult, World, \
     build_paper_scenario
 
-__version__ = "1.4.0"
+#: the single source of the package version — ``pyproject.toml``
+#: derives its ``[project] version`` from this attribute (dynamic
+#: metadata), and the world cache folds it into its digests, so
+#: bumping it here is the whole release step.
+__version__ = "1.5.0"
 
 
 @dataclass
@@ -91,6 +95,10 @@ def run_inspector(result: SimulationResult,
     arguments; its ``fault_profile``/``fault_seed`` build the fault plan
     when ``fault_plan`` is not given explicitly.
     """
+    config = resolve_config(config, warn=False, chunk_size=chunk_size,
+                            checkpoint=checkpoint, resume=resume,
+                            workers=workers, cache_dir=cache_dir,
+                            cache_key=cache_key)
     node, observer, api = (result.node, result.observer,
                            result.flashbots_api)
     if fault_plan is None:
@@ -102,10 +110,7 @@ def run_inspector(result: SimulationResult,
     node, observer, api = shield(node, observer, api, retry=retry)
     inspector = MevInspector(node, PriceService(result.oracle),
                              api, observer)
-    return inspector.run(chunk_size=chunk_size, checkpoint=checkpoint,
-                         resume=resume, workers=workers,
-                         cache_dir=cache_dir, cache_key=cache_key,
-                         config=config)
+    return inspector.run(config=config)
 
 
 def follow_inspector(result: SimulationResult,
@@ -114,7 +119,8 @@ def follow_inspector(result: SimulationResult,
                      checkpoint: Union[CheckpointStore, str, Path,
                                        None] = None,
                      resume: bool = False,
-                     retry: Optional[RetryPolicy] = None) -> MevDataset:
+                     retry: Optional[RetryPolicy] = None,
+                     config: Optional[RunConfig] = None) -> MevDataset:
     """Measure a simulation result in *follow* (streaming) mode.
 
     Instead of one batch pass, the chain is replayed through a block
@@ -124,11 +130,20 @@ def follow_inspector(result: SimulationResult,
     (and the label sources degrade through the usual chaos transports);
     either way the engine's output converges bit-for-bit on the batch
     pipeline over the final canonical chain.  ``checkpoint``/``resume``
-    make the follower crash-restartable mid-stream.
+    make the follower crash-restartable mid-stream.  A
+    :class:`RunConfig` may be passed instead of the loose keyword
+    arguments; its ``confirm_depth`` and fault profile apply here the
+    same way they do in batch mode.
     """
     from repro.faults.feed import ChainFeed, FaultyFeed
     from repro.stream import StreamEngine
 
+    config = resolve_config(
+        config, warn=False, checkpoint=checkpoint, resume=resume,
+        confirm_depth=None if confirm_depth == 3 else confirm_depth)
+    depth = 3 if config.confirm_depth is None else config.confirm_depth
+    if fault_plan is None:
+        fault_plan = _plan_from_config(config, result.node)
     observer, api = result.observer, result.flashbots_api
     feed = ChainFeed(result.blockchain)
     if fault_plan is not None:
@@ -140,8 +155,9 @@ def follow_inspector(result: SimulationResult,
     engine = StreamEngine(
         PriceService(result.oracle),
         first_block=result.node.earliest_block_number(),
-        confirm_depth=confirm_depth, flashbots_api=api,
-        observer=observer, checkpoint=checkpoint, resume=resume)
+        confirm_depth=depth, flashbots_api=api,
+        observer=observer, checkpoint=config.checkpoint,
+        resume=config.resume)
     return engine.run(feed)
 
 
@@ -157,11 +173,10 @@ def follow_study(blocks_per_month: int = 60, seed: int = 7,
     config = ScenarioConfig(blocks_per_month=blocks_per_month, seed=seed,
                             **config_overrides)
     result = build_paper_scenario(config).run()
-    if fault_plan is None:
-        fault_plan = _plan_from_config(run_config, result.node)
     dataset = follow_inspector(result, fault_plan=fault_plan,
                                confirm_depth=confirm_depth,
-                               checkpoint=checkpoint, resume=resume)
+                               checkpoint=checkpoint, resume=resume,
+                               config=run_config)
     return Study(result=result, dataset=dataset)
 
 
@@ -189,7 +204,36 @@ def quick_study(blocks_per_month: int = 60, seed: int = 7,
     return Study(result=result, dataset=dataset)
 
 
+def serve_study(blocks_per_month: int = 60, seed: int = 7,
+                follow: bool = False,
+                fault_plan: Optional[FaultPlan] = None,
+                run_config: Optional[RunConfig] = None,
+                **config_overrides):
+    """Simulate the study window and build a query service over it.
+
+    Returns ``(study, service)`` where ``service`` is a
+    :class:`repro.serve.MevQueryService` ready to go behind
+    :class:`repro.serve.MevHttpServer`.  With ``follow=True`` the
+    dataset is measured in streaming mode first (converging through
+    any faults ``run_config`` implies); either way the service serves
+    the final joined dataset.  ``repro serve`` wires the live-follow
+    variant — a store fed block-by-block during ingestion — directly
+    through :func:`repro.serve.stream_service`.
+    """
+    from repro.serve import service_from_dataset
+
+    if follow:
+        study = follow_study(blocks_per_month=blocks_per_month,
+                             seed=seed, fault_plan=fault_plan,
+                             run_config=run_config, **config_overrides)
+    else:
+        study = quick_study(blocks_per_month=blocks_per_month,
+                            seed=seed, fault_plan=fault_plan,
+                            run_config=run_config, **config_overrides)
+    return study, service_from_dataset(study.dataset)
+
+
 __all__ = ["FaultPlan", "RunConfig", "ScenarioConfig", "SimulationResult",
            "Study", "World", "__version__", "build_paper_scenario",
            "follow_inspector", "follow_study", "quick_study",
-           "run_inspector"]
+           "run_inspector", "serve_study"]

@@ -57,7 +57,7 @@ from repro.chain.transaction import reset_tx_counter
 from repro.core.datasets import MevDataset
 from repro.core.pipeline import MevInspector, plan_chunks
 from repro.core.profit import PriceService
-from repro.engine import ChunkRunner, SerialExecutor
+from repro.engine import ChunkRunner, RunConfig, SerialExecutor
 from repro.faults.feed import FaultyFeed
 from repro.faults.plan import FaultPlan
 from repro.reliability import shield
@@ -75,8 +75,14 @@ from repro.sim import ScenarioConfig, SimulationResult, \
 #: Version 5 added the ``stream`` stage and its convergence gate:
 #: ``stream_identical`` (streaming over a faulted feed vs. the batch
 #: pipeline over the canonical chain) plus the ``stream`` block with
-#: reorg/duplicate counters and p50/p99 confirmation lag.
-BENCH_VERSION = 5
+#: reorg/duplicate counters and p50/p99 confirmation lag.  Version 6
+#: added the ``serve`` block — a seeded HTTP load replay against the
+#: query service (p50/p99 latency, qps, per-kind request counts) —
+#: and its identity gate ``serve_identical`` (every endpoint response
+#: byte-identical between a batch-built store and one fed live by the
+#: streaming engine through the faulted feed); both are ``null``
+#: unless the bench runs with ``--serve``.
+BENCH_VERSION = 6
 
 #: How many rows of each per-stage cProfile table to keep.
 PROFILE_TOP_N = 25
@@ -295,6 +301,8 @@ def run_bench(bpm: int = 60, seed: int = 7,
               quick: bool = False,
               world_cache: Union[str, Path, None] = None,
               profile: bool = False,
+              serve: bool = False,
+              serve_requests: int = 300,
               ) -> Dict[str, Any]:
     """Benchmark the pipeline; returns the BENCH_pipeline.json document.
 
@@ -307,6 +315,10 @@ def run_bench(bpm: int = 60, seed: int = 7,
     fast-vs-reference gate is skipped (``sim_identical: null``).
     ``profile`` attaches per-stage cProfile tables (and inflates every
     wall time; never compare profiled numbers against plain ones).
+    ``serve`` adds the query-service stage: a store fed live by the
+    stream stage's engine is checked byte-for-byte against a
+    batch-built one (``serve_identical``), then ``serve_requests``
+    seeded requests replay over real sockets into the ``serve`` block.
     """
     from repro import run_inspector  # lazy: repro imports the engine
     from repro.core.heuristics import (
@@ -457,6 +469,14 @@ def run_bench(bpm: int = 60, seed: int = 7,
                           confirm_depth=plan.feed.max_reorg_depth,
                           flashbots_api=result.flashbots_api,
                           observer=result.observer)
+    stream_store = None
+    if serve:
+        # The serving stage rides the same engine: its store is built
+        # live, block by block, through every injected reorg.
+        from repro.serve import ColumnStore, StoreFeeder
+
+        stream_store = ColumnStore()
+        engine.subscribe(StoreFeeder(stream_store))
     feed = FaultyFeed(result.blockchain, plan)
     started = _clock()
     stream_dataset = profiler.run("stream", lambda: engine.run(feed))
@@ -464,7 +484,8 @@ def run_bench(bpm: int = 60, seed: int = 7,
     stages.append(_timed("stream", blocks, stream_s))
     batch_dataset = MevInspector(
         ArchiveNode(result.blockchain), prices,
-        result.flashbots_api, result.observer).run(chunk_size=1)
+        result.flashbots_api, result.observer).run(
+            config=RunConfig(chunk_size=1))
     stream_identical = \
         _fingerprint(stream_dataset) == _fingerprint(batch_dataset)
     lags = engine.report.confirmation_lags
@@ -480,6 +501,32 @@ def run_bench(bpm: int = 60, seed: int = 7,
         "lag_p50_blocks": _percentile(lags, 50),
         "lag_p99_blocks": _percentile(lags, 99),
     }
+
+    # Serving stage: the identity gate first (batch-built store vs the
+    # live-fed one above, byte-for-byte per endpoint), then a seeded
+    # load replay over real sockets.  The latency numbers are only a
+    # result once the identity gate passes — fast wrong answers are
+    # not a serving layer.
+    serve_identical: Optional[bool] = None
+    serve_info: Optional[Dict[str, Any]] = None
+    if serve:
+        import asyncio
+
+        from repro.serve import (build_mix, responses_identical,
+                                 serve_and_replay, service_from_dataset)
+        from repro.serve.service import MevQueryService
+
+        batch_query = service_from_dataset(batch_dataset)
+        assert stream_store is not None
+        stream_query = MevQueryService(stream_store)
+        serve_identical = responses_identical(batch_query, stream_query)
+        mix = build_mix(first, last, requests=serve_requests, seed=seed)
+        started = _clock()
+        load = profiler.run(
+            "serve", lambda: asyncio.run(
+                serve_and_replay(batch_query, mix, seed=seed)))
+        stages.append(_timed("serve", blocks, _clock() - started))
+        serve_info = load.to_dict()
 
     report: Dict[str, Any] = {
         "version": BENCH_VERSION,
@@ -505,6 +552,8 @@ def run_bench(bpm: int = 60, seed: int = 7,
         "indexed_matches_linear": indexed_matches_linear,
         "stream_identical": stream_identical,
         "stream": stream_info,
+        "serve_identical": serve_identical,
+        "serve": serve_info,
     }
     if profile:
         report["profile"] = dict(profiler.tables)
@@ -571,6 +620,19 @@ def render_report(report: Dict[str, Any]) -> str:
                     f"{stream_info.get('lag_p50_blocks')}/"
                     f"{stream_info.get('lag_p99_blocks')} blocks)")
         lines.append("  streamed identical to batch: " + verdict)
+    serve_identical = report.get("serve_identical")
+    if serve_identical is not None:
+        serve_info = report.get("serve") or {}
+        lines.append(
+            f"  serve replay: {serve_info.get('requests', 0)} requests "
+            f"over {serve_info.get('connections', 0)} conns, "
+            f"{serve_info.get('qps', 0.0):.0f} qps, p50/p99 "
+            f"{serve_info.get('p50_ms', 0.0):.3f}/"
+            f"{serve_info.get('p99_ms', 0.0):.3f} ms, "
+            f"{serve_info.get('not_modified', 0)} not-modified, "
+            f"{serve_info.get('errors', 0)} errors")
+        lines.append("  serve responses identical batch vs stream: "
+                     + ("yes" if serve_identical else "NO"))
     lint_s = report.get("lint_s")
     if lint_s is not None:
         lines.append(f"  syntactic lint of own tree: {lint_s:.3f}s")

@@ -11,7 +11,11 @@ Usage::
     python -m repro run --follow                    # streaming (follow) mode
     python -m repro stream --fault-profile reorg    # hostile-feed follower
     python -m repro export PATH [--bpm N] [--seed S]  # JSONL dataset
+    python -m repro serve [--port P]                # HTTP query service
+    python -m repro serve --follow --fault-profile reorg  # live follow
+    python -m repro serve --follow --smoke          # identity smoke gate
     python -m repro bench [--quick]                 # wall-clock benchmark
+    python -m repro bench --serve                   # + HTTP load replay
     python -m repro lint [PATHS ...]                # invariant linter
 """
 
@@ -125,6 +129,40 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--resume", action="store_true",
                         help="reuse payloads from an existing stream "
                              "checkpoint instead of recomputing")
+    serve = sub.add_parser(
+        "serve",
+        help="serve the measured MEV dataset over HTTP (per-block and "
+             "per-range rows, Table-1 aggregates, leaderboards, "
+             "coverage)")
+    _add_common(serve)
+    serve.add_argument("--follow", action="store_true",
+                       help="feed the served store live from the "
+                            "streaming engine instead of snapshotting "
+                            "a completed batch run")
+    serve.add_argument("--fault-profile", choices=("none", "reorg"),
+                       default="none",
+                       help="with --follow: inject seeded feed faults "
+                            "(reorgs, delays, duplicates) while "
+                            "serving (default: none)")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the injected feed faults "
+                            "(default 0)")
+    serve.add_argument("--confirm-depth", type=int, default=3,
+                       metavar="K",
+                       help="with --follow: blocks behind the head "
+                            "before a streamed block is confirmed "
+                            "(default 3)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0: pick a free port "
+                            "and print it)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="with --follow: ingest the whole feed with "
+                            "HTTP probes after every reorg "
+                            "retraction, then exit 0 only if the "
+                            "stream-built store serves byte-identical "
+                            "responses to a batch-built one")
     export = sub.add_parser("export",
                             help="write the detected MEV dataset as "
                                  "JSONL")
@@ -158,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "top-25 cumulative tables to "
                             "<output>.profile.txt (inflates wall "
                             "times; for attribution, not comparison)")
+    bench.add_argument("--serve", action="store_true",
+                       help="add the query-service stage: feed a "
+                            "store live from the stream engine, gate "
+                            "on byte-identical responses vs the "
+                            "batch-built store, then replay a seeded "
+                            "HTTP load mix (p50/p99/qps)")
+    bench.add_argument("--serve-requests", type=int, default=300,
+                       metavar="N",
+                       help="requests in the serve replay mix "
+                            "(default 300)")
     lint = sub.add_parser("lint",
                           help="run the domain-invariant linter "
                                "(R001–R006; --deep adds R101–R103) "
@@ -403,7 +451,8 @@ def run_stream_command(args: argparse.Namespace) -> int:
 
     batch = MevInspector(ArchiveNode(result.blockchain), prices,
                          result.flashbots_api,
-                         result.observer).run(chunk_size=1)
+                         result.observer).run(
+                             config=RunConfig(chunk_size=1))
     stream_quality = dataset.quality.to_dict()
     batch_quality = batch.quality.to_dict()
     for document in (stream_quality, batch_quality):
@@ -424,6 +473,150 @@ def run_stream_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve_command(args: argparse.Namespace) -> int:
+    """Serve the measured MEV dataset over HTTP.
+
+    Batch mode snapshots a completed pipeline run into the store and
+    serves it.  ``--follow`` instead feeds the store live from the
+    streaming engine — every indexed block, every reorg retraction,
+    and the final label reconcile land in the served rows as they
+    happen.  ``--smoke`` drives a follow run to completion, probing
+    over HTTP after every retraction, and exits 0 only if the
+    stream-built store serves byte-identical responses to a
+    batch-built one (the identity rule, end to end over a socket).
+    """
+    import asyncio
+
+    from repro import ScenarioConfig, build_paper_scenario
+    from repro.chain.node import ArchiveNode
+    from repro.core import MevInspector, PriceService
+    from repro.faults import FaultPlan
+    from repro.faults.feed import ChainFeed, FaultyFeed
+    from repro.serve import (MevHttpServer, probe_once,
+                             responses_identical, service_from_dataset,
+                             stream_service)
+    from repro.stream import StreamSubscriber
+
+    if (args.smoke or args.fault_profile != "none") and not args.follow:
+        print("ERROR: --smoke and --fault-profile require --follow",
+              file=sys.stderr)
+        return 2
+
+    print(f"Simulating 23 months at {args.bpm} blocks/month "
+          f"(seed {args.seed}) …", file=sys.stderr)
+    result = build_paper_scenario(
+        ScenarioConfig(blocks_per_month=args.bpm, seed=args.seed)).run()
+    prices = PriceService(result.oracle)
+    first = result.node.earliest_block_number()
+
+    def batch_dataset():
+        return MevInspector(
+            ArchiveNode(result.blockchain), prices,
+            result.flashbots_api, result.observer).run(
+                config=RunConfig(chunk_size=1))
+
+    if not args.follow:
+        service = service_from_dataset(batch_dataset())
+        try:
+            return asyncio.run(_serve_until_interrupted(
+                MevHttpServer(service, host=args.host,
+                              port=args.port)))
+        except KeyboardInterrupt:
+            return 0
+
+    class RetractionLog(StreamSubscriber):
+        """Heights whose served rows a reorg just superseded."""
+
+        def __init__(self) -> None:
+            self.heights: List[int] = []
+
+        def block_retracted(self, height, block_hash,
+                            rows_retracted) -> None:
+            self.heights.append(height)
+
+    config = RunConfig(confirm_depth=args.confirm_depth)
+    service, engine = stream_service(
+        prices, first, flashbots_api=result.flashbots_api,
+        observer=result.observer, config=config)
+    retractions = RetractionLog()
+    engine.subscribe(retractions)
+    if args.fault_profile == "none":
+        feed: object = ChainFeed(result.blockchain)
+    else:
+        last = result.node.latest_block_number()
+        plan = FaultPlan.from_profile(args.fault_profile,
+                                      args.fault_seed, first, last)
+        feed = FaultyFeed(result.blockchain, plan)
+        print(f"Injecting '{args.fault_profile}' feed faults "
+              f"(fault seed {args.fault_seed}) …", file=sys.stderr)
+
+    async def follow() -> int:
+        server = MevHttpServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {server.base_url}", file=sys.stderr)
+        probed = 0
+        probe_errors = 0
+        try:
+            for event in feed:
+                engine.ingest(event)
+                # Yield so in-flight connections are handled between
+                # announcements — the store is shared, not snapshotted.
+                await asyncio.sleep(0)
+                while probed < len(retractions.heights):
+                    height = retractions.heights[probed]
+                    probed += 1
+                    status, _, _ = await probe_once(
+                        args.host, server.port or 0,
+                        f"/v1/blocks/{height}/mev")
+                    if status != 200:
+                        probe_errors += 1
+            engine.finalize()
+            report = engine.report
+            print(f"followed {report.events} feed events: "
+                  f"{report.reorgs} reorgs, {report.retracted_rows} "
+                  f"rows retracted across {report.retracted_blocks} "
+                  f"blocks; {probed} mid-stream retraction probes "
+                  f"({probe_errors} errors)", file=sys.stderr)
+            if not args.smoke:
+                print("finalized; serving (Ctrl-C to stop)",
+                      file=sys.stderr)
+                await server.serve_forever()
+                return 0
+            identical = responses_identical(
+                service_from_dataset(batch_dataset()), service)
+            print("serve responses identical batch vs stream: "
+                  + ("yes" if identical else "NO"))
+            if probe_errors or not identical:
+                print("ERROR: stream-built store diverged from the "
+                      "batch-built store", file=sys.stderr)
+                return 1
+            return 0
+        except KeyboardInterrupt:
+            return 0
+        finally:
+            await server.stop()
+
+    try:
+        return asyncio.run(follow())
+    except KeyboardInterrupt:
+        return 0
+
+
+async def _serve_until_interrupted(server) -> int:
+    """Start ``server`` and block until Ctrl-C."""
+    await server.start()
+    print(f"serving on {server.base_url}", file=sys.stderr)
+    print("try: curl " + server.base_url + "/v1/aggregates/table1",
+          file=sys.stderr)
+    try:
+        await server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
 def run_bench_command(args: argparse.Namespace) -> int:
     """Run the wall-clock benchmark; nonzero exit on divergence.
 
@@ -441,7 +634,8 @@ def run_bench_command(args: argparse.Namespace) -> int:
     report = run_bench(bpm=args.bpm, seed=args.seed, workers=workers,
                        chunk_size=args.chunk_size, quick=args.quick,
                        world_cache=args.world_cache,
-                       profile=args.profile)
+                       profile=args.profile, serve=args.serve,
+                       serve_requests=args.serve_requests)
     write_report(report, args.output)
     print(render_report(report))
     print(f"wrote {args.output}")
@@ -466,6 +660,10 @@ def run_bench_command(args: argparse.Namespace) -> int:
     if report.get("stream_identical") is False:
         print("ERROR: streamed dataset diverged from the batch "
               "pipeline over the canonical chain", file=sys.stderr)
+        return 1
+    if report.get("serve_identical") is False:
+        print("ERROR: stream-built store served responses that "
+              "diverged from the batch-built store", file=sys.stderr)
         return 1
     return 0
 
@@ -493,6 +691,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_bench_command(args)
     if args.command == "stream":
         return run_stream_command(args)
+    if args.command == "serve":
+        return run_serve_command(args)
     study = _study(args)
     if args.command == "table1":
         print_table1(study)

@@ -42,7 +42,7 @@ from repro.core.datasets import MevDataset
 from repro.core.flashbots_join import annotate_flashbots
 from repro.core.private_inference import annotate_privacy
 from repro.core.profit import PriceService
-from repro.engine.config import RunConfig, ensure_unmixed
+from repro.engine.config import RunConfig, resolve_config
 from repro.engine.executors import ChunkStats, Executor, make_executor
 from repro.engine.merge import (
     chunk_key,
@@ -228,20 +228,19 @@ class MevInspector:
         and ``resume=True`` continues a crashed run from where it
         stopped.  ``workers=N`` fans chunks out over N worker processes
         and ``cache_dir`` memoizes per-chunk artifacts on disk — both
-        are guaranteed bit-identical to the serial, uncached run.  A
-        :class:`RunConfig` may be passed instead of (never alongside)
-        the loose keyword arguments.
+        are guaranteed bit-identical to the serial, uncached run.
+
+        The canonical call passes one :class:`RunConfig` (see
+        :mod:`repro.engine.config`); the loose keyword arguments are a
+        deprecated compatibility layer folded into a config by
+        :func:`~repro.engine.config.resolve_config`, never mixed with
+        an explicit ``config=``.
         """
-        ensure_unmixed(config, from_block=from_block, to_block=to_block,
-                       chunk_size=chunk_size, checkpoint=checkpoint,
-                       resume=resume, workers=workers,
-                       cache_dir=cache_dir, cache_key=cache_key)
-        if config is None:
-            config = RunConfig(
-                from_block=from_block, to_block=to_block,
-                chunk_size=chunk_size, checkpoint=checkpoint,
-                resume=resume, workers=workers, cache_dir=cache_dir,
-                cache_key=cache_key)
+        config = resolve_config(
+            config, from_block=from_block, to_block=to_block,
+            chunk_size=chunk_size, checkpoint=checkpoint,
+            resume=resume, workers=workers,
+            cache_dir=cache_dir, cache_key=cache_key)
 
         store = self._store(config.checkpoint)
         bounds = self._resolve_range(config.from_block, config.to_block)

@@ -26,6 +26,7 @@ from repro.engine.config import (
     RunConfig,
     config_from_kwargs,
     ensure_unmixed,
+    resolve_config,
 )
 from repro.engine.executors import (
     CachedExecutor,
@@ -65,5 +66,6 @@ __all__ = [
     "make_executor",
     "merge_flash_txs",
     "merge_rows",
+    "resolve_config",
     "sum_chunk_stats",
 ]

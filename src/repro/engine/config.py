@@ -1,12 +1,29 @@
 """Run configuration: one frozen object instead of a kwarg pile.
 
 ``MevInspector.run`` grew a parameter per feature (chunking in PR 2,
-workers and caching in PR 3); :class:`RunConfig` freezes the whole
-execution contract — range, chunking, checkpointing, fault profile,
-parallelism, caching — into a single value the CLI builds once and every
-layer passes through unchanged.  The loose kwargs remain accepted for
-compatibility, but a config and loose kwargs must not be mixed: the run
-takes exactly one source of truth.
+workers and caching in PR 3, follow-mode confirmation depth in PR 7);
+:class:`RunConfig` freezes the whole execution contract — range,
+chunking, checkpointing, fault profile, parallelism, caching,
+confirmation depth — into a single value the CLI builds once and every
+layer passes through unchanged.
+
+**Canonical construction.**  This is the one documented way to
+configure an execution surface — ``MevInspector.run``,
+``repro.run_inspector``, ``repro.follow_inspector``,
+``repro.follow_study``, ``repro.quick_study``, and the
+``repro.serve`` builders all take the same object::
+
+    config = RunConfig(from_block=0, to_block=299, chunk_size=50,
+                       workers=4, fault_profile="reorg", fault_seed=1)
+    dataset = MevInspector(node, prices, api, observer).run(
+        config=config)
+
+The loose keyword arguments on ``MevInspector.run`` remain accepted as
+a thin compatibility layer: :func:`resolve_config` folds them into a
+``RunConfig`` and emits a :class:`DeprecationWarning`.  A config and
+non-default loose kwargs must never be mixed — the run takes exactly
+one source of truth, and :func:`ensure_unmixed` rejects the ambiguity
+with a :class:`ValueError`.
 
 The cache digest lives here too: a :class:`CachedExecutor` artifact is
 only valid for the exact source configuration that produced it, so the
@@ -18,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -48,11 +66,18 @@ class RunConfig:
     workers: int = 1
     cache_dir: Union[str, Path, None] = None
     cache_key: Optional[str] = field(default=None)
+    #: follow-mode confirmation watermark depth; ``None`` leaves the
+    #: streaming engine's default in force (batch runs ignore it)
+    confirm_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(
                 f"workers must be >= 1, got {self.workers}")
+        if self.confirm_depth is not None and self.confirm_depth < 0:
+            raise ValueError(
+                f"confirm_depth must be >= 0 or None, got "
+                f"{self.confirm_depth}")
         if self.chunk_size is not None and self.chunk_size < 0:
             raise ValueError(
                 f"chunk_size must be >= 0 or None, got "
@@ -106,3 +131,33 @@ def ensure_unmixed(config: Optional[RunConfig],
         raise ValueError(
             "pass either a RunConfig or loose keyword arguments, not "
             f"both (loose values given for: {', '.join(clashes)})")
+
+
+def resolve_config(config: Optional[RunConfig], warn: bool = True,
+                   stacklevel: int = 3, **loose: Any) -> RunConfig:
+    """The single funnel from any call surface to one ``RunConfig``.
+
+    Every execution entry point routes here: an explicit ``config``
+    passes through untouched (after :func:`ensure_unmixed` rejects any
+    clashing loose values); otherwise the loose kwargs build the
+    config.  With ``warn=True`` a non-default loose kwarg draws a
+    :class:`DeprecationWarning` — the loose surface is the historical
+    compat layer, and ``RunConfig`` (see the module docstring) is the
+    canonical construction.  Internal wrappers whose own signatures
+    are the supported convenience surface pass ``warn=False``.
+    """
+    ensure_unmixed(config, **loose)
+    if config is not None:
+        return config
+    if warn:
+        defaults = {f.name: f.default for f in fields(RunConfig)}
+        given = [name for name, value in sorted(loose.items())
+                 if value != defaults.get(name)]
+        if given:
+            warnings.warn(
+                "loose keyword arguments "
+                f"({', '.join(given)}) are deprecated; pass "
+                "config=RunConfig(...) instead (see "
+                "repro.engine.config for the canonical construction)",
+                DeprecationWarning, stacklevel=stacklevel)
+    return RunConfig(**loose)

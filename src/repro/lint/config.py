@@ -27,7 +27,8 @@ except ImportError:  # pragma: no cover - exercised only on py<3.11
     tomllib = None  # type: ignore[assignment]
 
 #: Rule ids shipped with the linter, in report order.
-DEFAULT_RULES = ("R001", "R002", "R003", "R004", "R005", "R006")
+DEFAULT_RULES = ("R001", "R002", "R003", "R004", "R005", "R006",
+                 "R007")
 
 
 @dataclass

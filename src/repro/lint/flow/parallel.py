@@ -40,6 +40,11 @@ DEFAULT_ROOTS = (
     "repro.engine.executors:_run_chunk_in_worker",
     "repro.engine.executors:ParallelExecutor.execute",
     "repro.stream.engine:StreamEngine.ingest",
+    # serve handler coroutines: one per connection, interleaved by the
+    # event loop — shared module state here is the same hazard as
+    # forked state in the chunk engine
+    "repro.serve.http:MevHttpServer._handle_connection",
+    "repro.serve.service:MevQueryService.handle",
 )
 
 DEFAULT_ALLOW = (

@@ -6,6 +6,7 @@ from repro.lint.rules.layering import LayeringRule
 from repro.lint.rules.event_schema import EventSchemaRule
 from repro.lint.rules.api_hygiene import ApiHygieneRule
 from repro.lint.rules.silent_except import SilentExceptRule
+from repro.lint.rules.banned_api import BannedApiRule
 
 __all__ = [
     "WeiSafetyRule",
@@ -14,4 +15,5 @@ __all__ = [
     "EventSchemaRule",
     "ApiHygieneRule",
     "SilentExceptRule",
+    "BannedApiRule",
 ]

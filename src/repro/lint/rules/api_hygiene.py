@@ -28,7 +28,7 @@ from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
 DEFAULT_PACKAGES = ("repro.core", "repro.engine", "repro.chain.index",
-                    "repro.chain.mempool")
+                    "repro.chain.mempool", "repro.serve")
 
 _IMPLICIT = {"self", "cls"}
 

@@ -13,9 +13,16 @@ Forbidden edges (importer package → imported package)::
     repro.analysis  ↛ repro.sim, repro.agents
     repro.chain     ↛ repro.core, repro.engine, repro.analysis,
                       repro.sim, repro.agents, repro.flashbots,
-                      repro.stream
-    repro.sim       ↛ repro.stream
-    repro.stream    ↛ repro.sim, repro.agents
+                      repro.stream, repro.serve
+    repro.sim       ↛ repro.stream, repro.serve
+    repro.stream    ↛ repro.sim, repro.agents, repro.serve
+    repro.serve     ↛ repro.sim, repro.agents
+    (and nothing serve consumes may import it back: core, engine,
+    analysis, chain, faults, reliability, flashbots, agents, dex,
+    lending and stream are all forbidden importers of repro.serve —
+    serving sits at the top of the measurement stack, consuming
+    core + stream, consumed only by the CLI, the bench harness, and
+    the package front door)
 
 The ``repro.chain`` edges also keep the read-optimized index
 (``repro.chain.index``) a pure substrate service: it may be *used* by
@@ -52,9 +59,28 @@ DEFAULT_EDGES: Tuple[Tuple[str, str], ...] = (
     ("repro.chain", "repro.agents"),
     ("repro.chain", "repro.flashbots"),
     ("repro.chain", "repro.stream"),
+    ("repro.chain", "repro.serve"),
     ("repro.sim", "repro.stream"),
+    ("repro.sim", "repro.serve"),
     ("repro.stream", "repro.sim"),
     ("repro.stream", "repro.agents"),
+    # the serving layer is a pure consumer: it may import core/stream
+    # (and the substrate), but no layer it consumes may import it back
+    # — StreamEngine publishes through StreamSubscriber precisely so
+    # this edge stays one-way — and serve itself stays as blind to
+    # simulator ground truth as the detectors it serves.
+    ("repro.serve", "repro.sim"),
+    ("repro.serve", "repro.agents"),
+    ("repro.core", "repro.serve"),
+    ("repro.engine", "repro.serve"),
+    ("repro.analysis", "repro.serve"),
+    ("repro.stream", "repro.serve"),
+    ("repro.faults", "repro.serve"),
+    ("repro.reliability", "repro.serve"),
+    ("repro.flashbots", "repro.serve"),
+    ("repro.agents", "repro.serve"),
+    ("repro.dex", "repro.serve"),
+    ("repro.lending", "repro.serve"),
 )
 
 DEFAULT_ALLOW = ("repro.sim.calendar",)

@@ -49,7 +49,6 @@ from repro.reliability.sources import (
     ReliableFlashbotsApi,
     ReliableMempoolObserver,
     shield,
-    shield_sources,
 )
 
 __all__ = [
@@ -78,5 +77,4 @@ __all__ = [
     "adapt",
     "render_key",
     "shield",
-    "shield_sources",
 ]

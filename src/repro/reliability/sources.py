@@ -9,13 +9,14 @@ one-line ``fetch(op, key)`` delegation, while cheap local metadata
 (observation windows, downtime ranges, coverage queries) forwards
 directly — there is no transport to fail.
 
-``shield`` wraps the pipeline's three sources at once;
-``shield_sources`` is the PR 2 name for it, kept as a deprecated shim.
+``shield`` wraps the pipeline's three sources at once.  (Its PR 2
+spelling lived through a two-release deprecation shim and was removed
+in 1.5.0; the R007 banned-api lint rule keeps the old name from
+creeping back in.)
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional, Set, Tuple, Type, TypeVar
 
 from repro.chain.block import Block
@@ -46,7 +47,6 @@ __all__ = [
     "ResilientCaller",
     "SourceStats",
     "shield",
-    "shield_sources",
 ]
 
 
@@ -230,22 +230,3 @@ def shield(node: object,
     shielded_api = None if flashbots_api is None else \
         ReliableFlashbotsApi(flashbots_api, retry, breaker("flashbots"))
     return shielded_node, shielded_observer, shielded_api
-
-
-def shield_sources(node: object,
-                   observer: Optional[object] = None,
-                   flashbots_api: Optional[object] = None,
-                   retry: Optional[RetryPolicy] = None,
-                   failure_threshold: int = 5,
-                   cooldown_calls: int = 10,
-                   ) -> Tuple[ReliableArchiveNode,
-                              Optional[ReliableMempoolObserver],
-                              Optional[ReliableFlashbotsApi]]:
-    """Deprecated PR 2 spelling of :func:`shield` (same semantics)."""
-    warnings.warn(
-        "shield_sources() is deprecated; use "
-        "repro.reliability.shield() (same arguments and return)",
-        DeprecationWarning, stacklevel=2)
-    return shield(node, observer, flashbots_api, retry=retry,
-                  failure_threshold=failure_threshold,
-                  cooldown_calls=cooldown_calls)

@@ -21,6 +21,7 @@ from repro.stream.engine import (
     StreamDivergenceError,
     StreamEngine,
     StreamReport,
+    StreamSubscriber,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "StreamDivergenceError",
     "StreamEngine",
     "StreamReport",
+    "StreamSubscriber",
 ]

@@ -57,7 +57,38 @@ from repro.reliability.checkpoint import CheckpointError, CheckpointStore
 from repro.reliability.quality import DataQualityReport
 
 __all__ = ["RetractionEntry", "StreamDivergenceError", "StreamEngine",
-           "StreamReport"]
+           "StreamReport", "StreamSubscriber"]
+
+
+class StreamSubscriber:
+    """Downstream observer of the engine's block-level state changes.
+
+    The hook a serving layer (or any other consumer) attaches through
+    :meth:`StreamEngine.subscribe` instead of re-running batches.  The
+    engine calls these synchronously from :meth:`StreamEngine.ingest`
+    / :meth:`StreamEngine.finalize`; the stream package stays blind to
+    who is listening (it must never import ``repro.serve`` — the R003
+    layering edge points the other way).
+
+    Every method is a no-op here so subscribers override only what
+    they consume.
+    """
+
+    def block_indexed(self, height: int, block_hash: Hash32,
+                      rows: List[Dict[str, Any]]) -> None:
+        """``height`` joined the follower chain with these detection
+        rows (detection-time labels; joins happen at finalize)."""
+
+    def block_retracted(self, height: int, block_hash: Hash32,
+                        rows_retracted: int) -> None:
+        """A reorg retracted ``height``; its rows are no longer part
+        of any servable view."""
+
+    def watermark_advanced(self, height: int) -> None:
+        """The confirmation watermark moved up to ``height``."""
+
+    def stream_finalized(self, dataset: MevDataset) -> None:
+        """The engine assembled the final joined dataset."""
 
 
 class StreamDivergenceError(Exception):
@@ -172,6 +203,7 @@ class StreamEngine:
         #: announcements above ``head + 1``, last-wins per height
         self._future: Dict[int, Block] = {}
         self._watermark = first_block - 1
+        self._subscribers: List[StreamSubscriber] = []
         self._store = self._make_store(checkpoint)
         self._resumed = False
         self._saved: Dict[int, Dict[str, Any]] = {}
@@ -216,6 +248,12 @@ class StreamEngine:
                        for height, payload
                        in sorted(self._payloads.items())},
         })
+
+    # Subscribers ---------------------------------------------------------
+
+    def subscribe(self, subscriber: StreamSubscriber) -> None:
+        """Attach a :class:`StreamSubscriber` to this engine's feed."""
+        self._subscribers.append(subscriber)
 
     # Introspection -------------------------------------------------------
 
@@ -274,6 +312,9 @@ class StreamEngine:
                     f"detection failed for streamed block {number}")
         self._payloads[number] = payload
         self._hashes[number] = block.hash
+        for subscriber in self._subscribers:
+            subscriber.block_indexed(number, block.hash,
+                                     payload["rows"])
 
     def _reorg(self, block: Block) -> None:
         """Replace the follower's suffix from ``block.number`` up."""
@@ -299,6 +340,8 @@ class StreamEngine:
             self.report.ledger.append(RetractionEntry(
                 height=height, block_hash=stale_hash,
                 rows_retracted=rows))
+            for subscriber in self._subscribers:
+                subscriber.block_retracted(height, stale_hash, rows)
         if number <= self.follower.blocks[0].number:
             # The fork replaces the entire streamed window: start the
             # follower over (the chain store cannot hold zero blocks
@@ -333,10 +376,14 @@ class StreamEngine:
         if head is None:
             return
         target = head - self.confirm_depth
+        advanced = self._watermark < target
         while self._watermark < target:
             self._watermark += 1
             self.report.confirmed += 1
             self.report.confirmation_lags.append(head - self._watermark)
+        if advanced:
+            for subscriber in self._subscribers:
+                subscriber.watermark_advanced(self._watermark)
 
     # Completion ----------------------------------------------------------
 
@@ -360,11 +407,17 @@ class StreamEngine:
         if head is None:
             dataset = MevDataset()
             dataset.quality = DataQualityReport()
+            for subscriber in self._subscribers:
+                subscriber.stream_finalized(dataset)
             return dataset
+        advanced = self._watermark < head
         while self._watermark < head:
             self._watermark += 1
             self.report.confirmed += 1
             self.report.confirmation_lags.append(head - self._watermark)
+        if advanced:
+            for subscriber in self._subscribers:
+                subscriber.watermark_advanced(self._watermark)
         self._save()
         first = self.follower.blocks[0].number
         chunks = [(height, height) for height in range(first, head + 1)]
@@ -383,4 +436,6 @@ class StreamEngine:
                        sum_chunk_stats(chunks, {}), self.node,
                        self.flashbots_api, self.observer)
         dataset.quality = quality
+        for subscriber in self._subscribers:
+            subscriber.stream_finalized(dataset)
         return dataset

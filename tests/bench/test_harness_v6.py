@@ -1,8 +1,9 @@
-"""Schema and gate tests for the v5 benchmark harness.
+"""Schema and gate tests for the v6 benchmark harness.
 
 Small scenarios only — these tests check the *shape* of the report
-(stages, gates, profile tables) and that the gates are actually wired
-to the data they claim to check, never wall-clock numbers.
+(stages, gates, the serve block, profile tables) and that the gates
+are actually wired to the data they claim to check, never wall-clock
+numbers.
 """
 
 import json
@@ -13,9 +14,9 @@ SMALL = dict(bpm=3, seed=5, workers=(1, 2), quick=False)
 
 
 class TestReportSchema:
-    def test_v5_document(self, tmp_path):
+    def test_v6_document(self, tmp_path):
         report = run_bench(**SMALL)
-        assert report["version"] == 5
+        assert report["version"] == 6
         stage_names = [s["stage"] for s in report["stages"]]
         assert stage_names[0] == "simulate"
         for required in ("detection", "detection_indexed",
@@ -27,10 +28,15 @@ class TestReportSchema:
         assert report["simulate_s"] > 0
         assert report["lint_s"] > 0  # syntactic self-lint, since v4
         assert "profile" not in report  # only on request
+        # Without --serve the serve block is explicitly null, not
+        # absent — CI parses both keys unconditionally.
+        assert report["serve"] is None
+        assert report["serve_identical"] is None
+        assert "serve" not in stage_names
         # The document round-trips as JSON (CI parses it).
         path = tmp_path / "bench.json"
         write_report(report, path)
-        assert json.loads(path.read_text())["version"] == 5
+        assert json.loads(path.read_text())["version"] == 6
 
     def test_fast_vs_reference_gate_runs_and_passes(self):
         report = run_bench(**SMALL)
@@ -49,6 +55,26 @@ class TestReportSchema:
         assert set(report["profile"]) == stage_names
         for table in report["profile"].values():
             assert "cumulative" in table  # a real pstats table
+
+
+class TestServeStage:
+    def test_serve_block_and_identity_gate(self):
+        report = run_bench(serve=True, serve_requests=80, **SMALL)
+        assert report["serve_identical"] is True
+        stage_names = [s["stage"] for s in report["stages"]]
+        assert "serve" in stage_names
+        serve = report["serve"]
+        assert serve["seed"] == SMALL["seed"]
+        # walks and conditional revalidations add extra requests
+        assert serve["requests"] >= 80
+        assert serve["errors"] == 0
+        assert serve["qps"] > 0
+        assert serve["p99_ms"] >= serve["p50_ms"] > 0
+        assert serve["connections"] > 0
+        assert sum(serve["by_kind"].values()) == 80
+        # The serve stage rode a genuinely hostile stream.
+        assert report["stream"]["reorgs"] > 0
+        assert report["stream_identical"] is True
 
 
 class TestWorldCacheInteraction:

@@ -1,4 +1,4 @@
-"""The unified ``DataSource`` protocol, its adapters, and the shims."""
+"""The unified ``DataSource`` protocol, its adapters, and ``shield``."""
 
 import pytest
 
@@ -12,7 +12,6 @@ from repro.reliability import (
     adapt,
     render_key,
     shield,
-    shield_sources,
 )
 
 
@@ -95,12 +94,21 @@ class TestReliableSource:
             [b.number for b in sim_result.node.iter_blocks(1, 3)]
 
 
-class TestDeprecatedShim:
-    def test_shield_sources_warns_and_delegates(self, sim_result):
-        with pytest.warns(DeprecationWarning, match="shield"):
-            node, observer, api = shield_sources(
-                sim_result.node, sim_result.observer,
-                sim_result.flashbots_api)
+class TestShimRemoved:
+    """The PR 2 spelling finished its deprecation cycle in 1.5.0."""
+
+    def test_shield_sources_is_gone(self):
+        import repro.reliability as reliability
+        import repro.reliability.sources as sources
+
+        assert not hasattr(reliability, "shield" "_sources")
+        assert not hasattr(sources, "shield" "_sources")
+        assert "shield" "_sources" not in reliability.__all__
+
+    def test_shield_wraps_all_three_sources(self, sim_result):
+        node, observer, api = shield(
+            sim_result.node, sim_result.observer,
+            sim_result.flashbots_api)
         assert node.inner is sim_result.node
         assert observer.inner is sim_result.observer
         assert api.inner is sim_result.flashbots_api

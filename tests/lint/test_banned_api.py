@@ -1,0 +1,92 @@
+"""R007 — banned identifiers whose deprecation cycle has ended.
+
+The rule must catch every way a removed name can sneak back in:
+definition, import (with or without an alias), attribute access, bare
+reference, and string smuggling through ``__all__``/``getattr``.
+"""
+
+from tests.lint.conftest import run_lint, rule_ids
+
+BANNED = "shield" "_sources"  # avoid the literal token in one piece
+
+
+class TestPositive:
+    def test_definition_flagged(self):
+        findings = run_lint(
+            f"""
+            def {BANNED}(sources):
+                return sources
+            """, module="repro.reliability.srcx", rules=["R007"])
+        assert rule_ids(findings) == ["R007"]
+        assert BANNED in findings[0].message
+
+    def test_import_flagged(self):
+        findings = run_lint(
+            f"""
+            from repro.reliability import {BANNED}
+            """, module="repro.core.userx", rules=["R007"])
+        assert rule_ids(findings) == ["R007"]
+
+    def test_aliased_import_flagged(self):
+        findings = run_lint(
+            f"""
+            from repro.reliability import {BANNED} as harden
+            """, module="repro.core.userx", rules=["R007"])
+        assert rule_ids(findings) == ["R007"]
+
+    def test_attribute_reference_flagged(self):
+        findings = run_lint(
+            f"""
+            import repro.reliability
+
+            def wire(node):
+                return repro.reliability.{BANNED}(node)
+            """, module="repro.core.userx", rules=["R007"])
+        assert "R007" in rule_ids(findings)
+
+    def test_string_smuggling_flagged(self):
+        findings = run_lint(
+            f"""
+            import repro.reliability as r
+
+            __all__ = ["{BANNED}"]
+
+            def wire(node):
+                return getattr(r, "{BANNED}")(node)
+            """, module="repro.core.userx", rules=["R007"])
+        assert rule_ids(findings).count("R007") >= 2
+
+
+class TestNegative:
+    def test_similar_names_pass(self):
+        findings = run_lint(
+            """
+            def shield(sources):
+                return sources
+
+            def shielded_sources(sources):
+                return shield(sources)
+            """, module="repro.reliability.srcx", rules=["R007"])
+        assert findings == []
+
+    def test_lint_package_is_exempt(self):
+        # The rule's own configuration names the banned identifiers;
+        # repro.lint must not flag itself.
+        findings = run_lint(
+            f"""
+            DEFAULT_BANNED = ("{BANNED}",)
+            """, module="repro.lint.rules.banned_apix",
+            rules=["R007"])
+        assert findings == []
+
+    def test_configured_list_extends(self):
+        from repro.lint import LintConfig
+        config = LintConfig(rule_options={
+            "R007": {"banned": ["legacy_probe"]}})
+        findings = run_lint(
+            """
+            def legacy_probe():
+                return 1
+            """, module="repro.core.userx", rules=["R007"],
+            config=config)
+        assert rule_ids(findings) == ["R007"]

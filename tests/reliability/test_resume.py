@@ -12,6 +12,7 @@ import pytest
 
 from repro import run_inspector
 from repro.core import MevInspector, PriceService
+from repro.engine import RunConfig
 from repro.reliability import (
     CheckpointError,
     CheckpointStore,
@@ -92,15 +93,16 @@ class TestCrashResume:
             self, sim_result, baseline, tmp_path):
         # Calibrate: how many archive calls does a full run make?
         counter = CountingProxy(sim_result.node)
-        make_inspector(sim_result, counter).run(chunk_size=CHUNK)
+        make_inspector(sim_result, counter).run(
+            config=RunConfig(chunk_size=CHUNK))
         assert counter.calls > 0
 
         # Kill the run halfway through its archive traffic.
         store = CheckpointStore(tmp_path / "crash.json")
         crasher = CrashingProxy(sim_result.node, counter.calls // 2)
         with pytest.raises(SimulatedCrash):
-            make_inspector(sim_result, crasher).run(
-                chunk_size=CHUNK, checkpoint=store)
+            make_inspector(sim_result, crasher).run(config=RunConfig(
+                chunk_size=CHUNK, checkpoint=store))
 
         # The checkpoint survived the crash with a strict subset done.
         saved = store.load()
@@ -110,8 +112,8 @@ class TestCrashResume:
 
         # Restart against the healthy node: identical records, and the
         # finished chunks came from the checkpoint, not recomputation.
-        resumed = make_inspector(sim_result).run(
-            chunk_size=CHUNK, checkpoint=store, resume=True)
+        resumed = make_inspector(sim_result).run(config=RunConfig(
+            chunk_size=CHUNK, checkpoint=store, resume=True))
         assert resumed.records_equal(baseline)
         assert resumed.quality.resumed
         assert resumed.quality.chunks_resumed == completed
@@ -123,8 +125,8 @@ class TestCrashResume:
         run_inspector(sim_result, chunk_size=CHUNK, checkpoint=store)
 
         counter = CountingProxy(sim_result.node)
-        dataset = make_inspector(sim_result, counter).run(
-            chunk_size=CHUNK, checkpoint=store, resume=True)
+        dataset = make_inspector(sim_result, counter).run(config=RunConfig(
+            chunk_size=CHUNK, checkpoint=store, resume=True))
         assert dataset.records_equal(baseline)
         assert dataset.quality.chunks_resumed == 10
         # Only the range resolution touches the archive; no chunk does.

@@ -1,0 +1,151 @@
+"""ColumnStore: ingest/retract atomicity, cursors, aggregates.
+
+The pagination identity — a full cursor walk visits exactly the rows
+of the one-shot range read, in order, no duplicates, no gaps — is
+pinned as a property over random ranges and page sizes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import ColumnStore, StoreReconcileError
+from repro.serve.store import CursorError, decode_cursor, encode_cursor
+
+
+def rebuild_by_hand(source):
+    """Re-ingest a built store block by block into a fresh one."""
+    store = ColumnStore()
+    lo, hi = source.bounds()
+    for height in range(lo, hi + 1):
+        rows = source.rows_at(height)
+        if rows:
+            store.ingest_block(height, rows)
+    return store
+
+
+@pytest.fixture(scope="module")
+def store(batch_dataset):
+    from repro.serve import store_from_dataset
+    return store_from_dataset(batch_dataset)
+
+
+class TestIngestRetract:
+    def test_ingest_matches_load_dataset(self, store):
+        manual = rebuild_by_hand(store)
+        assert manual.rows_at(store.bounds()[0]) \
+            == store.rows_at(store.bounds()[0])
+        assert [manual.rows_at(h) for h in range(*manual.bounds())] \
+            == [store.rows_at(h) for h in range(*store.bounds())]
+
+    def test_retract_supersedes_served_rows(self, store):
+        manual = rebuild_by_hand(store)
+        height = next(h for h in range(*manual.bounds())
+                      if manual.rows_at(h))
+        before_digest = manual.digest()
+        before_generation = manual.generation
+        retracted = manual.retract_block(height)
+        assert retracted == len(store.rows_at(height)) > 0
+        assert manual.rows_at(height) == []
+        assert not manual.has_block(height)
+        assert manual.digest() != before_digest
+        assert manual.generation > before_generation
+        # Re-ingesting restores the exact pre-retraction content.
+        manual.ingest_block(height, store.rows_at(height))
+        assert manual.digest() == before_digest
+
+    def test_retracting_empty_height_still_bumps_generation(self):
+        empty = ColumnStore()
+        generation = empty.generation
+        assert empty.retract_block(123) == 0
+        assert empty.generation > generation  # caches must invalidate
+
+    def test_ingest_rejects_foreign_height(self, store):
+        height = next(h for h in range(*store.bounds())
+                      if store.rows_at(h))
+        fresh = ColumnStore()
+        with pytest.raises(ValueError):
+            fresh.ingest_block(height + 1, store.rows_at(height))
+
+
+class TestCursors:
+    def test_roundtrip(self):
+        for key in ((0, 0, 0), (12, 2, 31), (10**9, 1, 7)):
+            assert decode_cursor(encode_cursor(key)) == key
+
+    @pytest.mark.parametrize("bad", [
+        "", "r", "r1.2", "r1.2.3.4", "x1.2.3", "r1.-2.3", "ra.b.c",
+    ])
+    def test_malformed_cursor_raises(self, bad):
+        with pytest.raises(CursorError):
+            decode_cursor(bad)
+
+    def test_bad_limit_raises(self, store):
+        with pytest.raises(ValueError):
+            store.page(limit=0)
+
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(data=st.data(), limit=st.integers(min_value=1, max_value=9))
+    def test_walk_equals_one_shot_range(self, store, data, limit):
+        lo, hi = store.bounds()
+        a = data.draw(st.integers(min_value=lo - 2, max_value=hi + 2))
+        b = data.draw(st.integers(min_value=lo - 2, max_value=hi + 2))
+        lo, hi = min(a, b), max(a, b)
+        one_shot, none = store.page(lo, hi, limit=10**9)
+        assert none is None
+        walked, cursor, pages = [], None, 0
+        while True:
+            rows, cursor = store.page(lo, hi, cursor=cursor,
+                                      limit=limit)
+            walked.extend(rows)
+            pages += 1
+            if cursor is None:
+                break
+            assert len(rows) == limit  # only the last page is short
+        assert walked == one_shot
+        assert pages == max(1, -(-len(one_shot) // limit))
+
+
+class TestReconcile:
+    def test_reconcile_same_dataset_is_identity(self, batch_dataset,
+                                                store):
+        manual = rebuild_by_hand(store)
+        manual.reconcile(batch_dataset)
+        manual.set_quality(batch_dataset.quality.to_dict())
+        assert manual.digest() == store.digest()
+
+    def test_reconcile_refuses_missing_block(self, batch_dataset,
+                                             store):
+        manual = rebuild_by_hand(store)
+        height = next(h for h in range(*manual.bounds())
+                      if manual.rows_at(h))
+        manual.retract_block(height)
+        with pytest.raises(StoreReconcileError):
+            manual.reconcile(batch_dataset)
+
+
+class TestAggregates:
+    def test_table1_total_matches_dataset(self, batch_dataset, store):
+        rows = batch_dataset.to_rows()
+        table = store.table1()
+        total = next(e for e in table if e["strategy"] == "total")
+        assert total["extractions"] == len(rows)
+        per_kind = {e["strategy"]: e["extractions"] for e in table
+                    if e["strategy"] != "total"}
+        for kind, extractions in per_kind.items():
+            assert extractions == sum(
+                1 for r in rows if r["kind"] == kind)
+
+    def test_leaderboard_is_ranked(self, store):
+        board = store.leaderboard("searchers", limit=50)
+        profits = [e["profit_wei"] for e in board]
+        assert profits == sorted(profits, reverse=True)
+        assert [e["rank"] for e in board] \
+            == list(range(1, len(board) + 1))
+        with pytest.raises(ValueError):
+            store.leaderboard("validators")
+
+    def test_coverage_counts_rows(self, batch_dataset, store):
+        coverage = store.coverage()
+        assert coverage["labels"]["rows"] \
+            == len(batch_dataset.to_rows())

@@ -15,6 +15,7 @@ import pytest
 
 from repro.chain.node import ArchiveNode
 from repro.core import MevInspector, PriceService
+from repro.engine import RunConfig
 from repro.sim import ScenarioConfig, build_paper_scenario
 
 #: seed for every fault plan in the suite (CI matrix: 1, 2, 3)
@@ -54,4 +55,4 @@ def batch_baseline(sim_result, prices):
     inspector = MevInspector(ArchiveNode(sim_result.blockchain), prices,
                              sim_result.flashbots_api,
                              sim_result.observer)
-    return inspector.run(chunk_size=1)
+    return inspector.run(config=RunConfig(chunk_size=1))

@@ -1,6 +1,7 @@
 """Package-level API tests: exports, quick_study, version."""
 
 import importlib
+from pathlib import Path
 
 import pytest
 
@@ -9,7 +10,30 @@ import repro
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
+
+    def test_version_single_sourced(self):
+        """pyproject.toml derives its version from the package.
+
+        The ``[project]`` table must declare ``version`` dynamic and
+        point setuptools at ``repro.__version__`` — two hand-kept
+        version strings is exactly the drift this pins out.
+        """
+        pyproject = Path(__file__).resolve().parent.parent \
+            / "pyproject.toml"
+        try:
+            import tomllib
+        except ImportError:  # Python < 3.11
+            text = pyproject.read_text(encoding="utf-8")
+            assert 'dynamic = ["version"]' in text
+            assert 'attr = "repro.__version__"' in text
+            return
+        document = tomllib.loads(
+            pyproject.read_text(encoding="utf-8"))
+        assert "version" not in document["project"]
+        assert document["project"]["dynamic"] == ["version"]
+        dynamic = document["tool"]["setuptools"]["dynamic"]
+        assert dynamic["version"] == {"attr": "repro.__version__"}
 
     def test_quick_study_end_to_end(self):
         study = repro.quick_study(blocks_per_month=6, seed=2)
@@ -26,7 +50,7 @@ class TestTopLevel:
 @pytest.mark.parametrize("module_name", [
     "repro", "repro.chain", "repro.dex", "repro.lending",
     "repro.flashbots", "repro.privatepools", "repro.agents",
-    "repro.sim", "repro.core", "repro.analysis",
+    "repro.sim", "repro.core", "repro.analysis", "repro.serve",
 ])
 class TestPublicSurfaces:
     def test_all_names_resolve(self, module_name):
