@@ -10,8 +10,8 @@ import json
 from repro.bench import BENCH_VERSION, render_report, run_bench, \
     write_report
 
-EXPECTED_STAGES = {"detection", "detection_indexed",
-                   "detection_linear", "joins"}
+EXPECTED_STAGES = {"simulate", "detection", "detection_indexed",
+                   "detection_linear", "joins", "stream"}
 
 
 class TestBenchSmoke:

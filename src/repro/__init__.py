@@ -46,7 +46,7 @@ from repro.sim import ScenarioConfig, SimulationResult, World, \
 #: derives its ``[project] version`` from this attribute (dynamic
 #: metadata), and the world cache folds it into its digests, so
 #: bumping it here is the whole release step.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 
 @dataclass
@@ -190,12 +190,30 @@ def quick_study(blocks_per_month: int = 60, seed: int = 7,
                 cache_dir: Union[str, Path, None] = None,
                 cache_key: Optional[str] = None,
                 run_config: Optional[RunConfig] = None,
+                blocks: Optional[int] = None,
+                max_resident_epochs: Optional[int] = None,
+                segment_dir: Union[str, Path, None] = None,
                 **config_overrides) -> Study:
-    """Simulate the study window and measure it, in one call."""
+    """Simulate the study window and measure it, in one call.
+
+    ``blocks`` caps the simulation at that many blocks instead of the
+    whole study window.  ``segment_dir`` attaches a spillable
+    :class:`repro.chain.SegmentStore` before the run, so completed
+    epochs land on disk and only the newest ``max_resident_epochs``
+    (default 2) stay in memory — peak residency is O(epoch), which is
+    what makes ``repro run --blocks 100000 --epoch-blocks 5000``
+    feasible on a small box.
+    """
     config = ScenarioConfig(blocks_per_month=blocks_per_month, seed=seed,
                             **config_overrides)
     world = build_paper_scenario(config)
-    result = world.run()
+    if segment_dir is not None:
+        from repro.chain.segments import SegmentStore
+        world.attach_segment_store(
+            SegmentStore.open_or_create(str(segment_dir)),
+            max_resident_epochs=max_resident_epochs
+            if max_resident_epochs is not None else 2)
+    result = world.run(blocks=blocks)
     dataset = run_inspector(result, fault_plan=fault_plan,
                             chunk_size=chunk_size, checkpoint=checkpoint,
                             resume=resume, workers=workers,

@@ -9,6 +9,7 @@ bit) on every benchmark run.
 from repro.bench.harness import (
     BENCH_VERSION,
     DEFAULT_WORKERS,
+    WORLD_CACHE_FORMAT,
     load_world,
     render_report,
     run_bench,
@@ -20,6 +21,7 @@ from repro.bench.harness import (
 __all__ = [
     "BENCH_VERSION",
     "DEFAULT_WORKERS",
+    "WORLD_CACHE_FORMAT",
     "load_world",
     "render_report",
     "run_bench",

@@ -46,6 +46,7 @@ import json
 import os
 import pickle
 import pstats
+import sys
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, \
@@ -57,7 +58,8 @@ from repro.chain.transaction import reset_tx_counter
 from repro.core.datasets import MevDataset
 from repro.core.pipeline import MevInspector, plan_chunks
 from repro.core.profit import PriceService
-from repro.engine import ChunkRunner, RunConfig, SerialExecutor
+from repro.engine import ChunkRunner, RunConfig, SerialExecutor, \
+    effective_workers
 from repro.faults.feed import FaultyFeed
 from repro.faults.plan import FaultPlan
 from repro.reliability import shield
@@ -81,8 +83,16 @@ from repro.sim import ScenarioConfig, SimulationResult, \
 #: and its identity gate ``serve_identical`` (every endpoint response
 #: byte-identical between a batch-built store and one fed live by the
 #: streaming engine through the faulted feed); both are ``null``
-#: unless the bench runs with ``--serve``.
-BENCH_VERSION = 6
+#: unless the bench runs with ``--serve``.  Version 7 added
+#: ``workers_requested``/``workers_effective`` to every stage (bench
+#: honesty on 1-CPU boxes), the world-cache ``format`` marker
+#: (version-less ≤1.5.0 monolithic snapshots are rejected with a clear
+#: message), and the epoch-shard gate: ``shard_identical`` (serial
+#: world vs epochs re-simulated from seals across workers and spliced
+#: — full block-hash + tx-hash sequence, with a sampled-prefix variant
+#: for very large scenarios) plus the ``shard`` info block; both are
+#: ``null`` unless the bench runs with ``--shard``.
+BENCH_VERSION = 7
 
 #: How many rows of each per-stage cProfile table to keep.
 PROFILE_TOP_N = 25
@@ -145,17 +155,29 @@ def _block_sequence(result: SimulationResult,
             for block in result.blockchain.blocks]
 
 
-def _timed(label: str, blocks: int, elapsed_s: float) -> Dict[str, Any]:
+def _timed(label: str, blocks: int, elapsed_s: float,
+           workers_requested: int = 1) -> Dict[str, Any]:
+    """One stage row.  Every stage reports both the worker count it
+    *asked for* and the count the host actually granted, so a 1-CPU
+    box's numbers are never mistaken for parallel ones."""
     return {
         "stage": label,
         "blocks": blocks,
         "elapsed_s": round(elapsed_s, 6),
         "blocks_per_s": round(blocks / elapsed_s, 3) if elapsed_s > 0
         else None,
+        "workers_requested": workers_requested,
+        "workers_effective": effective_workers(workers_requested),
     }
 
 
 # -- world-snapshot cache --------------------------------------------------
+
+#: On-disk layout version of world snapshots.  Format 2 added the
+#: marker itself; snapshots without one were written by repro ≤ 1.5.0
+#: (the monolithic pre-segment layout) and are rejected with a clear
+#: message instead of a pickle/shape error.
+WORLD_CACHE_FORMAT = 2
 
 
 def world_digest(config: ScenarioConfig) -> str:
@@ -192,7 +214,8 @@ def store_world(cache_dir: Union[str, Path], config: ScenarioConfig,
     """Snapshot one simulated world under its scenario digest."""
     path = _world_path(cache_dir, config)
     path.parent.mkdir(parents=True, exist_ok=True)
-    document = {"fingerprint": _world_fingerprint(result),
+    document = {"format": WORLD_CACHE_FORMAT,
+                "fingerprint": _world_fingerprint(result),
                 "result": result}
     tmp_path = path.with_name(path.name + ".tmp")
     with open(tmp_path, "wb") as stream:
@@ -218,6 +241,16 @@ def load_world(cache_dir: Union[str, Path],
             ImportError, IndexError):
         return None
     if not isinstance(document, dict):
+        return None
+    if "format" not in document:
+        print(f"world cache {path} has no format marker — it was "
+              f"written by an older repro (<= 1.5.0 monolithic "
+              f"layout); re-simulating", file=sys.stderr)
+        return None
+    if document["format"] != WORLD_CACHE_FORMAT:
+        print(f"world cache {path} is format {document['format']!r}; "
+              f"this repro reads format {WORLD_CACHE_FORMAT} — "
+              f"re-simulating", file=sys.stderr)
         return None
     result = document.get("result")
     if not isinstance(result, SimulationResult):
@@ -303,6 +336,9 @@ def run_bench(bpm: int = 60, seed: int = 7,
               profile: bool = False,
               serve: bool = False,
               serve_requests: int = 300,
+              shard: bool = False,
+              shard_workers: int = 2,
+              shard_prefix_epochs: Optional[int] = None,
               ) -> Dict[str, Any]:
     """Benchmark the pipeline; returns the BENCH_pipeline.json document.
 
@@ -319,6 +355,11 @@ def run_bench(bpm: int = 60, seed: int = 7,
     stream stage's engine is checked byte-for-byte against a
     batch-built one (``serve_identical``), then ``serve_requests``
     seeded requests replay over real sockets into the ``serve`` block.
+    ``shard`` adds the epoch-shard gate: a serial pass collects epoch
+    seals, every epoch (or the first ``shard_prefix_epochs``) is
+    re-simulated from its seal across ``shard_workers`` worker
+    processes, and the spliced chain must match the benchmarked world's
+    full block-hash + tx-hash sequence (``shard_identical``).
     """
     from repro import run_inspector  # lazy: repro imports the engine
     from repro.core.heuristics import (
@@ -436,7 +477,6 @@ def run_bench(bpm: int = 60, seed: int = 7,
     stages.append(_timed("joins", blocks,
                          max(serial_s - detection_s, 0.0)))
 
-    cpu_count = os.cpu_count() or 1
     serial_print = _fingerprint(serial_dataset)
     end_to_end: List[Dict[str, Any]] = []
     parallel_identical = True
@@ -450,9 +490,9 @@ def run_bench(bpm: int = 60, seed: int = 7,
             elapsed = _clock() - started
             identical = _fingerprint(dataset) == serial_print
             parallel_identical = parallel_identical and identical
-        entry = _timed(f"end_to_end[workers={count}]", blocks, elapsed)
+        entry = _timed(f"end_to_end[workers={count}]", blocks, elapsed,
+                       workers_requested=count)
         entry["workers"] = count
-        entry["workers_effective"] = max(1, min(count, cpu_count))
         entry["identical_to_serial"] = identical
         entry["speedup_vs_serial"] = round(serial_s / elapsed, 3) \
             if elapsed > 0 else None
@@ -528,6 +568,58 @@ def run_bench(bpm: int = 60, seed: int = 7,
         stages.append(_timed("serve", blocks, _clock() - started))
         serve_info = load.to_dict()
 
+    # Epoch-shard gate: a serial pass over the same scenario collects
+    # one seal per epoch boundary, every epoch is re-simulated from its
+    # seal on worker processes, and the spliced chain must reproduce
+    # the benchmarked world bit for bit — the splice-vs-reference
+    # discipline, applied to world generation itself.  Runs last: it
+    # resets the transaction-uid counter and re-simulates, which must
+    # not perturb the stages above.
+    shard_identical: Optional[bool] = None
+    shard_info: Optional[Dict[str, Any]] = None
+    if shard:
+        from repro.sim.shard import plan_epochs, resimulate_epochs, \
+            splice_epochs
+
+        def _shard_pass() -> Tuple[Any, str, float, int]:
+            reset_tx_counter()
+            seals: Dict[int, Any] = {}
+            seal_started = _clock()
+            build_paper_scenario(config).run(collect_seals=seals)
+            seal_pass_s = _clock() - seal_started
+            plan = plan_epochs(config)
+            scope = "full"
+            if shard_prefix_epochs is not None:
+                plan = plan[:max(1, shard_prefix_epochs)]
+                scope = f"prefix[{len(plan)}]"
+            epoch_results = resimulate_epochs(
+                config, seals, chunks=plan, workers=shard_workers)
+            return (splice_epochs(config, epoch_results), scope,
+                    seal_pass_s, len(plan))
+
+        started = _clock()
+        spliced, scope, seal_pass_s, resimulated = \
+            profiler.run("shard", _shard_pass)
+        shard_s = _clock() - started
+        sharded_seq = _block_sequence(spliced)
+        reference_seq = _block_sequence(result)
+        if scope != "full":
+            reference_seq = reference_seq[:len(sharded_seq)]
+        shard_identical = bool(sharded_seq) \
+            and sharded_seq == reference_seq
+        stages.append(_timed("shard", len(sharded_seq), shard_s,
+                             workers_requested=shard_workers))
+        shard_info = {
+            "epochs": len(plan_epochs(config)),
+            "epoch_blocks": config.epoch_blocks
+            or config.blocks_per_month,
+            "resimulated_epochs": resimulated,
+            "scope": scope,
+            "seal_pass_s": round(seal_pass_s, 6),
+            "workers_requested": shard_workers,
+            "workers_effective": effective_workers(shard_workers),
+        }
+
     report: Dict[str, Any] = {
         "version": BENCH_VERSION,
         "scenario": {
@@ -554,6 +646,8 @@ def run_bench(bpm: int = 60, seed: int = 7,
         "stream": stream_info,
         "serve_identical": serve_identical,
         "serve": serve_info,
+        "shard_identical": shard_identical,
+        "shard": shard_info,
     }
     if profile:
         report["profile"] = dict(profiler.tables)
@@ -633,6 +727,18 @@ def render_report(report: Dict[str, Any]) -> str:
             f"{serve_info.get('errors', 0)} errors")
         lines.append("  serve responses identical batch vs stream: "
                      + ("yes" if serve_identical else "NO"))
+    shard_identical = report.get("shard_identical")
+    if shard_identical is not None:
+        shard_info = report.get("shard") or {}
+        lines.append(
+            f"  epoch shard: {shard_info.get('resimulated_epochs', 0)}"
+            f"/{shard_info.get('epochs', 0)} epochs "
+            f"({shard_info.get('scope', 'full')}, "
+            f"epoch_blocks={shard_info.get('epoch_blocks')}, workers "
+            f"{shard_info.get('workers_requested')}→"
+            f"{shard_info.get('workers_effective')} effective)")
+        lines.append("  sharded splice identical to serial: "
+                     + ("yes" if shard_identical else "NO"))
     lint_s = report.get("lint_s")
     if lint_s is not None:
         lines.append(f"  syntactic lint of own tree: {lint_s:.3f}s")

@@ -33,6 +33,14 @@ from repro.chain.mempool import Mempool
 from repro.chain.node import ArchiveNode, Blockchain
 from repro.chain.p2p import GossipNetwork, MempoolObserver
 from repro.chain.receipt import Receipt
+from repro.chain.segments import (
+    SEGMENT_FORMAT,
+    SegmentIntegrityError,
+    SegmentInfo,
+    SegmentReader,
+    SegmentStore,
+    SpillingBlockchain,
+)
 from repro.chain.state import InsufficientBalance, WorldState
 from repro.chain.transaction import EIP1559, LEGACY, Transaction, TxIntent
 from repro.chain.types import (
@@ -60,7 +68,9 @@ __all__ = [
     "FailingIntent", "FlashLoanEvent", "ForkSchedule", "GossipNetwork",
     "GWEI", "Hash32", "InsufficientBalance", "LEGACY", "LiquidationEvent",
     "MAINNET_FORKS", "Mempool", "MempoolObserver", "OracleUpdateEvent", "Posting",
-    "Receipt", "Revert", "SequenceIntent", "SwapEvent", "SyncEvent",
+    "Receipt", "Revert", "SEGMENT_FORMAT", "SegmentIntegrityError",
+    "SegmentInfo", "SegmentReader", "SegmentStore", "SequenceIntent",
+    "SpillingBlockchain", "SwapEvent", "SyncEvent",
     "TokenTransferIntent",
     "Transaction", "TransferEvent", "TxIntent", "WEI", "WorldState",
     "ZERO_ADDRESS", "address_from_label", "ether", "execute_transaction",

@@ -64,10 +64,12 @@ class Blockchain:
                     f"parent hash mismatch at block {block.number}: "
                     f"block links to {block.parent_hash!r}, tip is "
                     f"{tip.hash!r}")
-        position = len(self.blocks)
         self.blocks.append(block)
+        # Keyed by *block number*, not list position: a spillable chain
+        # (repro.chain.segments) evicts its resident prefix, so list
+        # positions are not stable identifiers — block numbers are.
         for tx_index, tx in enumerate(block.transactions):
-            self._tx_index[tx.hash] = (position, tx_index)
+            self._tx_index[tx.hash] = (block.number, tx_index)
 
     def rollback(self, to_height: int) -> List[Block]:
         """Truncate the chain back to ``to_height`` (the new tip).
@@ -116,8 +118,11 @@ class Blockchain:
         entry = self._tx_index.get(tx_hash)
         if entry is None:
             return None
-        position, tx_index = entry
-        return self.blocks[position], tx_index
+        number, tx_index = entry
+        block = self.block_by_number(number)
+        if block is None:
+            return None
+        return block, tx_index
 
 
 class ArchiveNode:
@@ -134,13 +139,18 @@ class ArchiveNode:
     def __init__(self, chain: Blockchain, indexed: bool = True) -> None:
         self.chain = chain
         self.indexed = indexed
+        #: a segment-backed (spillable) chain keeps only a bounded tail
+        #: of blocks resident; ranged reads must route through its
+        #: segment reader instead of the in-memory index tiers.
+        self.segmented = bool(getattr(chain, "spilled", False))
 
     def warm_index(self) -> None:
         """Build the read index eagerly (both block positions and log
         postings) — e.g. once in the parent process before worker
         fan-out, so forked workers inherit it instead of each paying
-        the first-query build."""
-        if self.indexed:
+        the first-query build.  Segment-backed chains have no in-memory
+        index to warm; their reads bisect the segment manifest."""
+        if self.indexed and not self.segmented:
             self.chain.index.warm()
 
     # Block-level queries -----------------------------------------------------
@@ -149,6 +159,8 @@ class ArchiveNode:
         return self.chain.height
 
     def earliest_block_number(self) -> Optional[int]:
+        if self.segmented:
+            return self.chain.earliest_number
         return self.chain.blocks[0].number if self.chain.blocks else None
 
     def get_block(self, number: int) -> Optional[Block]:
@@ -170,6 +182,12 @@ class ArchiveNode:
                 return
             if to_block is not None and from_block > to_block:
                 return
+        if self.segmented:
+            # Spillable store: the chain's own segment reader resolves
+            # the range (manifest bisect + resident tail), since only a
+            # bounded window of blocks is in memory at any time.
+            yield from self.chain.iter_range(from_block, to_block)
+            return
         if not self.indexed:
             yield from self._linear_iter_blocks(from_block, to_block)
             return
@@ -210,6 +228,17 @@ class ArchiveNode:
                  from_block: Optional[int] = None,
                  to_block: Optional[int] = None) -> List[E]:
         """All logs of ``event_type`` in the block range, chain order."""
+        if self.segmented:
+            # O(range) receipt scan through the segment reader: postings
+            # tiers assume the full block list is resident, which a
+            # spillable chain deliberately is not.
+            found: List[E] = []
+            for block in self.chain.iter_range(from_block, to_block):
+                for receipt in block.receipts:
+                    for log in receipt.logs:
+                        if isinstance(log, event_type):
+                            found.append(log)
+            return found
         if not self.indexed:
             return self._linear_get_logs(event_type, from_block,
                                          to_block)

@@ -1,0 +1,475 @@
+"""Spillable block storage: fingerprinted per-epoch segment files.
+
+A :class:`SegmentStore` persists completed epochs of a chain as pickled
+segment files under one directory, indexed by a JSON manifest that
+records each segment's block range and content fingerprint.
+:class:`SpillingBlockchain` is a drop-in :class:`~repro.chain.node.Blockchain`
+that spills every completed epoch to the store and evicts old epochs
+from memory, so a simulation's peak block residency is O(epoch) rather
+than O(world); :class:`SegmentReader` serves ranged reads over the
+spilled portion through a bounded LRU of resident segments (manifest
+bisect, never a directory scan).
+
+Integrity follows the PR-4 world-cache rule: *any* anomaly — missing or
+truncated file, fingerprint mismatch, unknown manifest format — raises
+:class:`SegmentIntegrityError` with a clear message, and callers respond
+by re-simulating from scratch (`SegmentStore.open_or_create`), never by
+trusting a partially readable store.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.chain.block import Block
+from repro.chain.node import Blockchain
+from repro.chain.types import Hash32
+from repro.markers import fast_path
+
+#: On-disk layout version.  Bumped whenever the manifest schema or the
+#: segment pickle layout changes; stores written by other versions are
+#: rejected with a clear message, not a pickle error.
+SEGMENT_FORMAT = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+class SegmentIntegrityError(RuntimeError):
+    """A segment store is unreadable, inconsistent, or wrong-format.
+
+    Callers must treat this as "the cache does not exist": wipe and
+    re-simulate (the PR-4 rule), never trust partial contents.
+    """
+
+
+def _fingerprint_blocks(blocks: Sequence[Block]) -> str:
+    """Content fingerprint of a block run (same scheme as the bench
+    world fingerprint: number, hash, and transaction count per block)."""
+    digest = hashlib.sha256()
+    for block in blocks:
+        digest.update(
+            f"{block.number}:{block.hash}:"
+            f"{len(block.transactions)};".encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Manifest entry: one spilled epoch's location and identity."""
+
+    epoch: int
+    first_block: int
+    last_block: int
+    filename: str
+    fingerprint: str
+    tx_count: int
+
+
+class SegmentStore:
+    """Directory of fingerprinted per-epoch segment files + manifest.
+
+    Opening an existing directory validates the manifest format and
+    raises :class:`SegmentIntegrityError` on any anomaly — including a
+    monolithic or version-less cache written by an older repro.  Use
+    :meth:`open_or_create` for the standard anomaly-means-fresh policy.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._segments: List[SegmentInfo] = []
+        self._by_epoch: Dict[int, SegmentInfo] = {}
+        manifest = os.path.join(root, MANIFEST_NAME)
+        if not os.path.exists(manifest):
+            if os.path.isdir(root) and os.listdir(root):
+                raise SegmentIntegrityError(
+                    f"{root} is not a segment store (no manifest); "
+                    f"refusing to adopt a non-empty directory — wipe it "
+                    f"or use SegmentStore.create()")
+            os.makedirs(root, exist_ok=True)
+            self._write_manifest()
+            return
+        try:
+            with open(manifest, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SegmentIntegrityError(
+                f"segment manifest at {manifest} is unreadable "
+                f"({exc}); re-simulate from scratch")
+        if not isinstance(doc, dict) or "format" not in doc:
+            raise SegmentIntegrityError(
+                f"cache at {root} has no format marker — it was written "
+                f"by an older repro (<= 1.5.0 monolithic layout); "
+                f"delete it and re-simulate")
+        if doc["format"] != SEGMENT_FORMAT:
+            raise SegmentIntegrityError(
+                f"segment store at {root} is format {doc['format']!r}; "
+                f"this repro reads format {SEGMENT_FORMAT} — delete the "
+                f"store and re-simulate")
+        try:
+            infos = [SegmentInfo(**entry) for entry in doc["segments"]]
+        except (KeyError, TypeError) as exc:
+            raise SegmentIntegrityError(
+                f"segment manifest at {manifest} is malformed ({exc})")
+        infos.sort(key=lambda info: info.epoch)
+        self._segments = infos
+        self._by_epoch = {info.epoch: info for info in infos}
+
+    @classmethod
+    def create(cls, root: str) -> "SegmentStore":
+        """Initialize a fresh store at ``root``, wiping any prior one."""
+        os.makedirs(root, exist_ok=True)
+        for name in os.listdir(root):
+            if name == MANIFEST_NAME or name.endswith(".pkl") \
+                    or name.endswith(".tmp"):
+                os.remove(os.path.join(root, name))
+        return cls(root)
+
+    @classmethod
+    def open_or_create(cls, root: str) -> "SegmentStore":
+        """Open ``root``; on *any* anomaly wipe it and start fresh
+        (the PR-4 cache rule: never trust a partially readable store)."""
+        try:
+            return cls(root)
+        except SegmentIntegrityError:
+            return cls.create(root)
+
+    # Manifest ------------------------------------------------------------
+
+    @property
+    def segments(self) -> List[SegmentInfo]:
+        """Manifest entries, ordered by epoch."""
+        return list(self._segments)
+
+    def segment_for_block(self, number: int) -> Optional[SegmentInfo]:
+        """The segment containing ``number``, via manifest bisect."""
+        if not self._segments:
+            return None
+        starts = [info.first_block for info in self._segments]
+        index = bisect.bisect_right(starts, number) - 1
+        if index < 0:
+            return None
+        info = self._segments[index]
+        if info.first_block <= number <= info.last_block:
+            return info
+        return None
+
+    def _write_manifest(self) -> None:
+        manifest = os.path.join(self.root, MANIFEST_NAME)
+        doc = {
+            "format": SEGMENT_FORMAT,
+            "segments": [
+                {"epoch": info.epoch, "first_block": info.first_block,
+                 "last_block": info.last_block,
+                 "filename": info.filename,
+                 "fingerprint": info.fingerprint,
+                 "tx_count": info.tx_count}
+                for info in self._segments
+            ],
+        }
+        tmp = manifest + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+        os.replace(tmp, manifest)
+
+    # Segment I/O ---------------------------------------------------------
+
+    def write_segment(self, epoch: int,
+                      blocks: Sequence[Block]) -> SegmentInfo:
+        """Spill one epoch's blocks; atomic file write + manifest update."""
+        blocks = list(blocks)
+        if not blocks:
+            raise ValueError("cannot write an empty segment")
+        for prev, cur in zip(blocks, blocks[1:]):
+            if cur.number != prev.number + 1:
+                raise ValueError(
+                    f"segment blocks must be contiguous: {prev.number} "
+                    f"followed by {cur.number}")
+        filename = f"seg-{epoch:06d}.pkl"
+        path = os.path.join(self.root, filename)
+        payload = pickle.dumps(blocks,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+        info = SegmentInfo(
+            epoch=epoch, first_block=blocks[0].number,
+            last_block=blocks[-1].number, filename=filename,
+            fingerprint=_fingerprint_blocks(blocks),
+            tx_count=sum(len(b.transactions) for b in blocks))
+        self._by_epoch[epoch] = info
+        self._segments = sorted(self._by_epoch.values(),
+                                key=lambda entry: entry.epoch)
+        self._write_manifest()
+        return info
+
+    def load_segment(self, epoch: int) -> List[Block]:
+        """Load and verify one spilled epoch.
+
+        Raises :class:`SegmentIntegrityError` on any anomaly: unknown
+        epoch, missing/truncated/corrupt file, wrong block count, or a
+        content fingerprint that does not match the manifest.
+        """
+        info = self._by_epoch.get(epoch)
+        if info is None:
+            raise SegmentIntegrityError(
+                f"no segment for epoch {epoch} in {self.root}")
+        path = os.path.join(self.root, info.filename)
+        try:
+            with open(path, "rb") as handle:
+                blocks = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError) as exc:
+            raise SegmentIntegrityError(
+                f"segment {info.filename} is unreadable ({exc}); "
+                f"re-simulate from scratch")
+        expected = info.last_block - info.first_block + 1
+        if not isinstance(blocks, list) or len(blocks) != expected:
+            raise SegmentIntegrityError(
+                f"segment {info.filename} is truncated or malformed: "
+                f"expected {expected} blocks")
+        if _fingerprint_blocks(blocks) != info.fingerprint:
+            raise SegmentIntegrityError(
+                f"segment {info.filename} fingerprint mismatch; "
+                f"re-simulate from scratch")
+        return blocks
+
+
+class SegmentReader:
+    """Ranged reads over a store's spilled blocks.
+
+    The default path keeps at most ``max_resident`` segments in memory
+    (LRU) and resolves ranges by bisecting the manifest.  The reference
+    path (``bounded=False``) simply materializes segments without ever
+    evicting — the in-memory behaviour the bounded path must match
+    element for element.
+    """
+
+    def __init__(self, store: SegmentStore, max_resident: int = 2,
+                 bounded: bool = True) -> None:
+        if max_resident <= 0:
+            raise ValueError("max_resident must be positive")
+        self.store = store
+        self.max_resident = max_resident
+        #: when False, loaded segments are never evicted — the unbounded
+        #: in-memory reference the LRU fast path is checked against.
+        self.bounded = bounded
+        self._resident: "OrderedDict[int, List[Block]]" = OrderedDict()
+
+    @property
+    def resident_epochs(self) -> List[int]:
+        """Epochs currently held in memory (test/assertion hook)."""
+        return list(self._resident)
+
+    def _load(self, epoch: int) -> List[Block]:
+        blocks = self._resident.get(epoch)
+        if blocks is not None:
+            self._resident.move_to_end(epoch)
+            return blocks
+        blocks = self.store.load_segment(epoch)
+        self._resident[epoch] = blocks
+        if self.bounded:
+            while len(self._resident) > self.max_resident:
+                self._resident.popitem(last=False)
+        return blocks
+
+    def block(self, number: int) -> Optional[Block]:
+        info = self.store.segment_for_block(number)
+        if info is None:
+            return None
+        return self._load(info.epoch)[number - info.first_block]
+
+    @fast_path(reference="_iter_range_unbounded", toggle="bounded")
+    def iter_range(self, from_block: Optional[int] = None,
+                   to_block: Optional[int] = None) -> Iterator[Block]:
+        """Yield spilled blocks in ``[from_block, to_block]`` in order.
+
+        Bisects the manifest to the first overlapping segment and loads
+        only overlapping segments (through the LRU), so a narrow range
+        touches O(range / epoch) segments regardless of store size.
+        """
+        if not self.bounded:
+            yield from self._iter_range_unbounded(from_block, to_block)
+            return
+        infos = self.store.segments
+        if not infos:
+            return
+        low = from_block if from_block is not None \
+            else infos[0].first_block
+        high = to_block if to_block is not None \
+            else infos[-1].last_block
+        if low > high:
+            return
+        starts = [info.first_block for info in infos]
+        start = max(0, bisect.bisect_right(starts, low) - 1)
+        for info in infos[start:]:
+            if info.first_block > high:
+                break
+            if info.last_block < low:
+                continue
+            blocks = self._load(info.epoch)
+            first = max(low, info.first_block) - info.first_block
+            last = min(high, info.last_block) - info.first_block
+            yield from blocks[first:last + 1]
+
+    def _iter_range_unbounded(self, from_block: Optional[int],
+                              to_block: Optional[int],
+                              ) -> Iterator[Block]:
+        """Reference path: linear manifest walk, no eviction — every
+        touched segment stays resident, as an in-memory chain would."""
+        for info in self.store.segments:
+            if to_block is not None and info.first_block > to_block:
+                break
+            if from_block is not None and info.last_block < from_block:
+                continue
+            for block in self._load(info.epoch):
+                if from_block is not None \
+                        and block.number < from_block:
+                    continue
+                if to_block is not None and block.number > to_block:
+                    break
+                yield block
+
+
+class SpillingBlockchain(Blockchain):
+    """A :class:`Blockchain` that spills completed epochs to disk.
+
+    Appends behave exactly like the in-memory chain (same linkage
+    validation, same ``height``), but whenever a block completes an
+    epoch the epoch is written to the segment store and every resident
+    epoch older than ``max_resident_epochs`` is evicted — peak block
+    residency is bounded by ``(max_resident_epochs + 1) * epoch_blocks``
+    (retained tail plus the in-progress epoch).  Reads below the
+    resident window route through a :class:`SegmentReader`.
+    """
+
+    #: marker consulted by :class:`~repro.chain.node.ArchiveNode` to
+    #: route ranged reads through the segment reader.
+    spilled = True
+
+    def __init__(self, store: SegmentStore, epoch_blocks: int,
+                 first_block: int = 1, max_resident_epochs: int = 2,
+                 bounded: bool = True) -> None:
+        if epoch_blocks <= 0:
+            raise ValueError("epoch_blocks must be positive")
+        if max_resident_epochs <= 0:
+            raise ValueError("max_resident_epochs must be positive")
+        super().__init__()
+        self.store = store
+        self.epoch_blocks = epoch_blocks
+        self.first_block = first_block
+        self.max_resident_epochs = max_resident_epochs
+        self.reader = SegmentReader(store,
+                                    max_resident=max_resident_epochs,
+                                    bounded=bounded)
+
+    @property
+    def index(self):
+        """Spillable chains have no in-memory :class:`ChainIndex`: its
+        position/postings tiers assume the whole block list is resident.
+        Ranged reads route through the segment reader instead."""
+        raise RuntimeError(
+            "a spilled chain has no in-memory index; query through "
+            "ArchiveNode (segment-backed reads) instead")
+
+    @property
+    def earliest_number(self) -> Optional[int]:
+        """First block the chain has ever stored (spilled or resident)."""
+        if self._segments_list():
+            return self._segments_list()[0].first_block
+        if self.blocks:
+            return self.blocks[0].number
+        return None
+
+    def _segments_list(self) -> List[SegmentInfo]:
+        return self.store.segments
+
+    def append(self, block: Block) -> None:
+        super().append(block)
+        if block.number % self.epoch_blocks != 0:
+            return
+        epoch = (block.number - 1) // self.epoch_blocks
+        first = block.number - self.epoch_blocks + 1
+        start = self.blocks[0].number
+        # A restored world may begin mid-epoch; spill whatever portion
+        # of the completed epoch this chain actually holds.
+        lo = max(first, start)
+        self.store.write_segment(
+            epoch, self.blocks[lo - start:block.number - start + 1])
+        cut = (epoch - self.max_resident_epochs + 1) * self.epoch_blocks
+        keep_from = cut + 1
+        offset = keep_from - start
+        if offset <= 0:
+            return
+        for evicted in self.blocks[:offset]:
+            for tx in evicted.transactions:
+                self._tx_index.pop(tx.hash, None)
+        del self.blocks[:offset]
+
+    def rollback(self, to_height: int):
+        """Reorgs deeper than the resident window cannot be represented
+        once blocks have spilled; the stream engine's confirm-depth
+        watermark keeps real reorgs far shallower than an epoch."""
+        if self.blocks and to_height < self.blocks[0].number \
+                and to_height >= 0:
+            raise ValueError(
+                f"cannot roll back to {to_height}: below the resident "
+                f"window (starts at {self.blocks[0].number})")
+        return super().rollback(to_height)
+
+    def block_by_number(self, number: int) -> Optional[Block]:
+        block = super().block_by_number(number)
+        if block is not None:
+            return block
+        return self.reader.block(number)
+
+    def locate_transaction(self, tx_hash: Hash32,
+                           ) -> Optional[Tuple[Block, int]]:
+        """Resident-first; falls back to scanning spilled segments
+        (newest first, through the reader's LRU).  The fallback is
+        O(world) worst case — acceptable for the ground-truth scoring
+        paths that use it, never on the per-block hot path."""
+        located = super().locate_transaction(tx_hash)
+        if located is not None:
+            return located
+        for info in reversed(self._segments_list()):
+            if self.blocks and info.first_block >= self.blocks[0].number:
+                continue
+            for tx_index_block in self.reader.iter_range(
+                    info.first_block, info.last_block):
+                for position, tx in enumerate(
+                        tx_index_block.transactions):
+                    if tx.hash == tx_hash:
+                        return tx_index_block, position
+        return None
+
+    def iter_range(self, from_block: Optional[int] = None,
+                   to_block: Optional[int] = None) -> Iterator[Block]:
+        """All blocks in ``[from_block, to_block]``: spilled portion via
+        the segment reader, then the resident tail."""
+        resident_start = self.blocks[0].number if self.blocks else None
+        if resident_start is None or \
+                (from_block is None or from_block < resident_start):
+            spill_hi = resident_start - 1 \
+                if resident_start is not None else to_block
+            if to_block is not None and \
+                    (spill_hi is None or to_block < spill_hi):
+                spill_hi = to_block
+            yield from self.reader.iter_range(from_block, spill_hi)
+        if resident_start is None:
+            return
+        low = resident_start if from_block is None \
+            else max(from_block, resident_start)
+        high = self.blocks[-1].number if to_block is None \
+            else min(to_block, self.blocks[-1].number)
+        if low > high:
+            return
+        yield from self.blocks[low - resident_start:
+                               high - resident_start + 1]

@@ -15,7 +15,6 @@ against ground truth.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
@@ -27,7 +26,33 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 LEGACY = "legacy"
 EIP1559 = "eip1559"
 
-_TX_COUNTER = itertools.count()
+_TX_NEXT_UID = 0
+
+
+def _next_uid() -> int:
+    global _TX_NEXT_UID
+    uid = _TX_NEXT_UID
+    _TX_NEXT_UID = uid + 1
+    return uid
+
+
+def tx_counter() -> int:
+    """The next uid the process would assign (see :func:`set_tx_counter`)."""
+    return _TX_NEXT_UID
+
+
+def set_tx_counter(value: int) -> None:
+    """Position the global transaction-uid counter at ``value``.
+
+    Epoch seals record the counter at the sealing boundary so a fresh
+    worker process can resume mid-window and mint transaction uids —
+    and therefore transaction hashes — exactly as the serial run would
+    have from that point on.
+    """
+    global _TX_NEXT_UID
+    if value < 0:
+        raise ValueError("tx counter cannot be negative")
+    _TX_NEXT_UID = value
 
 
 def reset_tx_counter() -> None:
@@ -39,8 +64,7 @@ def reset_tx_counter() -> None:
     and benchmark fixtures call this before building a scenario so a
     given seed always produces the identical world.
     """
-    global _TX_COUNTER
-    _TX_COUNTER = itertools.count()
+    set_tx_counter(0)
 
 
 class TxIntent:
@@ -84,7 +108,7 @@ class Transaction:
     intent: Optional[TxIntent] = None
     first_seen_block: Optional[int] = None
     meta: Dict[str, Any] = field(default_factory=dict)
-    _uid: int = field(default_factory=lambda: next(_TX_COUNTER), repr=False)
+    _uid: int = field(default_factory=_next_uid, repr=False)
     _hash: Optional[Hash32] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:

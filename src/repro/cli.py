@@ -16,6 +16,9 @@ Usage::
     python -m repro serve --follow --smoke          # identity smoke gate
     python -m repro bench [--quick]                 # wall-clock benchmark
     python -m repro bench --serve                   # + HTTP load replay
+    python -m repro bench --shard                   # + epoch-shard gate
+    python -m repro run --bpm 5000 --blocks 100000 --epoch-blocks 5000 \\
+        --segment-dir segments/                     # O(epoch) memory
     python -m repro lint [PATHS ...]                # invariant linter
 """
 
@@ -105,6 +108,26 @@ def build_parser() -> argparse.ArgumentParser:
                 "--confirm-depth", type=int, default=3, metavar="K",
                 help="blocks behind the head before a streamed block "
                      "is confirmed (default 3)")
+            command.add_argument(
+                "--blocks", type=int, default=None, metavar="N",
+                help="simulate only the first N blocks of the study "
+                     "window (default: the whole window)")
+            command.add_argument(
+                "--epoch-blocks", type=int, default=None, metavar="N",
+                help="epoch width in blocks for sealing and segment "
+                     "spilling (default: one month)")
+            command.add_argument(
+                "--max-resident-epochs", type=int, default=2,
+                metavar="K",
+                help="with --segment-dir: newest epochs kept in "
+                     "memory; older ones are served from segment "
+                     "files (default 2)")
+            command.add_argument(
+                "--segment-dir", default=None, metavar="DIR",
+                help="spill completed epochs to fingerprinted "
+                     "segment files in DIR so peak memory is "
+                     "O(epoch), not O(world); required for "
+                     "million-block scenarios")
     stream = sub.add_parser(
         "stream",
         help="follow the chain through a (possibly hostile) block "
@@ -206,6 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="requests in the serve replay mix "
                             "(default 300)")
+    bench.add_argument("--shard", action="store_true",
+                       help="add the epoch-shard stage: seal the "
+                            "serial world at epoch boundaries, "
+                            "re-simulate every epoch independently "
+                            "from its seal across workers, splice, "
+                            "and gate on a bit-identical block/tx "
+                            "hash sequence (shard_identical)")
+    bench.add_argument("--shard-workers", type=int, default=2,
+                       metavar="N",
+                       help="worker count for the epoch "
+                            "re-simulation fan-out (default 2)")
+    bench.add_argument("--shard-prefix", type=int, default=None,
+                       metavar="K",
+                       help="re-simulate only the first K epochs "
+                            "(sampled-prefix gate for scenarios too "
+                            "large to reference in full)")
     lint = sub.add_parser("lint",
                           help="run the domain-invariant linter "
                                "(R001–R006; --deep adds R101–R103) "
@@ -264,6 +303,11 @@ def _study(args: argparse.Namespace) -> Study:
               file=sys.stderr)
     if getattr(args, "follow", False):
         from repro import follow_study
+        if getattr(args, "blocks", None) is not None \
+                or getattr(args, "segment_dir", None) is not None:
+            print("ERROR: --blocks/--segment-dir apply to batch runs, "
+                  "not --follow", file=sys.stderr)
+            raise SystemExit(2)
         print(f"Following the chain head (streaming mode, "
               f"confirm depth {args.confirm_depth}) …", file=sys.stderr)
         return follow_study(blocks_per_month=args.bpm, seed=args.seed,
@@ -273,8 +317,22 @@ def _study(args: argparse.Namespace) -> Study:
     if config.workers > 1:
         print(f"Running chunks across {config.workers} workers …",
               file=sys.stderr)
+    scenario_overrides = {}
+    if getattr(args, "epoch_blocks", None) is not None:
+        scenario_overrides["epoch_blocks"] = args.epoch_blocks
+    segment_dir = getattr(args, "segment_dir", None)
+    if segment_dir is not None:
+        print(f"Spilling completed epochs to {segment_dir} "
+              f"(max resident epochs "
+              f"{getattr(args, 'max_resident_epochs', 2)}) …",
+              file=sys.stderr)
     return quick_study(blocks_per_month=args.bpm, seed=args.seed,
-                       run_config=config)
+                       run_config=config,
+                       blocks=getattr(args, "blocks", None),
+                       max_resident_epochs=getattr(
+                           args, "max_resident_epochs", None),
+                       segment_dir=segment_dir,
+                       **scenario_overrides)
 
 
 def print_table1(study: Study) -> None:
@@ -635,7 +693,10 @@ def run_bench_command(args: argparse.Namespace) -> int:
                        chunk_size=args.chunk_size, quick=args.quick,
                        world_cache=args.world_cache,
                        profile=args.profile, serve=args.serve,
-                       serve_requests=args.serve_requests)
+                       serve_requests=args.serve_requests,
+                       shard=args.shard,
+                       shard_workers=args.shard_workers,
+                       shard_prefix_epochs=args.shard_prefix)
     write_report(report, args.output)
     print(render_report(report))
     print(f"wrote {args.output}")
@@ -664,6 +725,10 @@ def run_bench_command(args: argparse.Namespace) -> int:
     if report.get("serve_identical") is False:
         print("ERROR: stream-built store served responses that "
               "diverged from the batch-built store", file=sys.stderr)
+        return 1
+    if report.get("shard_identical") is False:
+        print("ERROR: sharded epoch splice diverged from the serial "
+              "block/tx hash sequence", file=sys.stderr)
         return 1
     return 0
 

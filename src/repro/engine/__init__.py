@@ -36,6 +36,7 @@ from repro.engine.executors import (
     ParallelExecutor,
     SerialExecutor,
     SupportsRunChunk,
+    effective_workers,
     make_executor,
 )
 from repro.engine.merge import (
@@ -61,6 +62,7 @@ __all__ = [
     "SupportsRunChunk",
     "chunk_key",
     "config_from_kwargs",
+    "effective_workers",
     "ensure_unmixed",
     "failed_ranges",
     "make_executor",

@@ -288,6 +288,18 @@ def _available_cpus() -> int:
     return os.cpu_count() or 1
 
 
+def effective_workers(requested: int) -> int:
+    """The worker count a request actually gets on this host.
+
+    The same cap :func:`make_executor` applies — clamped to
+    ``[1, cpu_count]`` — exposed so callers (the bench harness, the
+    epoch shard runner) can report ``workers_requested`` alongside
+    ``workers_effective`` honestly instead of implying parallelism a
+    1-CPU box never delivered.
+    """
+    return max(1, min(requested, _available_cpus()))
+
+
 def make_executor(workers: int = 1,
                   cache_dir: Union[str, Path, None] = None,
                   digest: Optional[str] = None) -> Executor:
@@ -300,7 +312,7 @@ def make_executor(workers: int = 1,
     :class:`ParallelExecutor` directly honors the exact count asked
     for.
     """
-    effective = max(1, min(workers, _available_cpus()))
+    effective = effective_workers(workers)
     executor: Executor = ParallelExecutor(effective) if effective > 1 \
         else SerialExecutor()
     if cache_dir is not None:

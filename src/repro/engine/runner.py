@@ -99,6 +99,11 @@ class ChunkRunner:
         while node is not None:
             chain = getattr(node, "chain", None)
             if chain is not None:
+                # Segment-backed chains have no in-memory index; their
+                # ranged reads bisect the segment manifest instead, so
+                # the chunk scan treats them as a linear surface.
+                if getattr(node, "segmented", False):
+                    return None
                 return chain.index if getattr(node, "indexed",
                                               False) else None
             node = getattr(node, "inner", None)

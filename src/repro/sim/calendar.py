@@ -91,3 +91,35 @@ class StudyCalendar:
 
     def months_up_to(self, block_number: int) -> List[str]:
         return list(self.months[:self.month_index(block_number) + 1])
+
+    # Epoch arithmetic --------------------------------------------------------
+    #
+    # Epochs are fixed-width windows of ``epoch_blocks`` blocks, anchored
+    # at block 1 like months are.  With ``epoch_blocks == blocks_per_month``
+    # every epoch boundary is a month edge; smaller widths subdivide
+    # months for finer-grained sharding.
+
+    def epoch_of(self, block_number: int, epoch_blocks: int) -> int:
+        """0-based epoch index of a block; raises outside the window."""
+        if epoch_blocks <= 0:
+            raise ValueError("epoch_blocks must be positive")
+        if not 1 <= block_number <= self.total_blocks:
+            raise ValueError(f"block {block_number} outside study window")
+        return (block_number - 1) // epoch_blocks
+
+    def epoch_count(self, epoch_blocks: int) -> int:
+        """Number of epochs covering the window (last may be short)."""
+        if epoch_blocks <= 0:
+            raise ValueError("epoch_blocks must be positive")
+        return -(-self.total_blocks // epoch_blocks)
+
+    def epoch_bounds(self, epoch_index: int,
+                     epoch_blocks: int) -> Tuple[int, int]:
+        """(first_block, last_block) of an epoch, clipped to the window."""
+        count = self.epoch_count(epoch_blocks)
+        if not 0 <= epoch_index < count:
+            raise ValueError(
+                f"epoch {epoch_index} outside window (0..{count - 1})")
+        first = epoch_index * epoch_blocks + 1
+        last = min(first + epoch_blocks - 1, self.total_blocks)
+        return first, last

@@ -76,6 +76,12 @@ class ScenarioConfig:
     # Self-extracting miners (Section 6.3)
     num_self_mev_miners: int = 2
 
+    #: sealed-epoch width in blocks; ``None`` means month edges
+    #: (``blocks_per_month``).  Every epoch boundary reseeds the world's
+    #: RNG streams from ``(seed, epoch_index)`` so any epoch can be
+    #: resumed from its seal on a fresh worker (see repro.sim.shard).
+    epoch_blocks: Optional[int] = None
+
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -87,6 +93,8 @@ class ScenarioConfig:
             raise ValueError("observation_rate must be within [0, 1]")
         if self.flashbots_launch_month not in self.months:
             raise ValueError("flashbots launch month outside window")
+        if self.epoch_blocks is not None and self.epoch_blocks <= 0:
+            raise ValueError("epoch_blocks must be positive when set")
 
     @property
     def total_blocks(self) -> int:

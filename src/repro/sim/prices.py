@@ -50,6 +50,15 @@ class TokenPriceProcess:
         self._steps += 1
         return self._current
 
+    def reseed(self, key: str) -> None:
+        """Reset the draw stream from ``key`` (current price is kept).
+
+        String seeding hashes with SHA-512 inside :mod:`random`, so the
+        stream is identical across processes regardless of
+        ``PYTHONHASHSEED`` — the property epoch seals rely on.
+        """
+        self._rng.seed(key)
+
 
 class PriceUniverse:
     """All token price processes for a scenario, stepped together."""
@@ -79,6 +88,17 @@ class PriceUniverse:
         """Advance every token one period; returns new prices."""
         return {token: process.step()
                 for token, process in self._processes.items()}
+
+    def reseed_epoch(self, seed: int, epoch_index: int) -> None:
+        """Derive every token's stream from ``(seed, epoch_index)``.
+
+        Called at each sealed epoch boundary so a worker resuming from
+        the seal draws the exact shocks the serial run would have drawn,
+        without shipping any RNG state inside the seal.
+        """
+        for token, process in self._processes.items():
+            process.reseed(f"repro-epoch:{seed}:price:{token}:"
+                           f"{epoch_index}")
 
 
 class GasDemandModel:

@@ -56,7 +56,7 @@ from repro.privatepools.pool import PrivatePool, PrivatePoolDirectory
 from repro.sim.calendar import StudyCalendar
 from repro.sim.config import ScenarioConfig
 from repro.sim.prices import PriceUniverse
-from repro.sim.world import World
+from repro.sim.world import EpochSeal, World
 
 #: Initial token prices in wei of ETH per 10^18 raw units.
 INITIAL_PRICES = {
@@ -277,6 +277,52 @@ def _build_self_mev_searchers(config: ScenarioConfig,
     return personas
 
 
+def scenario_frame(config: ScenarioConfig):
+    """The deterministic scaffolding every world for ``config`` shares:
+    ``(calendar, forks, flashbots_launch_block)``.  Derived from the
+    config alone — no RNG draws — so restored epoch workers and the
+    splice step agree with the serial run by construction."""
+    calendar = StudyCalendar(config.blocks_per_month, config.months)
+    forks = ForkSchedule(
+        berlin_block=calendar.first_block_of(config.berlin_month),
+        london_block=calendar.first_block_of(config.london_month))
+    launch = calendar.first_block_of(config.flashbots_launch_month)
+    return calendar, forks, launch
+
+
+def restore_paper_scenario(config: ScenarioConfig, seal: EpochSeal,
+                           fast_paths: bool = True) -> World:
+    """Rebuild a mid-window :class:`World` from an :class:`EpochSeal`.
+
+    The carried-object graph is unpickled once and its components are
+    passed through the :class:`World` constructor — so contract wiring
+    (``_collect_contracts``) and the gas model attach to the *restored*
+    state — then :meth:`World.restore_carry` adopts the remaining
+    carried pieces (mempool, gossip/observer trace, fee state, ground
+    truths) and positions the world at the seal's first block.  Running
+    it reproduces the serial run's blocks from that boundary on,
+    draw for draw.
+    """
+    carried = seal.carried()
+    calendar, forks, launch = scenario_frame(config)
+    world = World(
+        config=config, calendar=calendar, forks=forks,
+        state=carried["state"], registry=carried["registry"],
+        oracle=carried["oracle"], universe=carried["universe"],
+        lending_pools=carried["lending_pools"],
+        flash_provider=carried["flash_provider"],
+        miners=carried["miners"], relay=carried["relay"],
+        private_pools=carried["private_pools"],
+        traders=carried["traders"], borrowers=carried["borrowers"],
+        keeper=carried["keeper"], searchers=carried["searchers"],
+        flashbots_launch_block=launch,
+        rng=random.Random(config.seed + 5),
+        self_mev_searchers=carried["self_mev_searchers"],
+        fast_paths=fast_paths)
+    world.restore_carry(seal, carried)
+    return world
+
+
 @fast_path(toggle="fast_paths")
 def build_paper_scenario(config: ScenarioConfig,
                          fast_paths: bool = True) -> World:
@@ -287,10 +333,7 @@ def build_paper_scenario(config: ScenarioConfig,
     is asserted identical to the optimized default by the bench gate.
     """
     rng = random.Random(config.seed)
-    calendar = StudyCalendar(config.blocks_per_month, config.months)
-    forks = ForkSchedule(
-        berlin_block=calendar.first_block_of(config.berlin_month),
-        london_block=calendar.first_block_of(config.london_month))
+    calendar, forks, launch = scenario_frame(config)
     state = WorldState()
     registry = _build_markets(config, state, rng)
 
@@ -311,7 +354,6 @@ def build_paper_scenario(config: ScenarioConfig,
         flash.provision(state, token, ether(1_000_000))
 
     miners = _build_miners(config, calendar)
-    launch = calendar.first_block_of(config.flashbots_launch_month)
 
     directory = PrivatePoolDirectory()
     eden_members = [m.address for m in miners.miners[:6]]

@@ -18,7 +18,9 @@ Flashbots blocks dataset — plus ground truth for scoring.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import pickle
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
@@ -41,8 +43,10 @@ from repro.chain.gas import INITIAL_BASE_FEE, next_base_fee
 from repro.chain.mempool import Mempool
 from repro.chain.node import ArchiveNode, Blockchain
 from repro.chain.p2p import GossipNetwork, MempoolObserver
+from repro.chain.segments import SegmentStore, SpillingBlockchain
 from repro.chain.state import WorldState
-from repro.chain.transaction import Transaction
+from repro.chain.transaction import Transaction, set_tx_counter, \
+    tx_counter
 from repro.chain.types import Address, ether
 from repro.dex.registry import ExchangeRegistry
 from repro.flashbots.api import FlashbotsBlocksApi
@@ -57,6 +61,55 @@ from repro.privatepools.pool import PrivatePoolDirectory
 from repro.sim.calendar import StudyCalendar
 from repro.sim.config import ScenarioConfig
 from repro.sim.prices import GasDemandModel, PriceUniverse
+
+
+def epoch_stream_seed(seed: int, stream: str, epoch_index: int) -> str:
+    """The seed string for one named RNG stream in one epoch.
+
+    Every world RNG stream is reseeded from this at each epoch boundary,
+    so a stream's draws within an epoch depend only on
+    ``(scenario_seed, epoch_index)`` — never on earlier epochs.  That is
+    the property that lets a fresh worker resume any epoch from its seal
+    (string seeds hash through SHA-512 inside :mod:`random`, so the
+    derivation is stable across processes and ``PYTHONHASHSEED``).
+    """
+    return f"repro-epoch:{seed}:{stream}:{epoch_index}"
+
+
+@dataclass(frozen=True)
+class EpochSeal:
+    """Picklable snapshot of everything a world carries across an epoch
+    boundary: mempool (incl. nonce-gap carryover), agent and searcher
+    state, pool ledgers, miner profiles, observer trace, fee state.
+
+    The payload is a single pickle of the carried-object graph, so
+    shared references (keeper → oracle, gossip → observer, intents →
+    pools) survive restoration intact.  RNG state is deliberately *not*
+    sealed — each epoch's streams derive from
+    :func:`epoch_stream_seed` alone.
+    """
+
+    #: epoch that begins at ``first_block`` (terminal seals use one past
+    #: the last epoch index: they only carry final state for splicing).
+    epoch_index: int
+    first_block: int
+    #: process-wide transaction-uid counter at the boundary, so resumed
+    #: workers mint identical transaction hashes.
+    tx_counter: int
+    #: tip hash at the boundary (``None`` at genesis) — lets the splice
+    #: validate linkage before stitching worker output onto the chain.
+    parent_hash: Optional[str]
+    payload: bytes
+    fingerprint: str
+
+    def carried(self) -> dict:
+        """Unpickle the carried-state graph (verifying the fingerprint)."""
+        digest = hashlib.sha256(self.payload).hexdigest()
+        if digest != self.fingerprint:
+            raise ValueError(
+                f"epoch seal {self.epoch_index} payload corrupt: "
+                f"fingerprint mismatch")
+        return pickle.loads(self.payload)
 
 
 @dataclass
@@ -141,6 +194,15 @@ class World:
         #: index, per-scan memo dicts) is swapped for the original naive
         #: path — the reference the bench ``sim_identical`` gate replays.
         self.fast_paths = fast_paths
+        #: sealed-epoch width; boundaries fall every ``epoch_blocks``
+        #: blocks (default: month edges).  Crossing one reseeds every
+        #: RNG stream from ``(seed, epoch_index)``.
+        self.epoch_blocks = config.epoch_blocks or config.blocks_per_month
+        self._epoch_entered: Optional[int] = None
+        #: height the world believes it is at when its chain is empty —
+        #: nonzero only for worlds restored from an :class:`EpochSeal`,
+        #: whose chain starts mid-window.
+        self._initial_height = 0
 
         self.blockchain = Blockchain()
         self.node = ArchiveNode(self.blockchain)
@@ -430,11 +492,131 @@ class World:
             self.ground_truths.append(submission.ground_truth)
         return sequences
 
+    # Epoch boundaries & seals ------------------------------------------------
+
+    def _height(self) -> int:
+        """Current chain height; mid-window start for restored worlds."""
+        height = self.blockchain.height
+        return self._initial_height if height is None else height
+
+    def _enter_epoch(self, epoch_index: int) -> None:
+        """Reseed every RNG stream for ``epoch_index``.
+
+        Streams are reseeded *in place* so every alias stays wired —
+        ``_gas_model`` shares ``self.rng``, the gossip network owns the
+        observation stream, and the populations each own theirs.
+        """
+        seed = self.config.seed
+        self.rng.seed(epoch_stream_seed(seed, "world", epoch_index))
+        self.gossip.rng.seed(
+            epoch_stream_seed(seed, "gossip", epoch_index))
+        self.traders.rng.seed(
+            epoch_stream_seed(seed, "traders", epoch_index))
+        self.borrowers.rng.seed(
+            epoch_stream_seed(seed, "borrowers", epoch_index))
+        self.keeper.rng.seed(
+            epoch_stream_seed(seed, "keeper", epoch_index))
+        self.universe.reseed_epoch(seed, epoch_index)
+        self._epoch_entered = epoch_index
+
+    def seal(self) -> EpochSeal:
+        """Snapshot the carried state at the current epoch boundary.
+
+        Only valid when the height *is* a boundary (a multiple of
+        ``epoch_blocks``, or the end of the study window).  The returned
+        seal plus ``(seed, epoch_index)`` is everything a fresh worker
+        needs to reproduce the next epoch draw-for-draw — see
+        :func:`repro.sim.scenario.restore_paper_scenario`.
+        """
+        height = self._height()
+        if (height % self.epoch_blocks != 0
+                and height != self.calendar.total_blocks):
+            raise ValueError(
+                f"cannot seal mid-epoch: height {height} is not a "
+                f"boundary (epoch_blocks={self.epoch_blocks})")
+        carried = {
+            "state": self.state, "registry": self.registry,
+            "oracle": self.oracle, "universe": self.universe,
+            "lending_pools": self.lending_pools,
+            "flash_provider": self.flash_provider,
+            "miners": self.miners, "relay": self.relay,
+            "private_pools": self.private_pools,
+            "traders": self.traders, "borrowers": self.borrowers,
+            "keeper": self.keeper, "searchers": self.searchers,
+            "self_mev_searchers": self.self_mev_searchers,
+            "mempool": self.mempool, "gossip": self.gossip,
+            "observer": self.observer,
+            "flashbots_api": self.flashbots_api,
+            "ground_truths": self.ground_truths,
+            "base_fee": self.base_fee,
+            "giant_payout_done": self._giant_payout_done,
+            "last_payout": self._last_payout,
+        }
+        payload = pickle.dumps(carried,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        tip = self.blockchain.height
+        parent_hash = None
+        if tip is not None:
+            tip_block = self.blockchain.block_by_number(tip)
+            if tip_block is not None:
+                parent_hash = tip_block.hash
+        return EpochSeal(
+            epoch_index=-(-height // self.epoch_blocks),
+            first_block=height + 1, tx_counter=tx_counter(),
+            parent_hash=parent_hash, payload=payload,
+            fingerprint=hashlib.sha256(payload).hexdigest())
+
+    def restore_carry(self, seal: EpochSeal, carried: dict) -> None:
+        """Adopt the non-constructor carried state from ``carried``.
+
+        The constructor-visible components (state, registry, pools,
+        populations, …) must already have been passed to ``__init__``
+        from the *same* unpickled graph — see
+        :func:`repro.sim.scenario.restore_paper_scenario` — so that
+        ``_collect_contracts`` and the gas model wire against the
+        restored objects.  This method overwrites the pieces the
+        constructor built fresh and positions the world at the seal.
+        """
+        if self.blockchain.height is not None:
+            raise ValueError("restore_carry requires an empty chain")
+        self.mempool = carried["mempool"]
+        self.gossip = carried["gossip"]
+        self.observer = carried["observer"]
+        self.flashbots_api = carried["flashbots_api"]
+        self.ground_truths = carried["ground_truths"]
+        self.base_fee = carried["base_fee"]
+        self._giant_payout_done = carried["giant_payout_done"]
+        self._last_payout = carried["last_payout"]
+        self._initial_height = seal.first_block - 1
+        self._epoch_entered = None
+        set_tx_counter(seal.tx_counter)
+
+    def attach_segment_store(self, store: SegmentStore,
+                             max_resident_epochs: int = 2) -> None:
+        """Swap the in-memory chain for a spillable, segment-backed one.
+
+        Completed epochs spill to ``store`` as fingerprinted segment
+        files and all but the newest ``max_resident_epochs`` are evicted
+        from memory, so peak residency is O(epoch) instead of O(world).
+        Must be called before the first block is mined.
+        """
+        if self.blockchain.height is not None:
+            raise ValueError(
+                "attach_segment_store requires an empty chain")
+        self.blockchain = SpillingBlockchain(
+            store, epoch_blocks=self.epoch_blocks,
+            first_block=self._initial_height + 1,
+            max_resident_epochs=max_resident_epochs)
+        self.node = ArchiveNode(self.blockchain)
+
     # The main loop ---------------------------------------------------------
 
     def step(self) -> None:
-        current = self.blockchain.height or 0
+        current = self._height()
         number = current + 1
+        epoch = (number - 1) // self.epoch_blocks
+        if epoch != self._epoch_entered:
+            self._enter_epoch(epoch)
         london = self.forks.is_london(number)
         if london and self.base_fee == 0:
             self.base_fee = INITIAL_BASE_FEE
@@ -490,14 +672,32 @@ class World:
                                           result.block.gas_used,
                                           result.block.gas_limit)
 
-    def run(self, blocks: Optional[int] = None) -> SimulationResult:
-        """Advance ``blocks`` steps (default: the whole study window)."""
+    def run(self, blocks: Optional[int] = None,
+            collect_seals: Optional[Dict[int, EpochSeal]] = None,
+            ) -> SimulationResult:
+        """Advance ``blocks`` steps (default: the whole study window).
+
+        With ``collect_seals`` (a dict to fill), an :class:`EpochSeal`
+        is taken at every epoch boundary crossed — including the start
+        and, when the run ends on a boundary, the terminal state —
+        keyed by the epoch the seal begins.
+        """
         total = blocks if blocks is not None \
             else self.calendar.total_blocks
-        start = self.blockchain.height or 0
-        for _ in range(start, min(start + total,
-                                  self.calendar.total_blocks)):
+        start = self._height()
+        end = min(start + total, self.calendar.total_blocks)
+        while self._height() < end:
+            if (collect_seals is not None
+                    and self._height() % self.epoch_blocks == 0):
+                boundary = self.seal()
+                collect_seals[boundary.epoch_index] = boundary
             self.step()
+        if collect_seals is not None:
+            final = self._height()
+            if (final % self.epoch_blocks == 0
+                    or final == self.calendar.total_blocks):
+                boundary = self.seal()
+                collect_seals[boundary.epoch_index] = boundary
         return self.result()
 
     def result(self) -> SimulationResult:

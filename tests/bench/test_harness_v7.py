@@ -1,12 +1,13 @@
-"""Schema and gate tests for the v6 benchmark harness.
+"""Schema and gate tests for the v7 benchmark harness.
 
 Small scenarios only — these tests check the *shape* of the report
-(stages, gates, the serve block, profile tables) and that the gates
-are actually wired to the data they claim to check, never wall-clock
-numbers.
+(stages, gates, the serve and shard blocks, profile tables) and that
+the gates are actually wired to the data they claim to check, never
+wall-clock numbers.
 """
 
 import json
+import os
 
 from repro.bench import run_bench, write_report
 
@@ -14,9 +15,9 @@ SMALL = dict(bpm=3, seed=5, workers=(1, 2), quick=False)
 
 
 class TestReportSchema:
-    def test_v6_document(self, tmp_path):
+    def test_v7_document(self, tmp_path):
         report = run_bench(**SMALL)
-        assert report["version"] == 6
+        assert report["version"] == 7
         stage_names = [s["stage"] for s in report["stages"]]
         assert stage_names[0] == "simulate"
         for required in ("detection", "detection_indexed",
@@ -28,15 +29,32 @@ class TestReportSchema:
         assert report["simulate_s"] > 0
         assert report["lint_s"] > 0  # syntactic self-lint, since v4
         assert "profile" not in report  # only on request
-        # Without --serve the serve block is explicitly null, not
-        # absent — CI parses both keys unconditionally.
+        # Without --serve/--shard the blocks are explicitly null, not
+        # absent — CI parses every key unconditionally.
         assert report["serve"] is None
         assert report["serve_identical"] is None
+        assert report["shard"] is None
+        assert report["shard_identical"] is None
         assert "serve" not in stage_names
+        assert "shard" not in stage_names
         # The document round-trips as JSON (CI parses it).
         path = tmp_path / "bench.json"
         write_report(report, path)
-        assert json.loads(path.read_text())["version"] == 6
+        assert json.loads(path.read_text())["version"] == 7
+
+    def test_every_stage_reports_worker_honesty(self):
+        """Since v7 every stage row carries both the requested and the
+        machine-clamped effective worker count, so CI can tell a real
+        speedup apart from a single-core degradation."""
+        report = run_bench(**SMALL)
+        cpus = os.cpu_count() or 1
+        for stage in report["stages"]:
+            assert stage["workers_requested"] >= 1
+            assert 1 <= stage["workers_effective"] <= \
+                min(stage["workers_requested"], cpus)
+        for entry in report["end_to_end"]:
+            assert entry["workers_effective"] == \
+                min(entry["workers_requested"], cpus)
 
     def test_fast_vs_reference_gate_runs_and_passes(self):
         report = run_bench(**SMALL)
@@ -75,6 +93,36 @@ class TestServeStage:
         # The serve stage rode a genuinely hostile stream.
         assert report["stream"]["reorgs"] > 0
         assert report["stream_identical"] is True
+
+
+class TestShardStage:
+    def test_shard_block_and_identity_gate(self):
+        report = run_bench(shard=True, shard_workers=2, **SMALL)
+        assert report["shard_identical"] is True
+        stage_names = [s["stage"] for s in report["stages"]]
+        assert "shard" in stage_names
+        shard = report["shard"]
+        assert shard["scope"] == "full"
+        assert shard["epochs"] == shard["resimulated_epochs"] > 0
+        assert shard["epoch_blocks"] == SMALL["bpm"]
+        assert shard["seal_pass_s"] > 0
+        assert shard["workers_requested"] == 2
+        assert shard["workers_effective"] >= 1
+        row = next(s for s in report["stages"] if s["stage"] == "shard")
+        assert row["workers_requested"] == 2
+        # The shard stage runs last; it must not perturb the gates the
+        # earlier stages already decided.
+        assert report["sim_identical"] is True
+        assert report["parallel_identical"] is True
+
+    def test_prefix_scope(self):
+        report = run_bench(shard=True, shard_prefix_epochs=2, **SMALL)
+        assert report["shard_identical"] is True
+        shard = report["shard"]
+        assert shard["resimulated_epochs"] == 2
+        assert shard["scope"] == "prefix[2]"
+        row = next(s for s in report["stages"] if s["stage"] == "shard")
+        assert row["blocks"] == 2 * SMALL["bpm"]
 
 
 class TestWorldCacheInteraction:

@@ -8,7 +8,12 @@ fresh simulation.
 
 import pickle
 
-from repro.bench import load_world, store_world, world_digest
+from repro.bench import (
+    WORLD_CACHE_FORMAT,
+    load_world,
+    store_world,
+    world_digest,
+)
 from repro.bench.harness import _world_fingerprint, _world_path
 from repro.sim import ScenarioConfig, build_paper_scenario
 
@@ -71,6 +76,37 @@ class TestStoreAndLoad:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(b"not a pickle")
         assert load_world(tmp_path, CONFIG) is None
+
+    def test_snapshot_carries_the_format_marker(self, tmp_path):
+        store_world(tmp_path, CONFIG, tiny_world())
+        with open(_world_path(tmp_path, CONFIG), "rb") as stream:
+            document = pickle.load(stream)
+        assert document["format"] == WORLD_CACHE_FORMAT == 2
+
+    def test_formatless_snapshot_is_a_miss(self, tmp_path, capsys):
+        """A monolithic cache written by <= 1.5.0 has no format
+        marker; it must be refused with a message naming the old
+        layout, never a pickle error."""
+        result = tiny_world()
+        path = store_world(tmp_path, CONFIG, result)
+        with open(path, "rb") as stream:
+            document = pickle.load(stream)
+        del document["format"]
+        with open(path, "wb") as stream:
+            pickle.dump(document, stream)
+        assert load_world(tmp_path, CONFIG) is None
+        assert "1.5.0" in capsys.readouterr().err
+
+    def test_other_format_is_a_miss(self, tmp_path, capsys):
+        result = tiny_world()
+        path = store_world(tmp_path, CONFIG, result)
+        with open(path, "rb") as stream:
+            document = pickle.load(stream)
+        document["format"] = WORLD_CACHE_FORMAT + 1
+        with open(path, "wb") as stream:
+            pickle.dump(document, stream)
+        assert load_world(tmp_path, CONFIG) is None
+        assert "format" in capsys.readouterr().err
 
     def test_wrong_shape_is_a_miss(self, tmp_path):
         path = _world_path(tmp_path, CONFIG)

@@ -10,7 +10,7 @@ import repro
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_version_single_sourced(self):
         """pyproject.toml derives its version from the package.
