@@ -1,23 +1,31 @@
 #!/usr/bin/env python
 """Large-scenario spilling smoke: O(epoch) memory, measured for real.
 
-Simulates a ~100k-block scenario with the segment store attached, then
-asserts the three properties that make million-block windows feasible:
+Simulates a ~100k-block scenario with the segment store attached
+(overlapped background spill writes and the flat-GC long-run regime by
+default, like production runs), then asserts the four properties that
+make million-block windows feasible:
 
 1. **Residency bound** — the in-memory block list never exceeds
    ``(max_resident_epochs + 1) * epoch_blocks`` blocks, and peak RSS
    (``getrusage``) stays under a fixed ceiling regardless of
    ``--blocks``.
-2. **Segment-backed reads** — a full ``iter_range`` walk off the
+2. **Scale-flat throughput** — per-epoch blocks/s is printed for every
+   epoch, and every epoch past the activity ramp's saturation point
+   must hold at least ``FLATNESS`` of the first saturated epoch's
+   throughput; a violation fails naming the offending epoch.
+3. **Segment-backed reads** — a full ``iter_range`` walk off the
    spilled store yields every block, contiguous and parent-linked, and
    spot lookups resolve through the fingerprint-verified segments.
-3. **Splice identity (sampled prefix)** — the first epochs are
+4. **Splice identity (sampled prefix)** — the first epochs are
    re-simulated from their seals across ``--workers`` processes and
    must match the stored chain hash-for-hash (the ``shard_identical``
    rule, checked here against the spilled reference).
 
 Exits nonzero on any violation.  CI runs this at workers 1 and 2; run
 it locally with smaller ``--blocks`` for a quick check.
+``--no-overlap-io`` spills synchronously — segment files are
+byte-identical either way (tests/chain/test_overlap.py pins that).
 """
 
 import argparse
@@ -38,10 +46,21 @@ from repro.sim import (
     plan_epochs,
     resimulate_epochs,
 )
+from repro.sim.world import activity_saturation_month
+
+#: Minimum fraction of the first saturated epoch's throughput every
+#: later epoch must hold (same margin as the bench ``scale_flat`` gate).
+FLATNESS = 0.8
 
 
 def sequence_of(blocks):
     return [(block.hash, tuple(block.tx_hashes)) for block in blocks]
+
+
+def rss_mb():
+    with open("/proc/self/statm", "r", encoding="ascii") as handle:
+        pages = int(handle.read().split()[1])
+    return pages * os.sysconf("SC_PAGESIZE") / 1e6
 
 
 def main(argv=None):
@@ -59,6 +78,12 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--ceiling-mb", type=int, default=900,
                         help="peak-RSS ceiling asserted after the run")
+    parser.add_argument("--overlap-io",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="write segments on a background thread "
+                             "(default on; --no-overlap-io spills "
+                             "synchronously)")
     args = parser.parse_args(argv)
 
     config = ScenarioConfig(blocks_per_month=args.bpm, seed=args.seed,
@@ -75,30 +100,65 @@ def main(argv=None):
     with tempfile.TemporaryDirectory(prefix="repro-segs-") as root:
         store = SegmentStore.create(os.path.join(root, "segments"))
         world.attach_segment_store(
-            store, max_resident_epochs=args.max_resident_epochs)
+            store, max_resident_epochs=args.max_resident_epochs,
+            overlap_io=args.overlap_io)
+        flat_gc = world.install_flat_gc()
 
+        # Epoch-by-epoch so throughput is a per-epoch series, not one
+        # average that would hide late-epoch decay.  Seals are collected
+        # only over the prefix we re-simulate, so the parent's RSS
+        # measures the spilling run, not a seal archive.
         started = time.time()
-        # Collect seals only over the prefix we re-simulate, so the
-        # parent's RSS measures the spilling run, not a seal archive.
         seals = {}
-        world.run(blocks=prefix * args.epoch_blocks,
-                  collect_seals=seals)
+        telemetry = []
+        done = 0
+        while done < args.blocks:
+            span = min(args.epoch_blocks, args.blocks - done)
+            epoch = done // args.epoch_blocks
+            epoch_started = time.time()
+            world.run(blocks=span,
+                      collect_seals=seals if epoch < prefix else None)
+            epoch_s = time.time() - epoch_started
+            telemetry.append((epoch, span, span / epoch_s))
+            print(f"epoch {epoch}: {epoch_s:.2f}s  "
+                  f"{span / epoch_s:.0f} blocks/s  rss={rss_mb():.0f}MB")
+            done += span
+        flat_gc.uninstall()
         seals = {epoch: seal for epoch, seal in seals.items()
                  if epoch < prefix}
-        world.run(blocks=args.blocks - prefix * args.epoch_blocks)
         elapsed = time.time() - started
 
         chain = world.blockchain
         assert chain.height == args.blocks, chain.height
+        assert store.in_flight_epochs == [], store.in_flight_epochs
         resident = len(chain.blocks)
         bound = (args.max_resident_epochs + 1) * args.epoch_blocks
         assert resident <= bound, \
             f"resident blocks {resident} exceed bound {bound}"
         spilled = len(store.segments)
         print(f"simulated {args.blocks} blocks in {elapsed:.1f}s "
-              f"({args.blocks / elapsed:.0f} blocks/s); "
+              f"({args.blocks / elapsed:.0f} blocks/s, overlap_io="
+              f"{'on' if args.overlap_io else 'off'}); "
               f"{spilled} segments spilled, {resident} blocks resident "
               f"(bound {bound})")
+
+        # Scale-flat: every saturated full epoch holds the baseline.
+        saturated_block = activity_saturation_month() * args.bpm
+        steady = [(epoch, rate) for epoch, span, rate in telemetry
+                  if epoch * args.epoch_blocks >= saturated_block
+                  and span == args.epoch_blocks]
+        if len(steady) >= 2:
+            base_epoch, baseline = steady[0]
+            floor = FLATNESS * baseline
+            for epoch, rate in steady[1:]:
+                assert rate >= floor, (
+                    f"throughput decayed with scale: epoch {epoch} ran "
+                    f"{rate:.0f} blocks/s, below {FLATNESS:.0%} of "
+                    f"epoch {base_epoch}'s {baseline:.0f} blocks/s")
+            print(f"scale-flat ok: epochs {base_epoch}..{steady[-1][0]} "
+                  f"all >= {FLATNESS:.0%} of {baseline:.0f} blocks/s")
+        else:
+            print("scale-flat skipped: fewer than two saturated epochs")
 
         # Full walk off the spilled store: contiguous and parent-linked.
         previous = None

@@ -193,6 +193,7 @@ def quick_study(blocks_per_month: int = 60, seed: int = 7,
                 blocks: Optional[int] = None,
                 max_resident_epochs: Optional[int] = None,
                 segment_dir: Union[str, Path, None] = None,
+                overlap_io: bool = True,
                 **config_overrides) -> Study:
     """Simulate the study window and measure it, in one call.
 
@@ -202,18 +203,28 @@ def quick_study(blocks_per_month: int = 60, seed: int = 7,
     epochs land on disk and only the newest ``max_resident_epochs``
     (default 2) stay in memory — peak residency is O(epoch), which is
     what makes ``repro run --blocks 100000 --epoch-blocks 5000``
-    feasible on a small box.
+    feasible on a small box.  Spilled runs write segments on a
+    background thread and use the flat-GC long-run regime by default
+    (``overlap_io=False`` restores fully synchronous spills; the files
+    are byte-identical either way).
     """
     config = ScenarioConfig(blocks_per_month=blocks_per_month, seed=seed,
                             **config_overrides)
     world = build_paper_scenario(config)
+    flat_gc = None
     if segment_dir is not None:
         from repro.chain.segments import SegmentStore
         world.attach_segment_store(
             SegmentStore.open_or_create(str(segment_dir)),
             max_resident_epochs=max_resident_epochs
-            if max_resident_epochs is not None else 2)
-    result = world.run(blocks=blocks)
+            if max_resident_epochs is not None else 2,
+            overlap_io=overlap_io)
+        flat_gc = world.install_flat_gc()
+    try:
+        result = world.run(blocks=blocks)
+    finally:
+        if flat_gc is not None:
+            flat_gc.uninstall()
     dataset = run_inspector(result, fault_plan=fault_plan,
                             chunk_size=chunk_size, checkpoint=checkpoint,
                             resume=resume, workers=workers,

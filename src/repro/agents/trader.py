@@ -45,6 +45,19 @@ class TraderPopulation:
         #: sufficient registry version; liquidity is re-checked per call.
         self._pool_lists: dict = {}
 
+    def __getstate__(self):
+        # The prefilter cache is keyed by id(registry) — a memory
+        # address — so pickling it would make seal bytes depend on the
+        # process that produced them.  Drop it; rebuilding is a pure
+        # filter over registry.pools and draws no randomness.
+        state = self.__dict__.copy()
+        state["_pool_lists"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._pool_lists = {}
+
     def _static_pools(self, registry: ExchangeRegistry,
                       kind: str) -> list:
         key = (kind, id(registry), registry.pool_count)

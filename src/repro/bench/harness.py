@@ -45,6 +45,7 @@ import io
 import json
 import os
 import pickle
+import platform
 import pstats
 import sys
 import time
@@ -91,8 +92,23 @@ from repro.sim import ScenarioConfig, SimulationResult, \
 #: world vs epochs re-simulated from seals across workers and spliced
 #: — full block-hash + tx-hash sequence, with a sampled-prefix variant
 #: for very large scenarios) plus the ``shard`` info block; both are
-#: ``null`` unless the bench runs with ``--shard``.
-BENCH_VERSION = 7
+#: ``null`` unless the bench runs with ``--shard``.  Version 8 added
+#: ``platform``/``python_version`` to the ``machine`` block, per-epoch
+#: seal-pass telemetry under ``shard.epoch_telemetry`` (blocks/s and
+#: resident-set MB per epoch), and the ``shard.scale_flat`` gate —
+#: last-epoch throughput must hold at least
+#: ``SCALE_FLAT_THRESHOLD`` × the first *activity-saturated* epoch's
+#: (earlier epochs still ride the traffic ramp, so they are not
+#: comparable baselines); ``null`` when fewer than two saturated
+#: epochs exist.  With ``--profile``, the shard seal pass now emits
+#: one ``shard_epoch[N]`` top-25 table per epoch.
+BENCH_VERSION = 8
+
+#: ``scale_flat`` passes when the last epoch's seal-pass throughput is
+#: at least this fraction of the first saturated epoch's — the
+#: "throughput does not decay with total progress" claim, with room
+#: for machine noise.
+SCALE_FLAT_THRESHOLD = 0.8
 
 #: How many rows of each per-stage cProfile table to keep.
 PROFILE_TOP_N = 25
@@ -326,6 +342,88 @@ def _rows_of(dataset: MevDataset, flash_txs: Any) -> str:
     the indexed-vs-linear identity check."""
     return json.dumps({"rows": dataset.to_rows(),
                        "flash_txs": sorted(flash_txs)}, sort_keys=True)
+
+
+def _rss_mb() -> Optional[float]:
+    """Current resident-set size in MB (Linux; None elsewhere)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        return round(pages * os.sysconf("SC_PAGESIZE") / 1e6, 1)
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _seal_pass_telemetry(config: ScenarioConfig,
+                         profiler: _StageProfiler,
+                         ) -> Tuple[Dict[int, Any],
+                                    List[Dict[str, Any]], float]:
+    """The shard gate's serial seal pass, one epoch at a time.
+
+    Equivalent draw for draw to one ``run(collect_seals=...)`` over the
+    window (``run`` only advances the height; stopping at a boundary
+    and resuming reseeds nothing extra), but surfacing what a single
+    timed call hides: per-epoch wall time, throughput, and resident-set
+    size — the curve the ``scale_flat`` gate judges.  Runs under the
+    flat-GC long-run regime, like every production long run.  With
+    profiling enabled, each epoch gets its own ``shard_epoch[N]``
+    table, so late-epoch attribution is not averaged away.
+    """
+    reset_tx_counter()
+    world = build_paper_scenario(config)
+    flat_gc = world.install_flat_gc()
+    seals: Dict[int, Any] = {}
+    telemetry: List[Dict[str, Any]] = []
+    epoch_blocks = config.epoch_blocks or config.blocks_per_month
+    total = config.total_blocks
+    pass_started = _clock()
+    try:
+        done = 0
+        while done < total:
+            span = min(epoch_blocks, total - done)
+            epoch = done // epoch_blocks
+            started = _clock()
+            profiler.run(
+                f"shard_epoch[{epoch}]",
+                lambda span=span: world.run(blocks=span,
+                                            collect_seals=seals))
+            elapsed = _clock() - started
+            telemetry.append({
+                "epoch": epoch,
+                "blocks": span,
+                "elapsed_s": round(elapsed, 6),
+                "blocks_per_s": round(span / elapsed, 3)
+                if elapsed > 0 else None,
+                "rss_mb": _rss_mb(),
+            })
+            done += span
+    finally:
+        flat_gc.uninstall()
+    return seals, telemetry, _clock() - pass_started
+
+
+def _scale_flat_gate(telemetry: Sequence[Dict[str, Any]],
+                     config: ScenarioConfig) -> Optional[bool]:
+    """Whether per-epoch throughput held flat over total progress.
+
+    Baselines at the first epoch whose *first* block is past the
+    activity ramp's saturation month — earlier epochs carry less
+    traffic per block, so their higher blocks/s says nothing about
+    scale.  ``None`` (gate not judgeable, never faked) when fewer than
+    two saturated epochs ran.
+    """
+    from repro.sim.world import activity_saturation_month
+
+    epoch_blocks = config.epoch_blocks or config.blocks_per_month
+    saturated_block = (activity_saturation_month()
+                       * config.blocks_per_month)
+    steady = [row for row in telemetry
+              if row["epoch"] * epoch_blocks >= saturated_block
+              and row["blocks_per_s"]]
+    if len(steady) < 2:
+        return None
+    return (steady[-1]["blocks_per_s"]
+            >= SCALE_FLAT_THRESHOLD * steady[0]["blocks_per_s"])
 
 
 def run_bench(bpm: int = 60, seed: int = 7,
@@ -581,12 +679,11 @@ def run_bench(bpm: int = 60, seed: int = 7,
         from repro.sim.shard import plan_epochs, resimulate_epochs, \
             splice_epochs
 
-        def _shard_pass() -> Tuple[Any, str, float, int]:
-            reset_tx_counter()
-            seals: Dict[int, Any] = {}
-            seal_started = _clock()
-            build_paper_scenario(config).run(collect_seals=seals)
-            seal_pass_s = _clock() - seal_started
+        started = _clock()
+        seals, epoch_telemetry, seal_pass_s = \
+            _seal_pass_telemetry(config, profiler)
+
+        def _shard_resim() -> Tuple[Any, str, int]:
             plan = plan_epochs(config)
             scope = "full"
             if shard_prefix_epochs is not None:
@@ -595,11 +692,10 @@ def run_bench(bpm: int = 60, seed: int = 7,
             epoch_results = resimulate_epochs(
                 config, seals, chunks=plan, workers=shard_workers)
             return (splice_epochs(config, epoch_results), scope,
-                    seal_pass_s, len(plan))
+                    len(plan))
 
-        started = _clock()
-        spliced, scope, seal_pass_s, resimulated = \
-            profiler.run("shard", _shard_pass)
+        spliced, scope, resimulated = \
+            profiler.run("shard", _shard_resim)
         shard_s = _clock() - started
         sharded_seq = _block_sequence(spliced)
         reference_seq = _block_sequence(result)
@@ -616,6 +712,8 @@ def run_bench(bpm: int = 60, seed: int = 7,
             "resimulated_epochs": resimulated,
             "scope": scope,
             "seal_pass_s": round(seal_pass_s, 6),
+            "epoch_telemetry": epoch_telemetry,
+            "scale_flat": _scale_flat_gate(epoch_telemetry, config),
             "workers_requested": shard_workers,
             "workers_effective": effective_workers(shard_workers),
         }
@@ -632,6 +730,8 @@ def run_bench(bpm: int = 60, seed: int = 7,
         },
         "machine": {
             "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python_version": platform.python_version(),
         },
         "simulate_s": round(simulate_s, 6),
         "lint_s": round(_lint_self(), 6),
@@ -739,6 +839,22 @@ def render_report(report: Dict[str, Any]) -> str:
             f"{shard_info.get('workers_effective')} effective)")
         lines.append("  sharded splice identical to serial: "
                      + ("yes" if shard_identical else "NO"))
+        scale_flat = shard_info.get("scale_flat")
+        telemetry = shard_info.get("epoch_telemetry") or []
+        if scale_flat is None:
+            lines.append("  seal-pass throughput scale-flat: skipped "
+                         "(fewer than two saturated epochs)")
+        else:
+            first = telemetry[0] if telemetry else {}
+            last = telemetry[-1] if telemetry else {}
+            lines.append(
+                "  seal-pass throughput scale-flat: "
+                + ("yes" if scale_flat else "NO")
+                + f" (epoch {first.get('epoch')}: "
+                f"{first.get('blocks_per_s')} blocks/s → "
+                f"epoch {last.get('epoch')}: "
+                f"{last.get('blocks_per_s')} blocks/s, "
+                f"rss {last.get('rss_mb')} MB)")
     lint_s = report.get("lint_s")
     if lint_s is not None:
         lines.append(f"  syntactic lint of own tree: {lint_s:.3f}s")

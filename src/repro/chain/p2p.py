@@ -20,7 +20,8 @@ offline (absence from the trace there means "not collected", not
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Optional, Set, Tuple
+from itertools import islice
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.chain.transaction import Transaction
 from repro.chain.types import Hash32
@@ -97,6 +98,33 @@ class MempoolObserver:
 
     def __len__(self) -> int:
         return len(self._first_seen)
+
+    # Incremental trace snapshots ------------------------------------------
+    #
+    # ``record`` only ever *appends* to the first-seen trace (``setdefault``
+    # never rewrites an entry), so the trace has a stable prefix order and
+    # a plain entry count works as its version counter.  The epoch-seal
+    # machinery uses that to snapshot only the entries added since the
+    # last boundary instead of re-pickling the whole trace every epoch.
+
+    def trace_length(self) -> int:
+        """Version counter for the first-seen trace (append-only)."""
+        return len(self._first_seen)
+
+    def trace_slice(self, start: int) -> List[Tuple[Hash32, int]]:
+        """Entries from position ``start`` onward, in first-seen order."""
+        return list(islice(self._first_seen.items(), start, None))
+
+    def swap_trace(self, trace: Dict[Hash32, int]) -> Dict[Hash32, int]:
+        """Replace the first-seen trace, returning the previous one.
+
+        The seal path lends the observer an empty trace while pickling
+        the carried-object graph (the trace travels separately as
+        append-only chunks), then swaps the original back.
+        """
+        previous = self._first_seen
+        self._first_seen = trace
+        return previous
 
     # Coverage accounting -------------------------------------------------
 

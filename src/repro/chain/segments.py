@@ -49,6 +49,54 @@ class SegmentIntegrityError(RuntimeError):
     """
 
 
+def _fsync_dir(directory: str) -> None:
+    """Fsync a directory so a rename into it survives a crash.
+
+    Best effort on platforms where directories cannot be opened for
+    sync; the file-level fsync still ran.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_durable(path: str, data: bytes) -> None:
+    """Crash-safe write: temp file, flush+fsync, atomic rename, then
+    directory fsync — readers see the old bytes or the new bytes,
+    never a partial file, even across power loss (the
+    :class:`~repro.reliability.checkpoint.CheckpointStore` protocol).
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(os.path.dirname(path) or ".")
+
+
+def _materialize_hashes(blocks: Sequence[Block]) -> None:
+    """Force every lazily cached hash before a block run is pickled.
+
+    Block and transaction hashes are computed on first access and
+    cached on the instance, so pickle bytes depend on *when* a run is
+    serialized.  Forcing them first makes the segment file a pure
+    function of content — the overlap-on and overlap-off write paths
+    (and any two runs of either) produce byte-identical files.
+    """
+    for block in blocks:
+        block.hash
+        for tx in block.transactions:
+            tx.hash
+
+
 def _fingerprint_blocks(blocks: Sequence[Block]) -> str:
     """Content fingerprint of a block run (same scheme as the bench
     world fingerprint: number, hash, and transaction count per block)."""
@@ -85,6 +133,11 @@ class SegmentStore:
         self.root = root
         self._segments: List[SegmentInfo] = []
         self._by_epoch: Dict[int, SegmentInfo] = {}
+        #: background writer for overlapped spill I/O (None = synchronous)
+        self._writer = None
+        #: epochs whose segment file is still being written in the
+        #: background; reads of these epochs are served from memory.
+        self._in_flight: Dict[int, List[Block]] = {}
         manifest = os.path.join(root, MANIFEST_NAME)
         if not os.path.exists(manifest):
             if os.path.isdir(root) and os.listdir(root):
@@ -160,8 +213,7 @@ class SegmentStore:
             return info
         return None
 
-    def _write_manifest(self) -> None:
-        manifest = os.path.join(self.root, MANIFEST_NAME)
+    def _manifest_payload(self) -> bytes:
         doc = {
             "format": SEGMENT_FORMAT,
             "segments": [
@@ -173,16 +225,55 @@ class SegmentStore:
                 for info in self._segments
             ],
         }
-        tmp = manifest + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(doc, handle, indent=2, sort_keys=True)
-        os.replace(tmp, manifest)
+        return json.dumps(doc, indent=2, sort_keys=True).encode("utf-8")
+
+    def _write_manifest(self) -> None:
+        _write_durable(os.path.join(self.root, MANIFEST_NAME),
+                       self._manifest_payload())
+
+    # Overlapped writes ----------------------------------------------------
+
+    def attach_writer(self, writer) -> None:
+        """Route subsequent segment writes through a
+        :class:`~repro.sim.overlap.BackgroundWriter`.
+
+        Each write then happens off the simulation thread: the segment
+        file and a manifest snapshot captured at submit time are written
+        durably by the worker, in submission order — so the on-disk
+        manifest only ever references fully durable segment files, and
+        a crash loses at most the still-queued tail.  Detach by passing
+        ``None`` (pending writes must be flushed first by the caller).
+        """
+        self._writer = writer
+
+    def flush(self) -> None:
+        """Block until every queued segment write is durable on disk."""
+        if self._writer is not None:
+            self._writer.flush()
+
+    @property
+    def in_flight_epochs(self) -> List[int]:
+        """Epochs queued but not yet durable (test/assertion hook)."""
+        return sorted(self._in_flight)
 
     # Segment I/O ---------------------------------------------------------
 
     def write_segment(self, epoch: int,
                       blocks: Sequence[Block]) -> SegmentInfo:
-        """Spill one epoch's blocks; atomic file write + manifest update."""
+        """Spill one epoch's blocks; durable file write + manifest update.
+
+        With a writer attached (:meth:`attach_writer`) the file write
+        and fsyncs happen on the background thread and this call returns
+        as soon as the job is queued; the manifest recorded with the job
+        is a snapshot taken now, which is correct because jobs complete
+        in order — every earlier segment it references is already
+        durable by the time it lands.  The pickle itself stays on the
+        calling thread: it holds the GIL either way (offloading it buys
+        nothing), and serializing *now* snapshots the blocks before the
+        simulation mutates anything they reference — which, with the
+        hashes forced first, makes the file bytes a pure function of
+        block content, identical to the synchronous path.
+        """
         blocks = list(blocks)
         if not blocks:
             raise ValueError("cannot write an empty segment")
@@ -193,12 +284,7 @@ class SegmentStore:
                     f"followed by {cur.number}")
         filename = f"seg-{epoch:06d}.pkl"
         path = os.path.join(self.root, filename)
-        payload = pickle.dumps(blocks,
-                               protocol=pickle.HIGHEST_PROTOCOL)
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as handle:
-            handle.write(payload)
-        os.replace(tmp, path)
+        _materialize_hashes(blocks)
         info = SegmentInfo(
             epoch=epoch, first_block=blocks[0].number,
             last_block=blocks[-1].number, filename=filename,
@@ -207,16 +293,39 @@ class SegmentStore:
         self._by_epoch[epoch] = info
         self._segments = sorted(self._by_epoch.values(),
                                 key=lambda entry: entry.epoch)
-        self._write_manifest()
+        payload = pickle.dumps(blocks,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        if self._writer is None:
+            _write_durable(path, payload)
+            self._write_manifest()
+            return info
+        self._in_flight[epoch] = blocks
+        manifest_path = os.path.join(self.root, MANIFEST_NAME)
+        manifest_payload = self._manifest_payload()
+
+        def job() -> None:
+            _write_durable(path, payload)
+            _write_durable(manifest_path, manifest_payload)
+            self._in_flight.pop(epoch, None)
+
+        # BackgroundWriter.submit hands the closure to a same-process
+        # thread — it is never pickled into a worker.
+        self._writer.submit(f"segment epoch {epoch}", job)  # repro-lint: disable=R103
         return info
 
     def load_segment(self, epoch: int) -> List[Block]:
         """Load and verify one spilled epoch.
 
-        Raises :class:`SegmentIntegrityError` on any anomaly: unknown
-        epoch, missing/truncated/corrupt file, wrong block count, or a
-        content fingerprint that does not match the manifest.
+        Epochs still queued behind the background writer are served
+        straight from memory (they have no durable file yet).  For
+        on-disk epochs, raises :class:`SegmentIntegrityError` on any
+        anomaly: unknown epoch, missing/truncated/corrupt file, wrong
+        block count, or a content fingerprint that does not match the
+        manifest.
         """
+        pending = self._in_flight.get(epoch)
+        if pending is not None:
+            return list(pending)
         info = self._by_epoch.get(epoch)
         if info is None:
             raise SegmentIntegrityError(
@@ -240,6 +349,44 @@ class SegmentStore:
                 f"segment {info.filename} fingerprint mismatch; "
                 f"re-simulate from scratch")
         return blocks
+
+    # Sidecar files --------------------------------------------------------
+    #
+    # Epoch seals ride alongside the segments as ``seal-NNNNNN.pkl``
+    # sidecar files: durable (same temp+fsync+rename protocol) but not
+    # manifest-indexed — a seal is an optimization for resume, never a
+    # source of truth, so a missing or stale sidecar only costs a
+    # re-simulation.
+
+    def write_sidecar(self, name: str, obj: object) -> str:
+        """Durably write a pickled sidecar (seal spool); the write and
+        fsyncs are overlapped when a writer is attached, the pickle is
+        taken now (same snapshot discipline as :meth:`write_segment`)."""
+        path = os.path.join(self.root, name)
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if self._writer is None:
+            _write_durable(path, payload)
+            return path
+        # Same-process thread queue; the lambda is never pickled.
+        self._writer.submit(f"sidecar {name}",  # repro-lint: disable=R103
+                            lambda: _write_durable(path, payload))
+        return path
+
+    def load_sidecar(self, name: str) -> object:
+        """Load a sidecar written by :meth:`write_sidecar`.
+
+        Callers must :meth:`flush` first if a writer is attached.
+        Raises :class:`SegmentIntegrityError` on any anomaly.
+        """
+        path = os.path.join(self.root, name)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError) as exc:
+            raise SegmentIntegrityError(
+                f"sidecar {name} is unreadable ({exc}); "
+                f"re-simulate from scratch")
 
 
 class SegmentReader:
@@ -369,6 +516,10 @@ class SpillingBlockchain(Blockchain):
         self.reader = SegmentReader(store,
                                     max_resident=max_resident_epochs,
                                     bounded=bounded)
+
+    def flush(self) -> None:
+        """Drain any overlapped spill writes to durable storage."""
+        self.store.flush()
 
     @property
     def index(self):

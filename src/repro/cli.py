@@ -128,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
                      "segment files in DIR so peak memory is "
                      "O(epoch), not O(world); required for "
                      "million-block scenarios")
+            command.add_argument(
+                "--overlap-io", action=argparse.BooleanOptionalAction,
+                default=True,
+                help="with --segment-dir: write segment files on a "
+                     "background thread so the simulation never "
+                     "blocks on disk (default on; --no-overlap-io "
+                     "spills synchronously — byte-identical files "
+                     "either way)")
     stream = sub.add_parser(
         "stream",
         help="follow the chain through a (possibly hostile) block "
@@ -332,6 +340,7 @@ def _study(args: argparse.Namespace) -> Study:
                        max_resident_epochs=getattr(
                            args, "max_resident_epochs", None),
                        segment_dir=segment_dir,
+                       overlap_io=getattr(args, "overlap_io", True),
                        **scenario_overrides)
 
 

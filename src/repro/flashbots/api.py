@@ -10,6 +10,7 @@ keeps the same rows and offers the same join surface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.chain.types import Address, Hash32
@@ -85,6 +86,34 @@ class FlashbotsBlocksApi:
         self._blocks[block_number] = block
         for row in rows:
             self._tx_index[row.tx_hash] = row
+
+    # Incremental dataset snapshots ----------------------------------------
+    #
+    # ``record_block`` only appends rows (a conflicting re-record raises),
+    # so the row count is a version counter and the dataset can be
+    # snapshotted as per-epoch chunks of :class:`ApiBlock` rows — every
+    # row is a frozen graph of hashes and strings, fully self-contained.
+
+    def record_count(self) -> int:
+        """Version counter for the per-block table (append-only)."""
+        return len(self._blocks)
+
+    def records_slice(self, start: int) -> List[ApiBlock]:
+        """Rows from position ``start`` onward, in record order."""
+        return list(islice(self._blocks.values(), start, None))
+
+    @classmethod
+    def from_records(cls, records: Iterable[ApiBlock],
+                     gaps: Iterable[BlockRange] = (),
+                     ) -> "FlashbotsBlocksApi":
+        """Rebuild a dataset from snapshotted rows (seal restoration)."""
+        api = cls()
+        for block in records:
+            api._blocks[block.block_number] = block
+            for row in block.transactions:
+                api._tx_index[row.tx_hash] = row
+        api._gaps = tuple(gaps)
+        return api
 
     # Coverage ------------------------------------------------------------
 

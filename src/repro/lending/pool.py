@@ -9,7 +9,6 @@ therefore a first-come-first-served MEV race (Definition 3).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -49,8 +48,6 @@ class Loan:
 class LendingPool:
     """An Aave/Compound-style lending platform."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, platform: str, oracle: PriceOracle,
                  close_factor_bps: int = DEFAULT_CLOSE_FACTOR_BPS,
                  bonus_bps: int = DEFAULT_BONUS_BPS,
@@ -69,6 +66,12 @@ class LendingPool:
         self.bonus_bps = bonus_bps
         self.liquidation_threshold_bps = liquidation_threshold_bps
         self.loans: Dict[int, Loan] = {}
+        #: Per-pool loan-id counter.  A plain instance int (not a class
+        #: itertools.count) so ids are a function of this pool's history
+        #: alone: independent of other pools, of earlier runs in the
+        #: same process, and carried inside epoch seals so a resumed
+        #: run numbers its next loan exactly as the original would.
+        self._next_loan_id = 1
         #: Monotonic loan-book change counter (bumped on every loan
         #: mutation, including journal undos — see PriceOracle.version).
         self.book_version = 0
@@ -154,7 +157,9 @@ class LendingPool:
                                  collateral_amount)
         ctx.state.transfer_token(debt_token, self.address, borrower,
                                  debt_amount)
-        loan = Loan(loan_id=next(self._ids), borrower=borrower,
+        loan_id = self._next_loan_id
+        self._next_loan_id += 1
+        loan = Loan(loan_id=loan_id, borrower=borrower,
                     collateral_token=collateral_token,
                     collateral_amount=collateral_amount,
                     debt_token=debt_token, debt_amount=debt_amount)

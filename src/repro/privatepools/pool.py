@@ -18,12 +18,23 @@ bundle does (it simply never discloses it).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.chain.transaction import Transaction
 from repro.chain.types import Address
 
 PrivateSequence = Tuple[Transaction, ...]
+
+#: How long a private submission stays deliverable, in blocks.  Private
+#: order flow is as perishable as public order flow: a sandwich is only
+#: meaningful while its victim is still pending (the mempool itself
+#: evicts at 40 blocks), and an arbitrage is sized against reserves that
+#: drift away within minutes.  Real channels behave the same way —
+#: Flashbots bundles target a specific block and the relay drops them
+#: once it passes — so a pool that carried stale sequences forever would
+#: model a channel no operator runs and, at millions of blocks, make
+#: every member-miner block pay for the entire history of dead intents.
+DEFAULT_SEQUENCE_TTL_BLOCKS = 40
 
 
 class PrivatePool:
@@ -35,14 +46,24 @@ class PrivatePool:
     """
 
     def __init__(self, name: str, miners: Sequence[Address],
-                 shutdown_block: Optional[int] = None) -> None:
+                 shutdown_block: Optional[int] = None,
+                 ttl_blocks: Optional[int] =
+                 DEFAULT_SEQUENCE_TTL_BLOCKS) -> None:
         if not miners:
             raise ValueError("a private pool needs at least one miner")
+        if ttl_blocks is not None and ttl_blocks <= 0:
+            raise ValueError("ttl_blocks must be positive (or None)")
         self.name = name
         self.miners: Set[Address] = set(miners)
         self.shutdown_block = shutdown_block
-        self._pending: List[PrivateSequence] = []
+        #: ``None`` disables expiry (a channel that never drops flow).
+        self.ttl_blocks = ttl_blocks
+        #: submit-ordered ``(submitted_at_block, sequence)`` entries;
+        #: removals preserve order, so the list stays sorted by
+        #: submission block and expiry is a front-drop.
+        self._pending: List[Tuple[int, PrivateSequence]] = []
         self.submitted_count = 0
+        self.expired_count = 0
 
     @property
     def is_single_miner(self) -> bool:
@@ -68,7 +89,7 @@ class PrivatePool:
             return False
         if not self.is_active(current_block):
             return False
-        self._pending.append(tuple(txs))
+        self._pending.append((current_block, tuple(txs)))
         self.submitted_count += 1
         return True
 
@@ -77,13 +98,66 @@ class PrivatePool:
         """Sequences a member miner may privately include, in order."""
         if miner not in self.miners or not self.is_active(block_number):
             return []
-        return list(self._pending)
+        return [seq for _, seq in self._pending]
 
     def mark_included(self, tx_hashes: Set[str]) -> None:
         """Drop sequences any of whose transactions landed on chain."""
         self._pending = [
-            seq for seq in self._pending
-            if not any(tx.hash in tx_hashes for tx in seq)]
+            entry for entry in self._pending
+            if not any(tx.hash in tx_hashes for tx in entry[1])]
+
+    def expire_stale(self, block_number: int) -> int:
+        """Drop sequences submitted more than ``ttl_blocks`` ago.
+
+        Entries are submit-ordered, so expiry only ever trims a prefix.
+        Returns the number of sequences dropped.
+        """
+        if self.ttl_blocks is None or not self._pending:
+            return 0
+        cutoff = block_number - self.ttl_blocks
+        pending = self._pending
+        drop = 0
+        while drop < len(pending) and pending[drop][0] < cutoff:
+            drop += 1
+        if drop:
+            del pending[:drop]
+            self.expired_count += drop
+        return drop
+
+    def prune_dead(self, nonce_of: Callable[[Address], int]) -> int:
+        """Drop sequences no future block can ever include.
+
+        Inclusion requires every transaction to pass the builder's exact
+        nonce check (``tx.nonce == state.nonce(sender)`` at its position,
+        i.e. the account nonce plus the count of earlier same-sender
+        transactions in the sequence).  Account nonces only increase, so
+        once ``tx.nonce`` falls *below* that value the sequence is dead
+        forever: every later attempt fails validation before touching
+        state, drawing no randomness and emitting nothing.  Removing
+        such sequences is therefore unobservable in simulated output —
+        it only stops the per-block rescan of a backlog that can never
+        land.  Returns the number of sequences dropped.
+        """
+        if not self._pending:
+            return 0
+        alive: List[Tuple[int, PrivateSequence]] = []
+        dropped = 0
+        for entry in self._pending:
+            offsets: Dict[Address, int] = {}
+            dead = False
+            for tx in entry[1]:
+                earlier = offsets.get(tx.sender, 0)
+                if tx.nonce < nonce_of(tx.sender) + earlier:
+                    dead = True
+                    break
+                offsets[tx.sender] = earlier + 1
+            if dead:
+                dropped += 1
+            else:
+                alive.append(entry)
+        if dropped:
+            self._pending = alive
+        return dropped
 
     def pending_count(self) -> int:
         return len(self._pending)
@@ -129,3 +203,14 @@ class PrivatePoolDirectory:
     def mark_included(self, tx_hashes: Set[str]) -> None:
         for pool in self._pools.values():
             pool.mark_included(tx_hashes)
+
+    def expire_stale(self, block_number: int) -> int:
+        """Apply per-pool TTL expiry; returns total sequences dropped."""
+        return sum(pool.expire_stale(block_number)
+                   for pool in self._pools.values())
+
+    def prune_dead(self, nonce_of: Callable[[Address], int]) -> int:
+        """Drop provably-dead sequences from every pool (see
+        :meth:`PrivatePool.prune_dead`)."""
+        return sum(pool.prune_dead(nonce_of)
+                   for pool in self._pools.values())

@@ -23,7 +23,7 @@ import math
 import pickle
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.agents.fees import FeeModel
 from repro.agents.miner import MinerProfile, MinerSet
@@ -60,7 +60,25 @@ from repro.markers import fast_path
 from repro.privatepools.pool import PrivatePoolDirectory
 from repro.sim.calendar import StudyCalendar
 from repro.sim.config import ScenarioConfig
+from repro.sim.overlap import BackgroundWriter, FlatGC
 from repro.sim.prices import GasDemandModel, PriceUniverse
+
+#: DeFi activity ramp: month ``m``'s traffic multiplier is
+#: ``min(1.0, ACTIVITY_RAMP_BASE + ACTIVITY_RAMP_SLOPE * m)`` — volume
+#: ramps through 2020–21 and then saturates.  Hoisted to module level
+#: so scale-dependent consumers (the bench ``scale_flat`` gate baselines
+#: at the first saturated epoch) stay in sync with the model.
+ACTIVITY_RAMP_BASE = 0.35
+ACTIVITY_RAMP_SLOPE = 0.08
+
+
+def activity_saturation_month() -> int:
+    """First month index whose activity multiplier reaches 1.0.
+
+    Before this month, per-block traffic still grows with the ramp, so
+    throughput comparisons across epochs only make sense from here on.
+    """
+    return math.ceil((1.0 - ACTIVITY_RAMP_BASE) / ACTIVITY_RAMP_SLOPE)
 
 
 def epoch_stream_seed(seed: int, stream: str, epoch_index: int) -> str:
@@ -77,15 +95,59 @@ def epoch_stream_seed(seed: int, stream: str, epoch_index: int) -> str:
 
 
 @dataclass(frozen=True)
+class SealPart:
+    """One append-only chunk of a growing dataset inside a seal.
+
+    The three datasets that grow with total progress — the observer's
+    first-seen trace, the ground-truth log, and the Flashbots blocks
+    table — are strictly append-only, so each epoch's additions can be
+    pickled once at the boundary that completes them and *shared by
+    reference* with every later seal.  A seal therefore costs O(epoch)
+    pickling instead of O(progress), and a collection of E seals holds
+    O(progress) chunk bytes instead of O(E × progress).
+    """
+
+    #: which dataset the chunk extends (``observer``/``truths``/``api``).
+    kind: str
+    #: chunk ordinal within its kind (restoration merges in order).
+    index: int
+    #: number of entries in this chunk.
+    count: int
+    payload: bytes
+    digest: str
+
+
+def seal_fingerprint(core_digest: str,
+                     parts: Sequence[SealPart]) -> str:
+    """Seal identity from its parts' digests.
+
+    Computed over the core digest plus every chunk's ``(kind, index,
+    count, digest)``, so it changes iff any byte of the carried state
+    changes — while never re-hashing previously sealed chunk bytes.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"core:{core_digest}".encode())
+    for part in parts:
+        hasher.update(
+            f"|{part.kind}:{part.index}:{part.count}:"
+            f"{part.digest}".encode())
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
 class EpochSeal:
     """Picklable snapshot of everything a world carries across an epoch
     boundary: mempool (incl. nonce-gap carryover), agent and searcher
     state, pool ledgers, miner profiles, observer trace, fee state.
 
-    The payload is a single pickle of the carried-object graph, so
+    The ``payload`` is a single pickle of the carried-object graph, so
     shared references (keeper → oracle, gossip → observer, intents →
-    pools) survive restoration intact.  RNG state is deliberately *not*
-    sealed — each epoch's streams derive from
+    pools) survive restoration intact.  The three datasets that grow
+    with total progress travel outside it as append-only
+    :class:`SealPart` chunks reused across seals (the observer is
+    pickled inside the core graph with an empty trace to keep its
+    gossip wiring, then refilled from chunks on restore).  RNG state is
+    deliberately *not* sealed — each epoch's streams derive from
     :func:`epoch_stream_seed` alone.
     """
 
@@ -101,15 +163,46 @@ class EpochSeal:
     parent_hash: Optional[str]
     payload: bytes
     fingerprint: str
+    parts: Tuple[SealPart, ...] = ()
+
+    def _parts_of(self, kind: str) -> List[SealPart]:
+        chunks = [part for part in self.parts if part.kind == kind]
+        chunks.sort(key=lambda part: part.index)
+        return chunks
 
     def carried(self) -> dict:
-        """Unpickle the carried-state graph (verifying the fingerprint)."""
-        digest = hashlib.sha256(self.payload).hexdigest()
-        if digest != self.fingerprint:
+        """Rebuild the carried-state graph (verifying the fingerprint).
+
+        Verifies the core payload and every chunk against the seal
+        fingerprint, unpickles the core graph, then merges the chunked
+        datasets back in: the observer trace is refilled in first-seen
+        order, the ground-truth log re-concatenated, and the Flashbots
+        dataset rebuilt (with its transaction index) from its rows.
+        """
+        core_digest = hashlib.sha256(self.payload).hexdigest()
+        expected = seal_fingerprint(core_digest, self.parts)
+        if expected != self.fingerprint or any(
+                hashlib.sha256(part.payload).hexdigest() != part.digest
+                for part in self.parts):
             raise ValueError(
                 f"epoch seal {self.epoch_index} payload corrupt: "
                 f"fingerprint mismatch")
-        return pickle.loads(self.payload)
+        core = pickle.loads(self.payload)
+        observer = core["observer"]
+        trace: Dict[str, int] = {}
+        for part in self._parts_of("observer"):
+            trace.update(pickle.loads(part.payload))
+        observer.swap_trace(trace)
+        truths: List[GroundTruth] = []
+        for part in self._parts_of("truths"):
+            truths.extend(pickle.loads(part.payload))
+        core["ground_truths"] = truths
+        records = []
+        for part in self._parts_of("api"):
+            records.extend(pickle.loads(part.payload))
+        core["flashbots_api"] = FlashbotsBlocksApi.from_records(
+            records, core.pop("api_gaps"))
+        return core
 
 
 @dataclass
@@ -231,6 +324,20 @@ class World:
             self.rng, organic_gwei=config.organic_gas_gwei,
             pga_multiplier=config.pga_gas_multiplier)
         self._scale_by_month: Dict[int, float] = {}
+        #: chunks already sealed for the growing datasets, reused by
+        #: every later seal, plus the per-dataset entry counts they
+        #: cover (the version counters of the incremental seal).
+        self._seal_parts: List[SealPart] = []
+        self._sealed_counts: Dict[str, int] = {
+            "observer": 0, "truths": 0, "api": 0}
+        #: overlapped spill I/O (attach_segment_store(overlap_io=True)):
+        #: the writer owns a background thread; the world flushes it at
+        #: every run() exit so callers always observe durable segments.
+        self._overlap_writer: Optional[BackgroundWriter] = None
+        self._spool_seals = False
+        #: long-run GC regime hook (install_flat_gc); stepped at every
+        #: epoch boundary.  Draw-neutral: GC timing never touches RNGs.
+        self._flat_gc: Optional[FlatGC] = None
 
     # Setup helpers -----------------------------------------------------------
 
@@ -269,7 +376,8 @@ class World:
         index = self.calendar.month_index(block_number)
         cached = self._scale_by_month.get(index)
         if cached is None:
-            cached = min(1.0, 0.35 + 0.08 * index)
+            cached = min(1.0, ACTIVITY_RAMP_BASE
+                         + ACTIVITY_RAMP_SLOPE * index)
             self._scale_by_month[index] = cached
         return cached
 
@@ -492,6 +600,23 @@ class World:
             self.ground_truths.append(submission.ground_truth)
         return sequences
 
+    @fast_path(toggle="fast_paths")
+    def _prune_private_backlog(self) -> int:
+        """Drop private sequences that can never be included again.
+
+        Inline pair: with ``fast_paths=False`` nothing is pruned and
+        every dead sequence is rescanned (and re-rejected by the exact
+        nonce check) on each member-miner block — the naive behaviour
+        the fast path must match block for block.  Pruning draws no
+        randomness and removes only sequences whose every future
+        inclusion attempt fails validation before touching state, so
+        the built blocks are identical either way (see
+        :meth:`repro.privatepools.pool.PrivatePool.prune_dead`).
+        """
+        if not self.fast_paths:
+            return 0
+        return self.private_pools.prune_dead(self.state.nonce)
+
     # Epoch boundaries & seals ------------------------------------------------
 
     def _height(self) -> int:
@@ -506,6 +631,8 @@ class World:
         ``_gas_model`` shares ``self.rng``, the gossip network owns the
         observation stream, and the populations each own theirs.
         """
+        if self._flat_gc is not None:
+            self._flat_gc.epoch_boundary()
         seed = self.config.seed
         self.rng.seed(epoch_stream_seed(seed, "world", epoch_index))
         self.gossip.rng.seed(
@@ -546,14 +673,24 @@ class World:
             "self_mev_searchers": self.self_mev_searchers,
             "mempool": self.mempool, "gossip": self.gossip,
             "observer": self.observer,
-            "flashbots_api": self.flashbots_api,
-            "ground_truths": self.ground_truths,
+            "api_gaps": tuple(self.flashbots_api.coverage_gaps()),
             "base_fee": self.base_fee,
             "giant_payout_done": self._giant_payout_done,
             "last_payout": self._last_payout,
         }
-        payload = pickle.dumps(carried,
-                               protocol=pickle.HIGHEST_PROTOCOL)
+        # The growing datasets travel as shared append-only chunks, not
+        # in the core pickle: the observer stays inside the graph (its
+        # gossip wiring must survive) but is pickled with an empty
+        # trace; the Flashbots dataset and ground-truth log are only
+        # referenced by the world, so they are simply left out.
+        trace = self.observer.swap_trace({})
+        try:
+            payload = pickle.dumps(carried,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            self.observer.swap_trace(trace)
+        self._extend_seal_parts()
+        parts = tuple(self._seal_parts)
         tip = self.blockchain.height
         parent_hash = None
         if tip is not None:
@@ -564,7 +701,37 @@ class World:
             epoch_index=-(-height // self.epoch_blocks),
             first_block=height + 1, tx_counter=tx_counter(),
             parent_hash=parent_hash, payload=payload,
-            fingerprint=hashlib.sha256(payload).hexdigest())
+            fingerprint=seal_fingerprint(
+                hashlib.sha256(payload).hexdigest(), parts),
+            parts=parts)
+
+    def _extend_seal_parts(self) -> None:
+        """Chunk the entries added to each growing dataset since the
+        last boundary.  Each dataset's entry count is its version
+        counter (all three are append-only), so an unchanged dataset
+        contributes no new chunk and its existing pickles are reused."""
+        sources = (
+            ("observer", self.observer.trace_length(),
+             self.observer.trace_slice),
+            ("truths", len(self.ground_truths),
+             lambda start: self.ground_truths[start:]),
+            ("api", self.flashbots_api.record_count(),
+             self.flashbots_api.records_slice),
+        )
+        for kind, length, slice_from in sources:
+            start = self._sealed_counts[kind]
+            if length <= start:
+                continue
+            entries = slice_from(start)
+            blob = pickle.dumps(entries,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            index = sum(1 for part in self._seal_parts
+                        if part.kind == kind)
+            self._seal_parts.append(SealPart(
+                kind=kind, index=index, count=len(entries),
+                payload=blob,
+                digest=hashlib.sha256(blob).hexdigest()))
+            self._sealed_counts[kind] = length
 
     def restore_carry(self, seal: EpochSeal, carried: dict) -> None:
         """Adopt the non-constructor carried state from ``carried``.
@@ -589,25 +756,65 @@ class World:
         self._last_payout = carried["last_payout"]
         self._initial_height = seal.first_block - 1
         self._epoch_entered = None
+        # Adopt the incoming seal's chunks so seals taken later in this
+        # world reuse them byte for byte — a worker's seal of epoch N+1
+        # is then identical to the serial run's, prefix chunks included.
+        self._seal_parts = list(seal.parts)
+        self._sealed_counts = {
+            kind: sum(part.count for part in seal.parts
+                      if part.kind == kind)
+            for kind in ("observer", "truths", "api")}
         set_tx_counter(seal.tx_counter)
 
     def attach_segment_store(self, store: SegmentStore,
-                             max_resident_epochs: int = 2) -> None:
+                             max_resident_epochs: int = 2,
+                             overlap_io: bool = False,
+                             spool_seals: bool = False) -> None:
         """Swap the in-memory chain for a spillable, segment-backed one.
 
         Completed epochs spill to ``store`` as fingerprinted segment
         files and all but the newest ``max_resident_epochs`` are evicted
         from memory, so peak residency is O(epoch) instead of O(world).
         Must be called before the first block is mined.
+
+        With ``overlap_io`` the spill pickles and fsyncs run on a
+        background thread (:class:`~repro.sim.overlap.BackgroundWriter`)
+        so ``step`` never blocks on disk; the bounded queue's
+        backpressure keeps residency at O(epoch), and every ``run()``
+        exit flushes the queue so callers always observe durable files.
+        The files written are byte-identical to the synchronous path.
+        With ``spool_seals``, every seal taken by
+        ``run(collect_seals=...)`` is also written durably to the store
+        as a ``seal-NNNNNN.pkl`` sidecar (through the same writer when
+        overlapped).
         """
         if self.blockchain.height is not None:
             raise ValueError(
                 "attach_segment_store requires an empty chain")
+        if overlap_io:
+            self._overlap_writer = BackgroundWriter()
+            store.attach_writer(self._overlap_writer)
+        self._spool_seals = spool_seals
         self.blockchain = SpillingBlockchain(
             store, epoch_blocks=self.epoch_blocks,
             first_block=self._initial_height + 1,
             max_resident_epochs=max_resident_epochs)
         self.node = ArchiveNode(self.blockchain)
+
+    def install_flat_gc(self, flat_gc: Optional[FlatGC] = None) -> FlatGC:
+        """Adopt the long-run GC regime (see :mod:`repro.sim.overlap`).
+
+        Collects and freezes the survivor heap now and again at every
+        epoch boundary, with a raised gen-0 threshold in between, so
+        full collections stop rescanning the ever-growing frozen heap.
+        GC timing draws nothing — block outputs are unchanged.  The
+        caller owns ``uninstall()`` (or uses the returned object as a
+        context manager around ``run``).
+        """
+        self._flat_gc = flat_gc or FlatGC()
+        if not self._flat_gc.installed:
+            self._flat_gc.install()
+        return self._flat_gc
 
     # The main loop ---------------------------------------------------------
 
@@ -663,6 +870,8 @@ class World:
         self.mempool.remove(included_hashes)
         self.mempool.evict_stale(number)
         self.private_pools.mark_included(included_hashes)
+        self.private_pools.expire_stale(number)
+        self._prune_private_backlog()
         self.relay.mark_included(number, {
             item.bundle.bundle_id for item in result.included_bundles})
         self.relay.expire_before(number + 1)
@@ -691,6 +900,7 @@ class World:
                     and self._height() % self.epoch_blocks == 0):
                 boundary = self.seal()
                 collect_seals[boundary.epoch_index] = boundary
+                self._spool_seal(boundary)
             self.step()
         if collect_seals is not None:
             final = self._height()
@@ -698,7 +908,24 @@ class World:
                     or final == self.calendar.total_blocks):
                 boundary = self.seal()
                 collect_seals[boundary.epoch_index] = boundary
+                self._spool_seal(boundary)
+        self.flush_io()
         return self.result()
+
+    def _spool_seal(self, seal: EpochSeal) -> None:
+        """Durably spool one seal to the segment store (if enabled)."""
+        if not self._spool_seals:
+            return
+        chain = self.blockchain
+        if isinstance(chain, SpillingBlockchain):
+            chain.store.write_sidecar(
+                f"seal-{seal.epoch_index:06d}.pkl", seal)
+
+    def flush_io(self) -> None:
+        """Drain any overlapped spill writes to durable storage."""
+        chain = self.blockchain
+        if isinstance(chain, SpillingBlockchain):
+            chain.flush()
 
     def result(self) -> SimulationResult:
         return SimulationResult(

@@ -114,3 +114,75 @@ class TestDirectory:
                                   shutdown_block=100))
         assert directory.pools_for_miner(MINER_1, 99)
         assert not directory.pools_for_miner(MINER_1, 100)
+
+
+class TestExpiry:
+    def test_sequences_expire_after_ttl(self):
+        pool = PrivatePool("eden", [MINER_1], ttl_blocks=10)
+        pool.submit(tx(0), 5)
+        assert pool.expire_stale(14) == 0  # submitted at 5, cutoff 4
+        assert pool.expire_stale(15) == 0  # cutoff 5: not yet stale
+        assert pool.expire_stale(16) == 1  # cutoff 6: dropped
+        assert pool.pending_count() == 0
+        assert pool.expired_count == 1
+
+    def test_expiry_trims_only_the_stale_prefix(self):
+        pool = PrivatePool("eden", [MINER_1], ttl_blocks=10)
+        old, fresh = tx(0), tx(1)
+        pool.submit(old, 5)
+        pool.submit(fresh, 12)
+        assert pool.expire_stale(16) == 1
+        assert pool.pending_for(MINER_1, 16) == [(fresh,)]
+
+    def test_ttl_none_never_expires(self):
+        pool = PrivatePool("eden", [MINER_1], ttl_blocks=None)
+        pool.submit(tx(0), 5)
+        assert pool.expire_stale(10_000) == 0
+        assert pool.pending_count() == 1
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PrivatePool("eden", [MINER_1], ttl_blocks=0)
+
+    def test_directory_expiry_sums_over_pools(self):
+        directory = PrivatePoolDirectory()
+        a = directory.add(PrivatePool("a", [MINER_1], ttl_blocks=5))
+        b = directory.add(PrivatePool("b", [MINER_1], ttl_blocks=5))
+        a.submit(tx(0), 1)
+        b.submit(tx(1), 1)
+        assert directory.expire_stale(100) == 2
+
+
+class TestPruneDead:
+    def test_stale_nonce_is_dead(self):
+        pool = PrivatePool("eden", [MINER_1])
+        pool.submit(tx(0), 5)
+        # The account has moved past nonce 0: no future block can
+        # include this transaction (the builder's check is exact).
+        assert pool.prune_dead(lambda sender: 1) == 1
+        assert pool.pending_count() == 0
+
+    def test_current_and_future_nonces_survive(self):
+        pool = PrivatePool("eden", [MINER_1])
+        pool.submit(tx(1), 5)   # exactly next: includable
+        pool.submit(tx(2), 5)   # one ahead: may become includable
+        assert pool.prune_dead(lambda sender: 1) == 0
+        assert pool.pending_count() == 2
+
+    def test_sequence_offsets_count_earlier_same_sender_txs(self):
+        # A sandwich carries two same-sender legs with consecutive
+        # nonces: the second leg is validated against nonce+1, so the
+        # pair (n, n+1) is alive exactly while the account is at n.
+        pool = PrivatePool("solo", [MINER_1])
+        pool.submit_sequence([tx(3), tx(4)], 5)
+        assert pool.prune_dead(lambda sender: 3) == 0
+        assert pool.prune_dead(lambda sender: 4) == 1
+        assert pool.pending_count() == 0
+
+    def test_directory_prune_sums_over_pools(self):
+        directory = PrivatePoolDirectory()
+        a = directory.add(PrivatePool("a", [MINER_1]))
+        b = directory.add(PrivatePool("b", [MINER_1]))
+        a.submit(tx(0), 1)
+        b.submit(tx(0), 1)
+        assert directory.prune_dead(lambda sender: 2) == 2
